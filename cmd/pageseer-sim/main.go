@@ -1,0 +1,99 @@
+// Command pageseer-sim runs one hybrid-memory simulation and prints a
+// detailed report: performance, service breakdown, swap activity, page-walk
+// statistics, and the Table II energy estimate.
+//
+// Usage:
+//
+//	pageseer-sim -workload lbm -scheme pageseer
+//	pageseer-sim -workload mix3 -scheme pom -scale 64 -instr 4000000
+//	pageseer-sim -workload GemsFDTD -scheme pageseer -nobw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pageseer"
+	"pageseer/internal/stats"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "lbm", "one of the 26 Table III workloads")
+		scheme = flag.String("scheme", "pageseer", "pageseer | pageseer-nocorr | pom | mempod | static")
+		scale  = flag.Int("scale", 0, "memory scale denominator (0 = default)")
+		instr  = flag.Uint64("instr", 0, "measured instructions per core (0 = default)")
+		warmup = flag.Uint64("warmup", 0, "warm-up instructions per core (0 = default)")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		cores  = flag.Int("maxcores", 0, "cap on core count (0 = paper counts)")
+		nobw   = flag.Bool("nobw", false, "disable the Swap Driver bandwidth heuristic")
+		list   = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range pageseer.Workloads() {
+			fmt.Printf("%-12s (%s)\n", w, pageseer.Suite(w))
+		}
+		return
+	}
+
+	cfg := pageseer.DefaultConfig()
+	cfg.Workload = *wl
+	cfg.Scheme = pageseer.Scheme(*scheme)
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *instr > 0 {
+		cfg.InstrPerCore = *instr
+	}
+	if *warmup > 0 {
+		cfg.Warmup = *warmup
+	}
+	cfg.Seed = *seed
+	cfg.MaxCores = *cores
+	cfg.DisableBWOpt = *nobw
+
+	sys, err := pageseer.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	d, n, b := res.ServiceBreakdown()
+	pos, neg, neu := res.Effectiveness()
+	fmt.Printf("workload %s  scheme %s  cores %d  scale 1/%d\n", res.Workload, res.Scheme, res.Cores, cfg.Scale)
+	fmt.Printf("performance:   IPC %.3f   AMMAT %.1f cycles   (%d instructions, %d cycles)\n",
+		res.IPC, res.AMMAT, res.Instructions, res.Cycles)
+	fmt.Printf("service:       DRAM %.1f%%  NVM %.1f%%  swap buffers %.1f%%\n", d*100, n*100, b*100)
+	fmt.Printf("effectiveness: positive %.1f%%  negative %.1f%%  neutral %.1f%%\n", pos*100, neg*100, neu*100)
+	fmt.Printf("page walks:    %d walks, %.1f%% of PTE reads reached the HMC, driver hit rate %.1f%%\n",
+		res.MMU.Walks, res.PTEMissRate()*100, res.MMUDriverHitRate()*100)
+	fmt.Printf("swaps:         %.3f per Kinstr", res.SwapsPerKI)
+	if res.Scheme == pageseer.SchemePageSeer || res.Scheme == pageseer.SchemePageSeerNoCorr {
+		st := res.PS
+		fmt.Printf("  [regular %d, prefetching-triggered %d, MMU-triggered %d]",
+			st.SwapsCompleted[0], st.SwapsCompleted[1], st.SwapsCompleted[2])
+		fmt.Printf("\n               prefetch accuracy %.1f%% (%d tracked), declined: bw=%d victim=%d queue=%d",
+			res.PrefetchAccuracy*100, st.PrefetchTracked, st.DeclinedBW, st.DeclinedNoVictim, st.DeclinedQueue)
+		fmt.Printf("\nenergy:        %s", stats.Energy(res.RemapCache, res.PCTc, res.Ctl.DataDemand))
+	}
+	fmt.Println()
+	fmt.Printf("memory:        DRAM %d reads %d writes (row hit %.1f%%) | NVM %d reads %d writes (row hit %.1f%%)\n",
+		res.DRAM.Reads, res.DRAM.Writes, rowHitPct(res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts),
+		res.NVM.Reads, res.NVM.Writes, rowHitPct(res.NVM.RowHits, res.NVM.RowMisses, res.NVM.RowConflicts))
+}
+
+func rowHitPct(h, m, c uint64) float64 {
+	t := h + m + c
+	if t == 0 {
+		return 0
+	}
+	return float64(h) / float64(t) * 100
+}

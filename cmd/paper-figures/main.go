@@ -1,0 +1,163 @@
+// Command paper-figures regenerates the tables and figures of the PageSeer
+// paper's evaluation from simulation runs.
+//
+// Usage:
+//
+//	paper-figures -all                # every table and figure (slow)
+//	paper-figures -quick -all         # reduced campaign for a fast look
+//	paper-figures -fig14              # just the headline IPC/AMMAT figure
+//	paper-figures -fig7 -fig8 -scale 64 -instr 4000000 -warmup 2000000
+//	paper-figures -workloads lbm,miniFE,mix6 -fig14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pageseer/internal/figures"
+)
+
+func main() {
+	var (
+		all   = flag.Bool("all", false, "regenerate everything")
+		quick = flag.Bool("quick", false, "reduced campaign (subset of workloads, small budgets)")
+
+		table1 = flag.Bool("table1", false, "Table I: system configuration")
+		table2 = flag.Bool("table2", false, "Table II: PageSeer parameters and energy")
+		table3 = flag.Bool("table3", false, "Table III: workloads")
+		fig7   = flag.Bool("fig7", false, "Figure 7: service-source breakdown")
+		fig8   = flag.Bool("fig8", false, "Figure 8: positive/negative/neutral accesses")
+		fig9   = flag.Bool("fig9", false, "Figure 9: prefetch-swap accuracy")
+		fig10  = flag.Bool("fig10", false, "Figure 10: swap composition")
+		fig11  = flag.Bool("fig11", false, "Figure 11: swap rate with/without BW heuristic")
+		fig12  = flag.Bool("fig12", false, "Figure 12: page-walk PTE statistics")
+		fig13  = flag.Bool("fig13", false, "Figure 13: remap-cache waiting time vs PoM")
+		fig14  = flag.Bool("fig14", false, "Figure 14: IPC and AMMAT normalised to MemPod")
+		abl    = flag.Bool("ablation", false, "Section V-C: PageSeer vs PageSeer-NoCorr")
+
+		scale     = flag.Int("scale", 0, "memory scale denominator (default from profile)")
+		instr     = flag.Uint64("instr", 0, "measured instructions per core")
+		warmup    = flag.Uint64("warmup", 0, "warm-up instructions per core")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		maxCores  = flag.Int("maxcores", 0, "cap on cores per workload (0 = paper counts)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		quiet     = flag.Bool("quiet", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	opts := figures.DefaultOptions()
+	if *quick {
+		opts = figures.QuickOptions()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *instr > 0 {
+		opts.InstrPerCore = *instr
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	opts.Seed = *seed
+	if *maxCores > 0 {
+		opts.MaxCores = *maxCores
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl
+	anyTable := *table1 || *table2 || *table3
+	if *all {
+		*table1, *table2, *table3 = true, true, true
+		*fig7, *fig8, *fig9, *fig10, *fig11, *fig12, *fig13, *fig14, *abl =
+			true, true, true, true, true, true, true, true, true
+	} else if !anyFigure && !anyTable {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table1 {
+		fmt.Println(figures.Table1(opts.Scale))
+	}
+	if *table2 {
+		fmt.Println(figures.Table2(opts.Scale))
+	}
+	if *table3 {
+		fmt.Println(figures.Table3())
+	}
+
+	r := figures.NewRunner(opts)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *fig7 {
+		rows, err := figures.Figure7(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderFigure7(rows))
+	}
+	if *fig8 {
+		rows, err := figures.Figure8(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderFigure8(rows))
+	}
+	if *fig9 {
+		rows, err := figures.Figure9(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderFigure9(rows))
+	}
+	if *fig10 {
+		rows, err := figures.Figure10(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderFigure10(rows))
+	}
+	if *fig11 {
+		rows, err := figures.Figure11(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderFigure11(rows))
+	}
+	if *fig12 {
+		rows, err := figures.Figure12(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderFigure12(rows))
+	}
+	if *fig13 {
+		rows, err := figures.Figure13(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderFigure13(rows))
+	}
+	if *fig14 {
+		sum, err := figures.Figure14(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderFigure14(sum))
+	}
+	if *abl {
+		rows, err := figures.Ablation(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderAblation(rows))
+	}
+}

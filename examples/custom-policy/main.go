@@ -1,0 +1,196 @@
+// Custom-policy: plug a user-defined management scheme into the hybrid
+// memory controller framework and race it against PageSeer.
+//
+// The framework accepts any hmc.Manager: this example implements
+// "Eager" — an aggressive CAMEO-flavoured policy that swaps an NVM page to
+// DRAM on its very first miss (no history, no thresholds). It demonstrates
+// the full extension surface: remap state, the swap engine with its
+// buffers, the integrity oracle, and DMA freezing. The result also shows
+// *why* the paper needs history: eager swapping wins when reuse is long,
+// and drowns in its own traffic when it is not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pageseer"
+	"pageseer/internal/hmc"
+	"pageseer/internal/mem"
+	"pageseer/internal/mmu"
+	"pageseer/internal/sim"
+)
+
+// Eager is the custom manager: first NVM miss -> immediate page swap.
+type Eager struct {
+	ctl      *hmc.Controller
+	remap    map[mem.PPN]mem.PPN
+	inflight map[mem.PPN]*job
+	next     mem.PPN // round-robin DRAM victim cursor
+	swaps    uint64
+}
+
+type job struct{ waiters []func() }
+
+// NewEager installs the policy on a controller.
+func NewEager(ctl *hmc.Controller) *Eager {
+	e := &Eager{
+		ctl:      ctl,
+		remap:    make(map[mem.PPN]mem.PPN),
+		inflight: make(map[mem.PPN]*job),
+	}
+	ctl.SetManager(e)
+	return e
+}
+
+func (e *Eager) Name() string { return "Eager" }
+
+func (e *Eager) frameOf(p mem.PPN) mem.PPN {
+	if f, ok := e.remap[p]; ok {
+		return f
+	}
+	return p
+}
+
+// TranslateLine implements hmc.Manager.
+func (e *Eager) TranslateLine(a mem.Addr) mem.Addr {
+	page := mem.PageOf(a)
+	return e.frameOf(page).Addr() + (a - page.Addr())
+}
+
+// CheckIntegrity implements hmc.Manager.
+func (e *Eager) CheckIntegrity() error {
+	return e.ctl.Oracle.VerifyAll(func(d uint64) uint64 {
+		return uint64(e.frameOf(mem.PPN(d)))
+	})
+}
+
+// HandleRequest implements hmc.Manager.
+func (e *Eager) HandleRequest(r *hmc.Request) {
+	page := mem.PageOf(r.Line)
+	if !r.Meta.Writeback && !r.Meta.PageWalk &&
+		!e.ctl.Layout.IsDRAMPage(e.frameOf(page)) {
+		e.trySwap(page)
+	}
+	actual := e.TranslateLine(r.Line)
+	if r.Meta.Writeback {
+		if !e.ctl.Engine.TryService(actual, func() {}) {
+			e.ctl.ServeMemory(r, actual)
+		}
+		return
+	}
+	if e.ctl.Engine.TryService(actual, func() { e.ctl.ServeBuffer(r) }) {
+		return
+	}
+	e.ctl.ServeMemory(r, actual)
+}
+
+func (e *Eager) trySwap(page mem.PPN) {
+	if e.inflight[page] != nil {
+		return
+	}
+	if _, swapped := e.remap[page]; swapped {
+		return
+	}
+	if !e.ctl.Engine.CanStart() || e.ctl.FrozenByDMA(page) {
+		return
+	}
+	// Round-robin victim over DRAM frames, skipping page tables, in-flight
+	// frames and frames already hosting a swapped page.
+	dramPages := mem.PPN(e.ctl.Layout.DRAMPages())
+	var victim mem.PPN
+	found := false
+	for i := mem.PPN(0); i < dramPages; i++ {
+		f := (e.next + i) % dramPages
+		if e.ctl.OS.IsPageTable(f) || e.inflight[f] != nil || e.ctl.FrozenByDMA(f) {
+			continue
+		}
+		if _, swapped := e.remap[f]; swapped {
+			continue
+		}
+		victim = f
+		e.next = f + 1
+		found = true
+		break
+	}
+	if !found {
+		return
+	}
+	j := &job{}
+	e.inflight[page], e.inflight[victim] = j, j
+	op := &hmc.Op{
+		Stages: []hmc.Stage{{
+			{Src: page.Addr(), Dst: victim.Addr(), Bytes: mem.PageSize},
+			{Src: victim.Addr(), Dst: page.Addr(), Bytes: mem.PageSize},
+		}},
+		OnComplete: func() {
+			e.remap[page], e.remap[victim] = victim, page
+			e.ctl.Oracle.Exchange(uint64(page), uint64(victim))
+			e.swaps++
+			delete(e.inflight, page)
+			delete(e.inflight, victim)
+			for _, w := range j.waiters {
+				w()
+			}
+		},
+	}
+	if !e.ctl.Engine.Start(op) {
+		delete(e.inflight, page)
+		delete(e.inflight, victim)
+	}
+}
+
+// MMUHint implements hmc.Manager (Eager has no use for hints).
+func (e *Eager) MMUHint(mmu.Hint) {}
+
+// FreezePage implements hmc.Manager.
+func (e *Eager) FreezePage(p mem.PPN, done func()) {
+	if j, ok := e.inflight[p]; ok {
+		j.waiters = append(j.waiters, done)
+		return
+	}
+	done()
+}
+
+// UnfreezePage implements hmc.Manager.
+func (e *Eager) UnfreezePage(mem.PPN) {}
+
+func main() {
+	const wl = "barnes"
+	cfg := pageseer.DefaultConfig()
+	cfg.Workload = wl
+	cfg.MaxCores = 4
+	cfg.InstrPerCore = 1_000_000
+	cfg.Warmup = 500_000
+
+	// The driver wires cores, TLBs, caches and memories around whatever
+	// manager the factory installs.
+	var eager *Eager
+	sys, err := sim.BuildWithManager(cfg, func(ctl *hmc.Controller) hmc.Manager {
+		eager = NewEager(ctl)
+		return eager
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom 'Eager' policy on %s: IPC %.3f, AMMAT %.1f, %d swaps\n",
+		wl, res.IPC, res.AMMAT, eager.swaps)
+
+	// And PageSeer on the identical workload via the facade.
+	cfg2 := cfg
+	cfg2.Scheme = pageseer.SchemePageSeer
+	sys2, err := pageseer.Build(cfg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := sys2.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PageSeer on %s:              IPC %.3f, AMMAT %.1f, %.0f swaps\n",
+		wl, res2.IPC, res2.AMMAT, res2.SwapsPerKI*float64(res2.Instructions)/1000)
+}

@@ -1,0 +1,51 @@
+// Quickstart: build one PageSeer system, run it, and read the headline
+// numbers — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pageseer"
+)
+
+func main() {
+	// A laptop-scale configuration: 1/128 of the paper's memory system.
+	cfg := pageseer.DefaultConfig()
+	cfg.Workload = "miniFE" // any Table III name; see pageseer.Workloads()
+	cfg.Scheme = pageseer.SchemePageSeer
+	cfg.InstrPerCore = 1_000_000
+	cfg.Warmup = 500_000
+
+	sys, err := pageseer.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dram, nvm, buf := res.ServiceBreakdown()
+	fmt.Printf("workload %s on %d cores under %s\n", res.Workload, res.Cores, res.Scheme)
+	fmt.Printf("  IPC    %.3f\n", res.IPC)
+	fmt.Printf("  AMMAT  %.1f CPU cycles\n", res.AMMAT)
+	fmt.Printf("  served from DRAM %.1f%%, NVM %.1f%%, swap buffers %.1f%%\n",
+		dram*100, nvm*100, buf*100)
+	fmt.Printf("  swaps  %.3f per kilo-instruction\n", res.SwapsPerKI)
+
+	// Compare against running the same workload with no management at all.
+	cfg.Scheme = pageseer.SchemeStatic
+	sys2, err := pageseer.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sys2.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nno-swap baseline: IPC %.3f, AMMAT %.1f\n", base.IPC, base.AMMAT)
+	if base.IPC > 0 {
+		fmt.Printf("PageSeer speedup over static placement: %+.1f%%\n", (res.IPC/base.IPC-1)*100)
+	}
+}

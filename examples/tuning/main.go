@@ -1,0 +1,58 @@
+// Tuning: sweep PageSeer's hardware knobs — the PCTc prefetch threshold and
+// the Swap Driver bandwidth heuristic — on one workload, the kind of design
+// exploration Table II's parameters came from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pageseer"
+)
+
+func main() {
+	const wl = "lbm"
+	base := pageseer.DefaultConfig()
+	base.Workload = wl
+	base.InstrPerCore = 1_500_000
+	base.Warmup = 750_000
+
+	fmt.Printf("PageSeer design sweep on %s\n\n", wl)
+
+	fmt.Println("PCTc prefetch-swap threshold (paper value: 14):")
+	fmt.Printf("  %9s %8s %10s %12s %10s\n", "threshold", "IPC", "AMMAT", "swaps/Ki", "accuracy")
+	for _, threshold := range []uint32{6, 10, 14, 20, 28} {
+		pcfg := pageseer.DefaultPageSeerConfig().Scale(base.Scale)
+		pcfg.PCTThreshold = threshold
+		pcfg.AccuracyTarget = uint64(threshold)
+		res := run(base, pcfg)
+		fmt.Printf("  %9d %8.3f %10.1f %12.3f %9.1f%%\n",
+			threshold, res.IPC, res.AMMAT, res.SwapsPerKI, res.PrefetchAccuracy*100)
+	}
+
+	fmt.Println("\nSwap Driver bandwidth heuristic (Section V-B):")
+	fmt.Printf("  %9s %8s %10s %12s %10s\n", "gate", "IPC", "AMMAT", "swaps/Ki", "declined")
+	for _, gate := range []float64{0.5, 0.7, 0.9, 1.01 /* never */} {
+		pcfg := pageseer.DefaultPageSeerConfig().Scale(base.Scale)
+		pcfg.BWSatFraction = gate
+		label := fmt.Sprintf("%.2f", gate)
+		if gate > 1 {
+			label = "off"
+		}
+		res := run(base, pcfg)
+		fmt.Printf("  %9s %8.3f %10.1f %12.3f %10d\n",
+			label, res.IPC, res.AMMAT, res.SwapsPerKI, res.PS.DeclinedBW)
+	}
+}
+
+func run(cfg pageseer.Config, pcfg pageseer.PageSeerConfig) pageseer.Results {
+	sys, err := pageseer.BuildWithPageSeerConfig(cfg, pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

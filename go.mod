@@ -1,0 +1,3 @@
+module pageseer
+
+go 1.22

@@ -1,0 +1,244 @@
+// Package cache implements the simulator's cache hierarchy: set-associative
+// write-back/write-allocate caches with LRU replacement and MSHR merging of
+// outstanding misses, chained L1 -> L2 -> shared L3 -> memory controller.
+//
+// Caches are physically indexed and tagged, so everything below the TLB
+// (including the hybrid memory controller's page remapping, which sits
+// *below* the LLC) sees OS-visible physical addresses — exactly the
+// invariant PageSeer's PCT relies on ("PCTc and Filter use addresses before
+// remapping").
+package cache
+
+import (
+	"fmt"
+
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+)
+
+// Meta carries request provenance down the hierarchy. The memory controller
+// needs it to attribute LLC misses to cores/processes and to recognise
+// page-walk (PTE) traffic.
+type Meta struct {
+	Core      int
+	PID       int
+	IsPTE     bool // request fetches the line holding the final (leaf) PTE
+	PageWalk  bool // any page-walk read (all levels), excluded from hot-page tracking
+	Writeback bool // dirty eviction, not a demand miss
+}
+
+// Backend is anything that can service a line request: the next cache level
+// or the memory controller.
+type Backend interface {
+	Access(line mem.Addr, write bool, meta Meta, done func())
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name          string
+	SizeBytes     int
+	Ways          int
+	LatencyCycles uint64
+	// AllowPTE is false for L1: the paper's hierarchy stores page-table
+	// lines in L2/L3 only. A PTE access to such a cache is a configuration
+	// error, caught at Access time.
+	AllowPTE bool
+}
+
+// L1Config, L2Config, L3Config return the paper's Table I cache parameters.
+func L1Config() Config {
+	return Config{Name: "L1", SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 2}
+}
+
+// L2Config returns the Table I private L2: 256KB, 8-way, 8 cycles.
+func L2Config() Config {
+	return Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LatencyCycles: 8, AllowPTE: true}
+}
+
+// L3Config returns the Table I shared L3: 8MB, 16-way, 32 cycles.
+func L3Config() Config {
+	return Config{Name: "L3", SizeBytes: 8 << 20, Ways: 16, LatencyCycles: 32, AllowPTE: true}
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+type mshr struct {
+	waiters []func()
+	write   bool // any waiter is a write: line installs dirty
+}
+
+// Stats holds per-cache counters.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	MSHRMerges uint64
+	Writebacks uint64
+	PTEAccess  uint64
+	PTEMiss    uint64
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	sim  *engine.Sim
+	cfg  Config
+	next Backend
+
+	sets    [][]line
+	nSets   uint64
+	lruTick uint64
+	mshrs   map[mem.Addr]*mshr
+	stats   Stats
+}
+
+// New builds a cache over the given backend.
+func New(sim *engine.Sim, cfg Config, next Backend) *Cache {
+	nLines := cfg.SizeBytes / mem.LineSize
+	if cfg.Ways <= 0 || nLines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible into %d ways", cfg.Name, cfg.SizeBytes, cfg.Ways))
+	}
+	nSets := nLines / cfg.Ways
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, nSets))
+	}
+	c := &Cache{
+		sim:   sim,
+		cfg:   cfg,
+		next:  next,
+		nSets: uint64(nSets),
+		mshrs: make(map[mem.Addr]*mshr),
+	}
+	c.sets = make([][]line, nSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(l mem.Addr) (set uint64, tag uint64) {
+	n := uint64(l) >> mem.LineShift
+	return n % c.nSets, n / c.nSets
+}
+
+func (c *Cache) lookup(l mem.Addr) *line {
+	set, tag := c.index(l)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return ln
+		}
+	}
+	return nil
+}
+
+// Access requests a line. done fires when the data is available at this
+// level (after this level's latency on a hit, or after the fill on a miss).
+func (c *Cache) Access(addr mem.Addr, write bool, meta Meta, done func()) {
+	l := mem.LineOf(addr)
+	if meta.IsPTE && !c.cfg.AllowPTE {
+		panic(fmt.Sprintf("cache %s: PTE request reached a level that does not cache PTEs", c.cfg.Name))
+	}
+	c.stats.Accesses++
+	if meta.IsPTE {
+		c.stats.PTEAccess++
+	}
+	c.sim.After(c.cfg.LatencyCycles, func() {
+		c.afterTagLookup(l, write, meta, done)
+	})
+}
+
+func (c *Cache) afterTagLookup(l mem.Addr, write bool, meta Meta, done func()) {
+	if ln := c.lookup(l); ln != nil {
+		c.stats.Hits++
+		c.lruTick++
+		ln.lru = c.lruTick
+		if write {
+			ln.dirty = true
+		}
+		if done != nil {
+			done()
+		}
+		return
+	}
+	c.stats.Misses++
+	if meta.IsPTE {
+		c.stats.PTEMiss++
+	}
+	if m, ok := c.mshrs[l]; ok {
+		c.stats.MSHRMerges++
+		m.write = m.write || write
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		return
+	}
+	m := &mshr{write: write}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	c.mshrs[l] = m
+	// Fetch the line from below. The fill installs it and releases waiters.
+	fetchMeta := meta
+	fetchMeta.Writeback = false
+	c.next.Access(l, false, fetchMeta, func() {
+		c.fill(l, meta)
+	})
+}
+
+func (c *Cache) fill(l mem.Addr, meta Meta) {
+	m, ok := c.mshrs[l]
+	if !ok {
+		panic(fmt.Sprintf("cache %s: fill for %#x without MSHR", c.cfg.Name, uint64(l)))
+	}
+	delete(c.mshrs, l)
+	c.install(l, m.write, meta)
+	for _, w := range m.waiters {
+		w()
+	}
+}
+
+func (c *Cache) install(l mem.Addr, dirty bool, meta Meta) {
+	set, tag := c.index(l)
+	victim := &c.sets[set][0]
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	if victim.valid && victim.dirty {
+		c.stats.Writebacks++
+		victimAddr := mem.Addr((victim.tag*c.nSets + set) << mem.LineShift)
+		wb := Meta{Core: meta.Core, PID: meta.PID, Writeback: true}
+		c.next.Access(victimAddr, true, wb, nil)
+	}
+	c.lruTick++
+	*victim = line{tag: tag, valid: true, dirty: dirty, lru: c.lruTick}
+}
+
+// Contains reports whether the line is currently resident (for tests).
+func (c *Cache) Contains(addr mem.Addr) bool {
+	return c.lookup(mem.LineOf(addr)) != nil
+}
+
+// OutstandingMisses returns the number of live MSHRs (for tests).
+func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
+
+// ResetStats zeroes all counters (e.g. after warm-up) without touching
+// cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,149 @@
+// Package core implements PageSeer, the paper's contribution: a hardware
+// memory-controller scheme that swaps 4KB pages between NVM and DRAM,
+// triggered early by MMU page-walk hints (MMU-Triggered Prefetch Swaps),
+// by page-correlation history (Prefetching-Triggered Prefetch Swaps), and
+// by hot-page counting (Regular Swaps). It plugs into the hmc framework as
+// a Manager.
+package core
+
+// Config carries every PageSeer parameter from Table II of the paper.
+type Config struct {
+	// PCTThreshold is the PCTc prefetch-swap threshold: a page whose
+	// recorded per-invocation LLC-miss count reaches this value is worth
+	// prefetch-swapping to DRAM (14 in the paper; also the accuracy
+	// criterion of Figure 9).
+	PCTThreshold uint32
+	// HPTThreshold is the NVM Hot Page Table's regular-swap threshold (6).
+	HPTThreshold uint32
+	// CounterMax saturates all 6-bit counters (63).
+	CounterMax uint32
+	// HPTDecayInterval halves every HPT counter this often, in CPU cycles
+	// (50K cycles at 1GHz = 100K CPU cycles).
+	HPTDecayInterval uint64
+
+	// PRTc geometry: 32KB of 3.5-byte entries, 4-way, 1 memory cycle.
+	PRTcEntries    int
+	PRTcWays       int
+	PRTcHitLatency uint64
+	// PCTc geometry: 32KB of 10.5-byte entries, 4-way, 1 memory cycle.
+	PCTcEntries    int
+	PCTcWays       int
+	PCTcHitLatency uint64
+	// HPTEntries sizes each Hot Page Table (5.3KB of 5.25B entries, fully
+	// associative).
+	HPTEntries int
+	// FilterEntries sizes the Filter table (2.2KB of 17.25B entries).
+	FilterEntries int
+	// MMUDriverLines is the PTE-line cache in the MMU Driver (16).
+	MMUDriverLines int
+	// PTEServeLatency is the cost of serving an intercepted PTE request
+	// from the MMU Driver's cache, in CPU cycles.
+	PTEServeLatency uint64
+
+	// PRTBytes and PCTBytes size the DRAM-resident full tables (426KB and
+	// 7MB with follower information).
+	PRTBytes uint64
+	PCTBytes uint64
+
+	// NoCorr disables follower information in PCT entries — the
+	// PageSeer-NoCorr ablation of Section V-C.
+	NoCorr bool
+
+	// BWOpt enables the Swap Driver's bandwidth heuristic (Section V-B):
+	// when the DRAM channels are saturated and more than BWSatFraction of
+	// main-memory requests are already served from fast memory, decline
+	// incoming swap requests.
+	BWOpt         bool
+	BWSatFraction float64
+	// BWSatUtil is the DRAM data-bus utilization (measured over
+	// BWUtilWindow cycles) that counts as saturation.
+	BWSatUtil    float64
+	BWUtilWindow uint64
+
+	// AccuracyTarget is the number of post-swap DRAM accesses that makes a
+	// prefetch swap "accurate" (14, Figure 9).
+	AccuracyTarget uint64
+}
+
+// DefaultConfig returns the paper's Table II configuration.
+func DefaultConfig() Config {
+	return Config{
+		PCTThreshold:     14,
+		HPTThreshold:     6,
+		CounterMax:       63,
+		HPTDecayInterval: 100_000, // 50K cycles at 1GHz, in 2GHz CPU cycles
+
+		PRTcEntries:     9362, // 32KB / 3.5B
+		PRTcWays:        4,
+		PRTcHitLatency:  2,    // 1 cycle at 1GHz
+		PCTcEntries:     3120, // 32KB / 10.5B
+		PCTcWays:        4,
+		PCTcHitLatency:  2,
+		HPTEntries:      1024, // 5.3KB / 5.25B
+		FilterEntries:   128,  // 2.2KB / 17.25B
+		MMUDriverLines:  16,
+		PTEServeLatency: 4,
+
+		PRTBytes: 426 << 10,
+		PCTBytes: 7 << 20,
+
+		// The paper's heuristic gates on "over 95% of requests satisfied by
+		// DRAM"; on the synthetic workloads the DRAM channels (scaled with
+		// the system) saturate at a lower fast-served share, so the gate
+		// engages earlier — the point where extra swaps stop converting
+		// into extra fast-memory hits and start costing DRAM queueing
+		// (the BATMAN effect).
+		BWOpt:         true,
+		BWSatFraction: 0.90,
+		BWSatUtil:     0.35,
+		BWUtilWindow:  50_000,
+
+		AccuracyTarget: 14,
+	}
+}
+
+// Scale shrinks the SRAM structures for a scaled-down memory system. The
+// on-controller caches shrink with the square root of the memory scale:
+// their hit rates are set by how much of the *active* page population they
+// cover, and active sets shrink more slowly than total capacity — scaling
+// them linearly would leave nano-caches whose miss traffic dominates the
+// memory system, a pure simulation artifact. factor is the memory scale
+// denominator: Scale(8) models a system 1/8 the paper's size.
+func (c Config) Scale(factor int) Config {
+	if factor <= 1 {
+		return c
+	}
+	root := 1
+	for (root+1)*(root+1) <= factor {
+		root++
+	}
+	div := func(v int) int {
+		if s := v / root; s > 0 {
+			return s
+		}
+		return 1
+	}
+	c.PRTcEntries = div(c.PRTcEntries)
+	c.PCTcEntries = div(c.PCTcEntries)
+	// The HPTs and the Filter size with the *active* page population (hot
+	// pages per core, concurrently-flurrying pages), not with memory
+	// capacity; they do not scale down. A too-small DRAM HPT cannot lock
+	// the hot set and the Swap Driver would churn it.
+	c.PRTBytes = max64(1<<12, c.PRTBytes/uint64(factor))
+	c.PCTBytes = max64(1<<12, c.PCTBytes/uint64(factor))
+	return c
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,747 @@
+package core
+
+import (
+	"fmt"
+
+	"pageseer/internal/engine"
+	"pageseer/internal/hmc"
+	"pageseer/internal/mem"
+	"pageseer/internal/mmu"
+)
+
+// SwapKind distinguishes the three swap triggers of Section III-A.
+type SwapKind int
+
+// Swap kinds, in the order Figure 10 reports them.
+const (
+	SwapRegular     SwapKind = iota // NVM HPT threshold (Section III-C3)
+	SwapPrefetchPCT                 // prefetching-triggered prefetch swap
+	SwapPrefetchMMU                 // MMU-triggered prefetch swap
+	numSwapKinds
+)
+
+func (k SwapKind) String() string {
+	switch k {
+	case SwapRegular:
+		return "regular"
+	case SwapPrefetchPCT:
+		return "prefetch-pct"
+	case SwapPrefetchMMU:
+		return "prefetch-mmu"
+	}
+	return "?"
+}
+
+// Stats holds PageSeer-specific counters.
+type Stats struct {
+	SwapsStarted   [numSwapKinds]uint64
+	SwapsCompleted [numSwapKinds]uint64
+
+	DeclinedBW       uint64 // Swap Driver bandwidth heuristic
+	DeclinedNoVictim uint64 // no usable same-color DRAM frame
+	DeclinedQueue    uint64 // swap request queue overflow
+	OptimizedSlow    uint64 // swaps that used the 3R/3W choreography
+
+	HintsReceived uint64
+
+	// Prefetch-swap accuracy (Figure 9): a tracked swap is accurate when
+	// the page collects at least AccuracyTarget accesses while in DRAM.
+	PrefetchTracked  uint64
+	PrefetchAccurate uint64
+}
+
+// TotalSwaps returns completed swaps across kinds.
+func (s Stats) TotalSwaps() uint64 {
+	var t uint64
+	for _, v := range s.SwapsCompleted {
+		t += v
+	}
+	return t
+}
+
+type swapJob struct {
+	kind    SwapKind
+	pages   []mem.PPN // every page identity participating
+	waiters []func()  // DMA freeze waiting for completion
+}
+
+type prefTrack struct {
+	count uint64
+	kind  SwapKind
+}
+
+// PageSeer is the paper's Hybrid Memory Controller manager.
+type PageSeer struct {
+	sim *engine.Sim
+	ctl *hmc.Controller
+	cfg Config
+
+	prtc    *hmc.MetaCache
+	pctc    *hmc.MetaCache
+	corr    *Correlator
+	hptDRAM *HPT
+	hptNVM  *HPT
+	pte     *PTECache
+
+	prtRegion hmc.MetaRegion
+	pctRegion hmc.MetaRegion
+
+	// remap holds the current page exchanges symmetrically: if pages N and
+	// D are swapped, remap[N]=D and remap[D]=N. Pages not present are at
+	// their OS-assigned frames — the PRT invariant of Section III-C1.
+	remap map[mem.PPN]mem.PPN
+
+	inflight map[mem.PPN]*swapJob
+	// The Swap Driver's request queue: prefetch swaps (the early, targeted
+	// ones) drain ahead of regular swaps; a prefetch request for a page
+	// already queued as regular upgrades it in place.
+	pendingPref []pendingSwap
+	pendingReg  []pendingSwap
+	pendingKind map[mem.PPN]SwapKind
+
+	nColors int
+	colorRR map[int]mem.PPN // next victim-search start per color
+
+	// windowed DRAM utilization for the Swap Driver heuristic
+	utilCheckedAt uint64
+	utilLastBusy  uint64
+	utilRecent    float64
+
+	prefTracks map[mem.PPN]*prefTrack
+
+	stats Stats
+}
+
+type pendingSwap struct {
+	page mem.PPN
+	kind SwapKind
+	at   uint64
+}
+
+const maxPendingSwaps = 1024
+
+// pendingStaleCycles expires queued swap requests: converting a page whose
+// flurry has already ended wastes swap bandwidth that a fresh request could
+// use (the same immediacy PoM gets by swapping on the triggering miss).
+const pendingStaleCycles = 60_000
+
+// New installs a PageSeer manager on the controller. It reserves the
+// DRAM-resident PRT and PCT regions, so it must be constructed before any
+// workload pages are allocated.
+func New(ctl *hmc.Controller, cfg Config) *PageSeer {
+	p := &PageSeer{
+		sim:         ctl.Sim,
+		ctl:         ctl,
+		cfg:         cfg,
+		remap:       make(map[mem.PPN]mem.PPN),
+		inflight:    make(map[mem.PPN]*swapJob),
+		pendingKind: make(map[mem.PPN]SwapKind),
+		colorRR:     make(map[int]mem.PPN),
+		prefTracks:  make(map[mem.PPN]*prefTrack),
+	}
+	p.prtRegion = ctl.AllocMetaRegion(cfg.PRTBytes, 4)  // 3.5B entries, rounded
+	p.pctRegion = ctl.AllocMetaRegion(cfg.PCTBytes, 11) // 10.5B entries
+	p.prtc = hmc.NewMetaCache(ctl.Sim, hmc.MetaCacheConfig{
+		Name: "PRTc", Entries: cfg.PRTcEntries, Ways: cfg.PRTcWays,
+		HitLatency: cfg.PRTcHitLatency, EntriesPerLine: 18, // 3.5B entries
+	}, p.prtRegion, ctl.IssueLine)
+	p.pctc = hmc.NewMetaCache(ctl.Sim, hmc.MetaCacheConfig{
+		Name: "PCTc", Entries: cfg.PCTcEntries, Ways: cfg.PCTcWays,
+		HitLatency: cfg.PCTcHitLatency, EntriesPerLine: 6, // 10.5B entries
+		Background: true, // off the critical path (Section III-C3)
+	}, p.pctRegion, ctl.IssueLine)
+	p.corr = NewCorrelator(cfg, func(leader mem.PPN, effective bool) {
+		if effective {
+			p.pctc.MarkDirty(uint64(leader))
+		}
+	})
+	p.hptDRAM = NewHPT(ctl.Sim, cfg.HPTDecayInterval, cfg.HPTEntries, cfg.CounterMax)
+	p.hptNVM = NewHPT(ctl.Sim, cfg.HPTDecayInterval, cfg.HPTEntries, cfg.CounterMax)
+	p.pte = NewPTECache(cfg.MMUDriverLines)
+	// The same-color constraint is defined over logical PRT entry sets
+	// (Figure 4), independent of the PRTc's physical line organisation.
+	p.nColors = cfg.PRTcEntries / cfg.PRTcWays
+	ctl.SetManager(p)
+	return p
+}
+
+// Name implements hmc.Manager.
+func (p *PageSeer) Name() string {
+	if p.cfg.NoCorr {
+		return "PageSeer-NoCorr"
+	}
+	return "PageSeer"
+}
+
+// Stats returns a snapshot of the PageSeer counters.
+func (p *PageSeer) Stats() Stats { return p.stats }
+
+// PRTc and PCTc expose the metadata caches (for stats and tests).
+func (p *PageSeer) PRTc() *hmc.MetaCache { return p.prtc }
+
+// PCTc returns the PCT cache.
+func (p *PageSeer) PCTc() *hmc.MetaCache { return p.pctc }
+
+// HPTs returns the DRAM and NVM hot page tables.
+func (p *PageSeer) HPTs() (dram, nvm *HPT) { return p.hptDRAM, p.hptNVM }
+
+// Correlator exposes the PCT/Filter machinery.
+func (p *PageSeer) Correlator() *Correlator { return p.corr }
+
+// PTEDriver exposes the MMU Driver's PTE-line cache.
+func (p *PageSeer) PTEDriver() *PTECache { return p.pte }
+
+// frameOf returns the frame currently holding page's data.
+func (p *PageSeer) frameOf(page mem.PPN) mem.PPN {
+	if f, ok := p.remap[page]; ok {
+		return f
+	}
+	return page
+}
+
+// TranslateLine implements hmc.Manager.
+func (p *PageSeer) TranslateLine(addr mem.Addr) mem.Addr {
+	page := mem.PageOf(addr)
+	off := addr - page.Addr()
+	return p.frameOf(page).Addr() + off
+}
+
+// CheckIntegrity implements hmc.Manager.
+func (p *PageSeer) CheckIntegrity() error {
+	return p.ctl.Oracle.VerifyAll(func(d uint64) uint64 {
+		return uint64(p.frameOf(mem.PPN(d)))
+	})
+}
+
+func (p *PageSeer) residentDRAM(page mem.PPN) bool {
+	return p.ctl.Layout.IsDRAMPage(p.frameOf(page))
+}
+
+// pinned reports frames the Swap Driver must never relocate: controller
+// metadata and page tables.
+func (p *PageSeer) pinned(frame mem.PPN) bool {
+	a := frame.Addr()
+	if a >= p.prtRegion.Base && uint64(a-p.prtRegion.Base) < p.prtRegion.Bytes {
+		return true
+	}
+	if a >= p.pctRegion.Base && uint64(a-p.pctRegion.Base) < p.pctRegion.Bytes {
+		return true
+	}
+	return p.ctl.OS.IsPageTable(frame)
+}
+
+// HandleRequest implements hmc.Manager (flow of Section III-D1/D2).
+func (p *PageSeer) HandleRequest(r *hmc.Request) {
+	if r.Meta.IsPTE && !r.Meta.Writeback {
+		p.handlePTERequest(r)
+		return
+	}
+	page := mem.PageOf(r.Line)
+	if !r.Meta.Writeback && !r.Meta.PageWalk {
+		// Off-critical-path tracking: Filter/PCTc and the HPTs see the
+		// pre-remap address in parallel with the PRTc lookup.
+		p.trackMiss(r.Meta.PID, page)
+	}
+	// The PRTc stands on the critical path: the request cannot be routed
+	// until the remap entry is available.
+	p.prtc.Access(uint64(page), false, func() {
+		actual := p.TranslateLine(r.Line)
+		if r.Meta.Writeback {
+			if p.ctl.Engine.TryService(actual, func() {}) {
+				return
+			}
+			p.ctl.ServeMemory(r, actual)
+			return
+		}
+		if p.ctl.Engine.TryService(actual, func() { p.ctl.ServeBuffer(r) }) {
+			return
+		}
+		p.ctl.ServeMemory(r, actual)
+	})
+}
+
+// trackMiss updates the hot-page tables and the correlator, and evaluates
+// swap triggers.
+func (p *PageSeer) trackMiss(pid int, page mem.PPN) {
+	if t, ok := p.prefTracks[page]; ok {
+		t.count++
+	}
+	if p.residentDRAM(page) {
+		p.hptDRAM.Touch(page)
+	} else {
+		// Edge-triggered: the regular swap fires when the counter reaches
+		// the threshold, not on every miss past it, so a saturated Swap
+		// Driver is not flooded by re-requests from a single hot page. A
+		// declined request re-arms the trigger: the page stays one miss
+		// away from re-crossing.
+		if c := p.hptNVM.Touch(page); c == p.cfg.HPTThreshold {
+			if !p.requestSwap(page, SwapRegular) {
+				p.hptNVM.Set(page, p.cfg.HPTThreshold-1)
+			}
+		}
+	}
+	if p.corr.OnMiss(pid, page) {
+		// First miss of a new invocation: consult the PCTc (Section
+		// III-C2 trigger point).
+		p.evaluateCorrelation(page, SwapPrefetchPCT)
+	}
+}
+
+// evaluateCorrelation checks page's PCT entry (paying PCTc timing) and
+// requests prefetch swaps for the page and its follower when warranted.
+// The MMU-triggered evaluation fetches at demand priority: the hint path's
+// entire value is lead time over the replayed access.
+func (p *PageSeer) evaluateCorrelation(page mem.PPN, kind SwapKind) {
+	snap := p.corr.Snapshot(page)
+	access := p.pctc.Access
+	if kind == SwapPrefetchMMU {
+		access = func(key uint64, _ bool, done func()) { p.pctc.AccessUrgent(key, done) }
+	}
+	access(uint64(page), false, func() {
+		if snap.Count >= p.cfg.PCTThreshold && !p.residentDRAM(page) {
+			p.requestSwap(page, kind)
+		}
+		if p.cfg.NoCorr || !snap.HasFollower {
+			return
+		}
+		if snap.FollowerCount >= p.cfg.PCTThreshold {
+			// The follower will be prefetched: start loading its metadata
+			// early (Section V-B factor three — the earlier the PRTc entry
+			// is fetched, the better).
+			p.prtc.Prefetch(uint64(snap.Follower))
+			p.pctc.Prefetch(uint64(snap.Follower))
+			if !p.residentDRAM(snap.Follower) {
+				p.requestSwap(snap.Follower, kind)
+			}
+		}
+	})
+}
+
+// MMUHint implements hmc.Manager (Figure 3): obtain the PTE line, learn the
+// page, prefetch its metadata, and possibly start MMU-triggered swaps.
+func (p *PageSeer) MMUHint(h mmu.Hint) {
+	p.stats.HintsReceived++
+	fetch := func(done func()) {
+		// The PTE line lives in a page-table frame, which is pinned, so no
+		// translation is needed; fetch it from DRAM (action 2, Figure 3).
+		p.ctl.IssueLine(h.PTELine, false, hmc.PrioDemand, done)
+	}
+	p.pte.Obtain(h.PTELine, fetch, func() {
+		page := h.LeafPPN
+		p.prtc.Prefetch(uint64(page))
+		p.evaluateCorrelation(page, SwapPrefetchMMU)
+	})
+}
+
+// handlePTERequest intercepts LLC misses for PTE lines (Section III-D2).
+// Resident lines and lines with an in-flight hint fetch count as served by
+// the MMU Driver; a true miss pays a memory access and fills the cache.
+func (p *PageSeer) handlePTERequest(r *hmc.Request) {
+	line := mem.LineOf(r.Line)
+	driverHad := p.pte.Contains(line) || p.pte.Pending(line)
+	fetch := func(done func()) {
+		p.ctl.IssueLine(line, false, hmc.PrioDemand, done)
+	}
+	p.pte.Obtain(line, fetch, func() {
+		if driverHad {
+			p.ctl.ServePTECache(r, p.cfg.PTEServeLatency)
+		} else {
+			// The fetch we just issued was the memory access itself.
+			p.ctl.ServeDirect(r, hmc.SrcDRAM, p.cfg.PTEServeLatency)
+		}
+	})
+}
+
+// requestSwap asks the Swap Driver to move page (an NVM-resident page) to
+// DRAM. Deduplicates, applies the DMA freeze and the bandwidth heuristic,
+// and queues when the swap buffers are busy. Prefetch-kind requests queue
+// ahead of regular ones and upgrade a page already queued as regular. It
+// reports whether the request was accepted (false: declined by the
+// bandwidth heuristic or the queue bound — the trigger may re-arm).
+func (p *PageSeer) requestSwap(page mem.PPN, kind SwapKind) bool {
+	if p.residentDRAM(page) || p.inflight[page] != nil {
+		return true
+	}
+	if prev, queued := p.pendingKind[page]; queued {
+		// A stronger trigger upgrades a queued request in place: prefetch
+		// kinds beat regular, and the MMU hint beats the access-triggered
+		// path (when both fire for one page — the common case, since the
+		// hint and the replayed access race — the swap is MMU-initiated).
+		if kind > prev {
+			p.pendingKind[page] = kind
+			p.pendingPref = append(p.pendingPref, pendingSwap{page: page, kind: kind, at: p.sim.Now()})
+		}
+		return true
+	}
+	if p.ctl.FrozenByDMA(page) {
+		return false
+	}
+	if p.cfg.BWOpt && p.dramSaturated() {
+		p.stats.DeclinedBW++
+		return false
+	}
+	if !p.ctl.Engine.CanStart() {
+		return p.enqueue(page, kind)
+	}
+	p.startSwap(page, kind)
+	return true
+}
+
+func (p *PageSeer) enqueue(page mem.PPN, kind SwapKind) bool {
+	if len(p.pendingKind) >= maxPendingSwaps {
+		p.stats.DeclinedQueue++
+		return false
+	}
+	p.pendingKind[page] = kind
+	e := pendingSwap{page: page, kind: kind, at: p.sim.Now()}
+	if kind == SwapRegular {
+		p.pendingReg = append(p.pendingReg, e)
+	} else {
+		p.pendingPref = append(p.pendingPref, e)
+	}
+	return true
+}
+
+// popPending returns the next live queued request, prefetch swaps first.
+// Entries whose recorded kind no longer matches are stale (upgraded or
+// already handled) and are skipped.
+func (p *PageSeer) popPending() (pendingSwap, bool) {
+	now := p.sim.Now()
+	for _, q := range []*[]pendingSwap{&p.pendingPref, &p.pendingReg} {
+		for len(*q) > 0 {
+			e := (*q)[0]
+			*q = (*q)[1:]
+			k, ok := p.pendingKind[e.page]
+			if !ok || k != e.kind {
+				continue // stale duplicate (upgraded or handled)
+			}
+			delete(p.pendingKind, e.page)
+			if now-e.at > pendingStaleCycles {
+				p.stats.DeclinedQueue++
+				continue // expired: the flurry this served has passed
+			}
+			return e, true
+		}
+	}
+	return pendingSwap{}, false
+}
+
+// dramSaturated implements the Section V-B heuristic: decline swaps when
+// the DRAM channels are saturated and a large share of main-memory requests
+// is already satisfied from fast memory — moving more pages then costs
+// demand bandwidth without proportionate benefit. Saturation is a windowed
+// data-bus utilization, not an instantaneous queue depth, so bursty
+// memory-level parallelism does not masquerade as saturation.
+func (p *PageSeer) dramSaturated() bool {
+	st := p.ctl.Stats()
+	if st.DataDemand == 0 {
+		return false
+	}
+	fast := float64(st.ServedDRAM+st.ServedBuf) / float64(st.DataDemand)
+	if fast <= p.cfg.BWSatFraction {
+		return false
+	}
+	return p.dramUtilization() >= p.cfg.BWSatUtil
+}
+
+// dramUtilization returns the DRAM data-bus utilization over the previous
+// measurement window (lazily refreshed).
+func (p *PageSeer) dramUtilization() float64 {
+	now := p.sim.Now()
+	win := p.cfg.BWUtilWindow
+	if win == 0 {
+		win = 50_000
+	}
+	if now-p.utilCheckedAt >= win {
+		busy := p.ctl.DRAM.BusBusy()
+		if elapsed := now - p.utilCheckedAt; elapsed > 0 {
+			p.utilRecent = float64(busy-p.utilLastBusy) /
+				(float64(elapsed) * float64(p.ctl.DRAM.Channels()))
+		}
+		p.utilCheckedAt = now
+		p.utilLastBusy = busy
+	}
+	return p.utilRecent
+}
+
+// color returns the PRT set a page maps to; only same-color pages swap
+// (Figure 4).
+func (p *PageSeer) color(page mem.PPN) int { return int(uint64(page) % uint64(p.nColors)) }
+
+// pickVictim finds a DRAM frame of the given color to host an incoming NVM
+// page. Candidates rank: an unlocked (HPT-cold) frame beats a locked one,
+// a colder resident beats a hotter one, and unswapped beats swapped (a
+// plain 2R/2W exchange beats the 3R/3W optimized slow swap). Frames that
+// are pinned, frozen or mid-swap are never eligible. When every candidate
+// is warm, the least-hot resident is evicted — declining outright would
+// strand the hot NVM page, and ranking residents is what the DRAM HPT's
+// counters exist for.
+func (p *PageSeer) pickVictim(color int) (frame mem.PPN, partner mem.PPN, hasPartner, ok bool) {
+	dramPages := mem.PPN(p.ctl.Layout.DRAMPages())
+	start, exists := p.colorRR[color]
+	if !exists || start >= dramPages {
+		start = mem.PPN(color)
+	}
+
+	best := mem.PPN(0)
+	bestPartner := mem.PPN(0)
+	bestSwapped := false
+	bestScore := ^uint64(0)
+	found := false
+
+	f := start
+	for i := mem.PPN(0); i*mem.PPN(p.nColors) < dramPages; i++ {
+		if f >= dramPages {
+			f = mem.PPN(color)
+		}
+		if !p.pinned(f) && !p.ctl.FrozenByDMA(f) && p.inflight[f] == nil {
+			resident := f
+			pn, swapped := p.remap[f]
+			if swapped {
+				resident = pn
+			}
+			if !p.ctl.FrozenByDMA(resident) && p.inflight[resident] == nil {
+				score := uint64(p.hptDRAM.Count(resident)) << 1
+				if swapped {
+					score++
+				}
+				if score == 0 {
+					// Ideal victim: cold and unswapped.
+					p.colorRR[color] = f + mem.PPN(p.nColors)
+					return f, 0, false, true
+				}
+				if score < bestScore {
+					best, bestPartner, bestSwapped, bestScore = f, pn, swapped, score
+					found = true
+				}
+			}
+		}
+		f += mem.PPN(p.nColors)
+	}
+	if found {
+		p.colorRR[color] = best + mem.PPN(p.nColors)
+		return best, bestPartner, bestSwapped, true
+	}
+	return 0, 0, false, false
+}
+
+// startSwap builds and launches the swap operation for page -> DRAM.
+func (p *PageSeer) startSwap(page mem.PPN, kind SwapKind) {
+	if p.residentDRAM(page) || p.inflight[page] != nil {
+		return
+	}
+	if nPartner, displaced := p.remap[page]; displaced {
+		// page is a DRAM-original page whose data was pushed to NVM by an
+		// earlier swap and has become hot again: restore the pair to its
+		// original positions (the PRT design's only legal move).
+		p.startRestore(page, nPartner, kind)
+		return
+	}
+	frame, partner, hasPartner, ok := p.pickVictim(p.color(page))
+	if !ok {
+		p.stats.DeclinedNoVictim++
+		return
+	}
+	nSlot := page.Addr()  // the NVM page is at its home (PRT invariant)
+	dSlot := frame.Addr() // target DRAM frame
+	job := &swapJob{kind: kind, pages: []mem.PPN{page, frame}}
+
+	var op *hmc.Op
+	if !hasPartner {
+		// Plain exchange: the DRAM frame's own data goes to the NVM slot.
+		op = &hmc.Op{Stages: []hmc.Stage{{
+			{Src: nSlot, Dst: dSlot, Bytes: mem.PageSize},
+			{Src: dSlot, Dst: nSlot, Bytes: mem.PageSize},
+		}}}
+	} else {
+		// Optimized slow swap (Figure 5): the frame currently holds
+		// partner's data; partner returns home, the displaced DRAM page
+		// rides the buffer to the incoming page's slot.
+		p.stats.OptimizedSlow++
+		job.pages = append(job.pages, partner)
+		pSlot := partner.Addr()
+		op = &hmc.Op{Stages: []hmc.Stage{
+			{
+				{Src: dSlot, Dst: pSlot, Bytes: mem.PageSize},      // partner home
+				{Src: pSlot, Dst: hmc.NoAddr, Bytes: mem.PageSize}, // buffer DRAM page
+			},
+			{
+				{Src: nSlot, Dst: dSlot, Bytes: mem.PageSize},      // incoming page
+				{Src: hmc.NoAddr, Dst: nSlot, Bytes: mem.PageSize}, // drain DRAM page
+			},
+		}}
+	}
+	op.Tag = int(kind)
+	op.OnComplete = func() { p.completeSwap(page, frame, partner, hasPartner, job) }
+	if !p.ctl.Engine.Start(op) {
+		// Raced with another start; requeue.
+		p.enqueue(page, kind)
+		return
+	}
+	p.stats.SwapsStarted[kind]++
+	for _, pg := range job.pages {
+		p.inflight[pg] = job
+	}
+}
+
+// startRestore undoes the pair (nPartner, dPage): each page returns to its
+// original frame. dPage is the DRAM-original page, nPartner the NVM page
+// currently occupying its frame.
+func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind) {
+	if p.hptDRAM.Contains(nPartner) || p.inflight[nPartner] != nil ||
+		p.ctl.FrozenByDMA(nPartner) || p.ctl.FrozenByDMA(dPage) {
+		p.stats.DeclinedNoVictim++
+		return
+	}
+	dSlot := dPage.Addr()    // holds nPartner's data
+	nSlot := nPartner.Addr() // holds dPage's data
+	job := &swapJob{kind: kind, pages: []mem.PPN{dPage, nPartner}}
+	op := &hmc.Op{
+		Tag: int(kind),
+		Stages: []hmc.Stage{{
+			{Src: dSlot, Dst: nSlot, Bytes: mem.PageSize},
+			{Src: nSlot, Dst: dSlot, Bytes: mem.PageSize},
+		}},
+		OnComplete: func() {
+			delete(p.remap, dPage)
+			delete(p.remap, nPartner)
+			p.ctl.Oracle.Exchange(uint64(dPage), uint64(nPartner))
+			p.finalizeTrack(nPartner) // it just left DRAM
+			p.hptNVM.Remove(dPage)
+			p.ctl.IssueLine(p.prtRegion.EntryAddr(uint64(dPage)), true, hmc.PrioSwap, nil)
+			p.stats.SwapsCompleted[job.kind]++
+			for _, pg := range job.pages {
+				delete(p.inflight, pg)
+			}
+			for _, w := range job.waiters {
+				w()
+			}
+			p.drainPending()
+		},
+	}
+	if !p.ctl.Engine.Start(op) {
+		if _, queued := p.pendingKind[dPage]; !queued {
+			p.enqueue(dPage, kind)
+		}
+		return
+	}
+	p.stats.SwapsStarted[kind]++
+	for _, pg := range job.pages {
+		p.inflight[pg] = job
+	}
+}
+
+func (p *PageSeer) completeSwap(page, frame, partner mem.PPN, hasPartner bool, job *swapJob) {
+	if hasPartner {
+		// Net permutation: frame holds page's data, partner is home, the
+		// DRAM page's data sits in page's old NVM slot.
+		delete(p.remap, partner)
+		p.ctl.Oracle.Exchange(uint64(frame), uint64(page))
+		p.ctl.Oracle.Exchange(uint64(page), uint64(partner))
+		p.finalizeTrack(partner)
+	} else {
+		p.ctl.Oracle.Exchange(uint64(page), uint64(frame))
+	}
+	p.remap[page] = frame
+	p.remap[frame] = page
+
+	// Persist the PRT entry (one metadata line write) and refresh the PRTc.
+	p.ctl.IssueLine(p.prtRegion.EntryAddr(uint64(frame)), true, hmc.PrioSwap, nil)
+	p.prtc.Prefetch(uint64(page))
+
+	// Residence changed: restart hot-page tracking on the new tiers.
+	p.hptNVM.Remove(page)
+	if hasPartner {
+		p.hptNVM.Remove(partner)
+	}
+
+	p.stats.SwapsCompleted[job.kind]++
+	if job.kind != SwapRegular {
+		p.stats.PrefetchTracked++
+		p.prefTracks[page] = &prefTrack{kind: job.kind}
+	}
+
+	for _, pg := range job.pages {
+		delete(p.inflight, pg)
+	}
+	for _, w := range job.waiters {
+		w()
+	}
+	p.drainPending()
+}
+
+// finalizeTrack closes the accuracy window for a page leaving DRAM.
+func (p *PageSeer) finalizeTrack(page mem.PPN) {
+	t, ok := p.prefTracks[page]
+	if !ok {
+		return
+	}
+	delete(p.prefTracks, page)
+	if t.count >= p.cfg.AccuracyTarget {
+		p.stats.PrefetchAccurate++
+	}
+}
+
+func (p *PageSeer) drainPending() {
+	for p.ctl.Engine.CanStart() {
+		next, ok := p.popPending()
+		if !ok {
+			return
+		}
+		if p.residentDRAM(next.page) || p.inflight[next.page] != nil || p.ctl.FrozenByDMA(next.page) {
+			continue
+		}
+		p.startSwap(next.page, next.kind)
+	}
+}
+
+// FreezePage implements hmc.Manager (Section III-E).
+func (p *PageSeer) FreezePage(page mem.PPN, done func()) {
+	if job, ok := p.inflight[page]; ok {
+		job.waiters = append(job.waiters, done)
+		return
+	}
+	done()
+}
+
+// UnfreezePage implements hmc.Manager. The controller's frozen set already
+// gates new swaps; nothing else to restore.
+func (p *PageSeer) UnfreezePage(mem.PPN) {}
+
+// Finish flushes end-of-run state: the Filter folds into the PCT and all
+// open prefetch-accuracy windows close. Call once before reading stats.
+func (p *PageSeer) Finish() {
+	p.corr.Flush()
+	for page := range p.prefTracks {
+		p.finalizeTrack(page)
+	}
+}
+
+// PrefetchAccuracy returns Figure 9's metric: the fraction of prefetch
+// swaps whose page earned at least AccuracyTarget DRAM accesses.
+func (p *PageSeer) PrefetchAccuracy() float64 {
+	if p.stats.PrefetchTracked == 0 {
+		return 1
+	}
+	return float64(p.stats.PrefetchAccurate) / float64(p.stats.PrefetchTracked)
+}
+
+// SwappedPages returns the number of page pairs currently exchanged.
+func (p *PageSeer) SwappedPages() int { return len(p.remap) / 2 }
+
+// DumpState formats a short diagnostic summary.
+func (p *PageSeer) DumpState() string {
+	return fmt.Sprintf("%s: %d pairs swapped, %d in flight, %d pending, swaps=%v",
+		p.Name(), p.SwappedPages(), len(p.inflight), len(p.pendingKind), p.stats.SwapsCompleted)
+}
+
+// ResetStats zeroes the PageSeer counters (e.g. after warm-up). Trained
+// state — PCT history, HPT counters, remappings — is deliberately kept.
+func (p *PageSeer) ResetStats() {
+	p.stats = Stats{}
+	p.prtc.ResetStats()
+	p.pctc.ResetStats()
+	for page := range p.prefTracks {
+		delete(p.prefTracks, page)
+	}
+}

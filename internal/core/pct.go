@@ -1,0 +1,275 @@
+package core
+
+import "pageseer/internal/mem"
+
+// PCTEntry is the architectural content of one Page Correlation Table
+// entry (Figure 6): the per-invocation LLC-miss count of a leader page and
+// the identity and count of its most likely follower.
+type PCTEntry struct {
+	Count         uint32
+	Follower      mem.PPN
+	FollowerCount uint32
+	HasFollower   bool
+}
+
+type successor struct {
+	page  mem.PPN
+	n     uint32
+	valid bool
+}
+
+// filterEntry mirrors the Filter table entry of Figure 6: leader PPN and
+// PID, the count accumulated during the current invocation, and two
+// follower slots (the PCT's existing follower plus one new candidate).
+type filterEntry struct {
+	pid    int
+	leader mem.PPN
+	old    PCTEntry // snapshot brought in from the PCT
+	count  uint32   // misses observed this invocation
+	succ   [2]successor
+	lru    uint64
+}
+
+// CorrelatorStats counts correlation activity.
+type CorrelatorStats struct {
+	Invocations         uint64 // leader changes (new flurries)
+	Writebacks          uint64 // filter entries folded back into the PCT
+	EffectiveWritebacks uint64 // of those, ones that change swap decisions
+	FollowerChanges     uint64
+}
+
+// Correlator implements the Page Correlation Table and its Filter front-end
+// (Section III-C2). The full PCT lives architecturally in a Go map (its
+// DRAM timing is modelled by the PCTc MetaCache in the manager); the Filter
+// tracks the currently-flurrying pages and folds fresh counts back into the
+// PCT with history halving: new = current + old/2.
+type Correlator struct {
+	cfg     Config
+	pct     map[mem.PPN]PCTEntry
+	filter  map[mem.PPN]*filterEntry
+	active  map[int]mem.PPN // pid -> current leader
+	hasLead map[int]bool
+	tick    uint64
+	stats   CorrelatorStats
+	// onWriteback lets the manager mark the PCTc entry dirty when the fold
+	// effectively changes a swap decision (the change bit of Figure 6).
+	onWriteback func(leader mem.PPN, effective bool)
+}
+
+// NewCorrelator builds an empty correlator.
+func NewCorrelator(cfg Config, onWriteback func(mem.PPN, bool)) *Correlator {
+	if onWriteback == nil {
+		onWriteback = func(mem.PPN, bool) {}
+	}
+	return &Correlator{
+		cfg:         cfg,
+		pct:         make(map[mem.PPN]PCTEntry),
+		filter:      make(map[mem.PPN]*filterEntry),
+		active:      make(map[int]mem.PPN),
+		hasLead:     make(map[int]bool),
+		onWriteback: onWriteback,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Correlator) Stats() CorrelatorStats { return c.stats }
+
+// Snapshot returns the freshest architectural view of page's PCT entry:
+// the in-Filter state if resident, else the PCT itself.
+func (c *Correlator) Snapshot(page mem.PPN) PCTEntry {
+	if fe, ok := c.filter[page]; ok {
+		return fe.old
+	}
+	return c.pct[page]
+}
+
+// PCTSize returns the number of pages with PCT state (for footprint stats).
+func (c *Correlator) PCTSize() int { return len(c.pct) }
+
+// OnMiss records one data LLC miss by pid on page. It returns true when the
+// miss starts a new invocation of page (the "first miss" that Section
+// III-C2 uses as the prefetch-swap trigger point).
+func (c *Correlator) OnMiss(pid int, page mem.PPN) (firstMiss bool) {
+	if c.hasLead[pid] && c.active[pid] == page {
+		fe := c.filter[page]
+		if fe != nil && fe.count < c.cfg.CounterMax {
+			fe.count++
+		}
+		return false
+	}
+
+	// Leader change: page follows the previous leader.
+	if c.hasLead[pid] {
+		if prev, ok := c.filter[c.active[pid]]; ok && prev.pid == pid {
+			c.observeSuccessor(prev, page)
+		}
+	}
+	c.active[pid] = page
+	c.hasLead[pid] = true
+	c.stats.Invocations++
+
+	fe, ok := c.filter[page]
+	if ok {
+		// Re-activation while still filtered: fold the previous invocation
+		// into history and start a fresh count.
+		fe.old = c.folded(fe)
+		fe.count = 1
+		c.touch(fe)
+		return true
+	}
+	// Bring the PCT entry into the Filter (evicting LRU if full).
+	if len(c.filter) >= c.cfg.FilterEntries {
+		c.evictLRU()
+	}
+	fe = &filterEntry{pid: pid, leader: page, old: c.pct[page], count: 1}
+	if fe.old.HasFollower {
+		fe.succ[0] = successor{page: fe.old.Follower, valid: true}
+	}
+	c.filter[page] = fe
+	c.touch(fe)
+	return true
+}
+
+// observeSuccessor records that succ followed prev's flurry. Slot 0 holds
+// the PCT's existing follower; slot 1 holds one new candidate, replaced
+// CLOCK-style when repeatedly contradicted.
+func (c *Correlator) observeSuccessor(prev *filterEntry, succ mem.PPN) {
+	if c.cfg.NoCorr || succ == prev.leader {
+		return
+	}
+	for i := range prev.succ {
+		if prev.succ[i].valid && prev.succ[i].page == succ {
+			if prev.succ[i].n < c.cfg.CounterMax {
+				prev.succ[i].n++
+			}
+			return
+		}
+	}
+	s := &prev.succ[1]
+	if !s.valid {
+		*s = successor{page: succ, n: 1, valid: true}
+		return
+	}
+	if s.n > 0 {
+		s.n--
+		return
+	}
+	*s = successor{page: succ, n: 1, valid: true}
+}
+
+func (c *Correlator) touch(fe *filterEntry) {
+	c.tick++
+	fe.lru = c.tick
+}
+
+func (c *Correlator) evictLRU() {
+	var victim *filterEntry
+	for _, fe := range c.filter {
+		// Avoid evicting a currently-active leader while alternatives exist.
+		activeLeader := c.hasLead[fe.pid] && c.active[fe.pid] == fe.leader
+		if victim == nil {
+			victim = fe
+			continue
+		}
+		victimActive := c.hasLead[victim.pid] && c.active[victim.pid] == victim.leader
+		switch {
+		case victimActive && !activeLeader:
+			victim = fe
+		case victimActive == activeLeader && fe.lru < victim.lru:
+			victim = fe
+		}
+	}
+	if victim != nil {
+		c.writeback(victim)
+	}
+}
+
+// folded returns the entry produced by folding the filter state into the
+// old snapshot: count = current + old/2, follower = best-observed successor.
+func (c *Correlator) folded(fe *filterEntry) PCTEntry {
+	e := PCTEntry{Count: fe.count + fe.old.Count/2}
+	if e.Count > c.cfg.CounterMax {
+		e.Count = c.cfg.CounterMax
+	}
+	if c.cfg.NoCorr {
+		return e
+	}
+	best := -1
+	for i, s := range fe.succ {
+		if s.valid && (best == -1 || s.n > fe.succ[best].n) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		f := fe.succ[best].page
+		e.Follower = f
+		e.HasFollower = true
+		// The follower's per-invocation miss count is the same quantity its
+		// own leader entry tracks; read the freshest view (Section III-C2
+		// keeps a separate counter — this model reads the follower's own
+		// state, which carries the same value with less plumbing).
+		e.FollowerCount = c.liveCount(f)
+		if e.FollowerCount == 0 {
+			e.FollowerCount = fe.succ[best].n
+		}
+	}
+	return e
+}
+
+// liveCount estimates a page's per-invocation miss count including any
+// in-progress invocation still accumulating in the Filter.
+func (c *Correlator) liveCount(page mem.PPN) uint32 {
+	if fe, ok := c.filter[page]; ok {
+		n := fe.count + fe.old.Count/2
+		if hist := fe.old.Count; hist > n {
+			n = hist
+		}
+		if n > c.cfg.CounterMax {
+			n = c.cfg.CounterMax
+		}
+		return n
+	}
+	return c.pct[page].Count
+}
+
+func (c *Correlator) writeback(fe *filterEntry) {
+	newEntry := c.folded(fe)
+	old := c.pct[fe.leader]
+	effective := c.effectiveChange(old, newEntry)
+	if newEntry.HasFollower && (!old.HasFollower || old.Follower != newEntry.Follower) {
+		c.stats.FollowerChanges++
+	}
+	c.pct[fe.leader] = newEntry
+	delete(c.filter, fe.leader)
+	c.stats.Writebacks++
+	if effective {
+		c.stats.EffectiveWritebacks++
+	}
+	c.onWriteback(fe.leader, effective)
+}
+
+// effectiveChange implements the change bit: a writeback matters only if it
+// flips a swap decision for any involved page (Section III-C2). Learning a
+// sub-threshold follower, or count drift on the same side of the threshold,
+// changes no swap action and is not effective.
+func (c *Correlator) effectiveChange(old, new PCTEntry) bool {
+	t := c.cfg.PCTThreshold
+	if (old.Count >= t) != (new.Count >= t) {
+		return true
+	}
+	oldF := old.HasFollower && old.FollowerCount >= t
+	newF := new.HasFollower && new.FollowerCount >= t
+	if oldF != newF {
+		return true
+	}
+	return oldF && newF && old.Follower != new.Follower
+}
+
+// Flush writes every filter entry back to the PCT (end of simulation).
+func (c *Correlator) Flush() {
+	for _, fe := range c.filter {
+		c.writeback(fe)
+	}
+	c.active = make(map[int]mem.PPN)
+	c.hasLead = make(map[int]bool)
+}

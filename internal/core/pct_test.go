@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pageseer/internal/mem"
+)
+
+func corrConfig() Config {
+	c := DefaultConfig()
+	c.FilterEntries = 8
+	return c
+}
+
+func TestFirstMissDetection(t *testing.T) {
+	c := NewCorrelator(corrConfig(), nil)
+	if !c.OnMiss(1, 100) {
+		t.Fatal("first miss not detected")
+	}
+	for i := 0; i < 5; i++ {
+		if c.OnMiss(1, 100) {
+			t.Fatal("repeat miss flagged as first")
+		}
+	}
+	if !c.OnMiss(1, 200) {
+		t.Fatal("leader change not flagged as first miss")
+	}
+}
+
+func TestCountFoldingWithHalving(t *testing.T) {
+	c := NewCorrelator(corrConfig(), nil)
+	// Invocation 1: 20 misses on page 100.
+	for i := 0; i < 20; i++ {
+		c.OnMiss(1, 100)
+	}
+	c.OnMiss(1, 200) // end the flurry
+	// Re-activate 100: the filter folds 20 + 0/2 = 20 into history.
+	c.OnMiss(1, 100)
+	if got := c.Snapshot(100).Count; got != 20 {
+		t.Fatalf("after first fold Count = %d, want 20", got)
+	}
+	// Invocation 2: 10 more misses (total count 11 incl. the reactivating
+	// one), then fold: 11 + 20/2 = 21.
+	for i := 0; i < 10; i++ {
+		c.OnMiss(1, 100)
+	}
+	c.OnMiss(1, 200)
+	c.OnMiss(1, 100)
+	if got := c.Snapshot(100).Count; got != 21 {
+		t.Fatalf("after second fold Count = %d, want 21", got)
+	}
+}
+
+func TestFollowerLearning(t *testing.T) {
+	c := NewCorrelator(corrConfig(), nil)
+	// Pattern: 100 (flurry) then 200 (flurry), repeated.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 16; i++ {
+			c.OnMiss(1, 100)
+		}
+		for i := 0; i < 16; i++ {
+			c.OnMiss(1, 200)
+		}
+	}
+	c.Flush()
+	e := c.Snapshot(100)
+	if !e.HasFollower || e.Follower != 200 {
+		t.Fatalf("follower of 100 = %+v, want 200", e)
+	}
+	if e.FollowerCount == 0 {
+		t.Fatal("follower count not learned")
+	}
+}
+
+func TestFollowerChangesAdaptively(t *testing.T) {
+	c := NewCorrelator(corrConfig(), nil)
+	run := func(follower mem.PPN, rounds int) {
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < 16; i++ {
+				c.OnMiss(1, 100)
+			}
+			for i := 0; i < 16; i++ {
+				c.OnMiss(1, follower)
+			}
+		}
+	}
+	run(200, 3)
+	c.Flush()
+	// The pattern changes: 100 is now followed by 300, persistently.
+	run(300, 6)
+	c.Flush()
+	if e := c.Snapshot(100); !e.HasFollower || e.Follower != 300 {
+		t.Fatalf("follower did not adapt: %+v", e)
+	}
+}
+
+func TestPIDSeparation(t *testing.T) {
+	c := NewCorrelator(corrConfig(), nil)
+	// Interleaved misses from two processes must not create cross-process
+	// follower links.
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 16; i++ {
+			c.OnMiss(1, 100)
+			c.OnMiss(2, 900)
+		}
+		for i := 0; i < 16; i++ {
+			c.OnMiss(1, 200)
+			c.OnMiss(2, 800)
+		}
+	}
+	c.Flush()
+	if e := c.Snapshot(100); e.HasFollower && e.Follower == 900 {
+		t.Fatal("correlated pages across PIDs")
+	}
+	if e := c.Snapshot(100); !e.HasFollower || e.Follower != 200 {
+		t.Fatalf("per-PID follower lost: %+v", e)
+	}
+}
+
+func TestNoCorrDisablesFollowers(t *testing.T) {
+	cfg := corrConfig()
+	cfg.NoCorr = true
+	c := NewCorrelator(cfg, nil)
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 16; i++ {
+			c.OnMiss(1, 100)
+		}
+		for i := 0; i < 16; i++ {
+			c.OnMiss(1, 200)
+		}
+	}
+	c.Flush()
+	if e := c.Snapshot(100); e.HasFollower {
+		t.Fatalf("NoCorr still learned a follower: %+v", e)
+	}
+	if c.Snapshot(100).Count == 0 {
+		t.Fatal("NoCorr lost leader counting")
+	}
+}
+
+func TestEffectiveChangeBit(t *testing.T) {
+	var calls []bool
+	cfg := corrConfig()
+	c := NewCorrelator(cfg, func(_ mem.PPN, eff bool) { calls = append(calls, eff) })
+	// A tiny flurry (below threshold, no follower): writeback should be
+	// ineffective — no swap decision changes.
+	c.OnMiss(1, 100)
+	c.OnMiss(1, 200)
+	c.Flush()
+	for _, eff := range calls {
+		if eff {
+			t.Fatal("sub-threshold writeback marked effective")
+		}
+	}
+	calls = nil
+	// A long flurry crosses the threshold: effective.
+	c2 := NewCorrelator(cfg, func(_ mem.PPN, eff bool) { calls = append(calls, eff) })
+	for i := 0; i < 20; i++ {
+		c2.OnMiss(1, 100)
+	}
+	c2.Flush()
+	if len(calls) != 1 || !calls[0] {
+		t.Fatalf("threshold-crossing writeback not effective: %v", calls)
+	}
+}
+
+func TestFilterEviction(t *testing.T) {
+	cfg := corrConfig()
+	cfg.FilterEntries = 4
+	c := NewCorrelator(cfg, nil)
+	// Touch more leaders than the filter holds; old ones must be written
+	// back to the PCT, preserving their counts.
+	for p := mem.PPN(0); p < 8; p++ {
+		for i := 0; i < 16; i++ {
+			c.OnMiss(1, p)
+		}
+	}
+	if len(c.filter) > 4 {
+		t.Fatalf("filter holds %d entries, cap 4", len(c.filter))
+	}
+	if c.Stats().Writebacks == 0 {
+		t.Fatal("no writebacks despite eviction pressure")
+	}
+	if got := c.Snapshot(0).Count; got != 16 {
+		t.Fatalf("evicted leader count = %d, want 16", got)
+	}
+}
+
+// Property: the correlator never loses leader counts — after a flush, each
+// page's PCT count equals the folded sequence computed by a reference model.
+func TestFoldingMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := corrConfig()
+		cfg.FilterEntries = 64 // large enough to avoid mid-run evictions
+		c := NewCorrelator(cfg, nil)
+		ref := map[mem.PPN]uint32{} // folded history per page
+		cur := map[mem.PPN]uint32{} // current invocation counts
+		var leader mem.PPN
+		hasLeader := false
+		fold := func(p mem.PPN) {
+			n := cur[p] + ref[p]/2
+			if n > cfg.CounterMax {
+				n = cfg.CounterMax
+			}
+			ref[p] = n
+			cur[p] = 0
+		}
+		for op := 0; op < 400; op++ {
+			p := mem.PPN(rng.Intn(6))
+			if hasLeader && p != leader {
+				// new invocation of p begins
+				if _, inFlight := cur[p]; inFlight && cur[p] > 0 {
+					fold(p)
+				}
+			}
+			if !hasLeader || p != leader {
+				if cur[p] > 0 {
+					// handled above
+				}
+				leader, hasLeader = p, true
+			}
+			if cur[p] < cfg.CounterMax {
+				cur[p]++
+			}
+			c.OnMiss(1, p)
+		}
+		for p := range cur {
+			if cur[p] > 0 {
+				fold(p)
+			}
+		}
+		c.Flush()
+		for p, want := range ref {
+			if got := c.Snapshot(p).Count; got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package cpu models the processor side of the simulation: trace-driven
+// cores with a bounded out-of-order memory window, issuing translated
+// accesses into their private cache hierarchies.
+//
+// The core model is deliberately simple — the paper's evaluation is a
+// memory-system study — but captures the two properties that decide IPC in
+// such studies: non-memory instructions retire at one per cycle, and up to
+// MaxOutstanding memory operations overlap (memory-level parallelism), so
+// main-memory latency is partially hidden exactly as an OoO window hides it.
+package cpu
+
+import (
+	"pageseer/internal/cache"
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+	"pageseer/internal/mmu"
+	"pageseer/internal/workload"
+)
+
+// CoreConfig sizes one core's execution model.
+type CoreConfig struct {
+	// MaxOutstanding is the memory-level-parallelism window: how many
+	// memory operations may be in flight at once (ROB/MSHR bound).
+	MaxOutstanding int
+}
+
+// DefaultCoreConfig returns an 8-deep memory window, the memory-level
+// parallelism the 4-wide out-of-order cores of Table I sustain on the
+// memory-intensive workloads of the evaluation.
+func DefaultCoreConfig() CoreConfig { return CoreConfig{MaxOutstanding: 8} }
+
+// CoreStats reports one core's progress.
+type CoreStats struct {
+	Instructions uint64
+	MemOps       uint64
+	StartCycle   uint64
+	FinishCycle  uint64
+	Done         bool
+}
+
+// IPC returns instructions per cycle over the core's active window.
+func (s CoreStats) IPC() float64 {
+	if s.FinishCycle <= s.StartCycle {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.FinishCycle-s.StartCycle)
+}
+
+// Core executes one workload trace through an MMU and an L1 cache.
+type Core struct {
+	sim *engine.Sim
+	id  int
+	pid int
+	cfg CoreConfig
+
+	mmu *mmu.MMU
+	l1  *cache.Cache
+	gen workload.Generator
+
+	budget      uint64
+	outstanding int
+	frontTime   uint64 // frontend's instruction clock
+	pumping     bool
+
+	stats  CoreStats
+	onDone func(*Core)
+}
+
+// NewCore wires a core to its MMU, L1, and trace generator.
+func NewCore(sim *engine.Sim, id, pid int, cfg CoreConfig, m *mmu.MMU, l1 *cache.Cache, gen workload.Generator) *Core {
+	if cfg.MaxOutstanding < 1 {
+		cfg.MaxOutstanding = 1
+	}
+	return &Core{sim: sim, id: id, pid: pid, cfg: cfg, mmu: m, l1: l1, gen: gen}
+}
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() CoreStats { return c.stats }
+
+// ID returns the core number.
+func (c *Core) ID() int { return c.id }
+
+// PID returns the process the core runs.
+func (c *Core) PID() int { return c.pid }
+
+// MMU returns the core's MMU (for stats aggregation).
+func (c *Core) MMU() *mmu.MMU { return c.mmu }
+
+// L1 returns the core's L1 cache.
+func (c *Core) L1() *cache.Cache { return c.l1 }
+
+// RunTo (re)starts the core with a new cumulative instruction budget.
+// onDone fires once the budget is retired and all in-flight memory
+// operations have drained. Call again with a larger budget to continue
+// (e.g. measurement after warm-up).
+func (c *Core) RunTo(budget uint64, onDone func(*Core)) {
+	if budget <= c.stats.Instructions {
+		panic("cpu: RunTo budget already retired")
+	}
+	c.budget = budget
+	c.onDone = onDone
+	c.stats.Done = false
+	if c.stats.StartCycle == 0 && c.stats.Instructions == 0 {
+		c.stats.StartCycle = c.sim.Now()
+	}
+	// Kick the pump from the event loop so RunTo composes with a running sim.
+	c.sim.After(0, c.pump)
+}
+
+// MarkEpoch resets the per-epoch accounting (start cycle and instruction
+// base) so IPC can be measured over the post-warm-up window only.
+func (c *Core) MarkEpoch() {
+	c.stats.StartCycle = c.sim.Now()
+	c.stats.Instructions = 0
+	c.stats.MemOps = 0
+	// Keep the budget coherent: RunTo budgets are cumulative over the
+	// epoch's instruction counter, which just reset.
+	c.budget = 0
+}
+
+// pump keeps the window full: it generates accesses and schedules their
+// issue at the frontend clock until the window or the budget is exhausted.
+func (c *Core) pump() {
+	if c.pumping {
+		return
+	}
+	c.pumping = true
+	defer func() { c.pumping = false }()
+
+	for !c.stats.Done && c.outstanding < c.cfg.MaxOutstanding {
+		if c.stats.Instructions >= c.budget {
+			if c.outstanding == 0 {
+				c.finish()
+			}
+			return
+		}
+		a := c.gen.Next()
+		c.stats.Instructions += uint64(a.Gap) + 1
+		c.stats.MemOps++
+		if c.frontTime < c.sim.Now() {
+			c.frontTime = c.sim.Now()
+		}
+		c.frontTime += uint64(a.Gap)
+		c.outstanding++
+		acc := a
+		c.sim.At(c.frontTime, func() { c.issue(acc) })
+	}
+}
+
+func (c *Core) issue(a workload.Access) {
+	c.mmu.Translate(a.VA, func(ppn mem.PPN) {
+		pa := ppn.Addr() + mem.Addr(mem.PageOffset(a.VA))
+		meta := cache.Meta{Core: c.id, PID: c.pid}
+		c.l1.Access(pa, a.Write, meta, func() {
+			c.outstanding--
+			if c.stats.Instructions >= c.budget && c.outstanding == 0 && !c.stats.Done {
+				c.finish()
+				return
+			}
+			c.pump()
+		})
+	})
+}
+
+func (c *Core) finish() {
+	c.stats.Done = true
+	c.stats.FinishCycle = c.sim.Now()
+	if c.onDone != nil {
+		c.onDone(c)
+	}
+}

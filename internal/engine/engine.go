@@ -1,0 +1,117 @@
+// Package engine provides the deterministic discrete-event core that every
+// timed component of the simulator is built on.
+//
+// Time is measured in CPU cycles (uint64). Components schedule closures at
+// absolute or relative cycles; the Sim drains them in (cycle, insertion
+// order) so runs are fully deterministic and repeatable.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled closure. seq breaks ties between events scheduled for
+// the same cycle, preserving insertion order.
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator clock and event queue.
+// The zero value is not ready to use; call New.
+type Sim struct {
+	pq   eventHeap
+	now  uint64
+	seq  uint64
+	fire uint64 // events executed, for stats/debugging
+}
+
+// New returns an empty simulator positioned at cycle 0.
+func New() *Sim {
+	s := &Sim{}
+	heap.Init(&s.pq)
+	return s
+}
+
+// Now returns the current simulation cycle.
+func (s *Sim) Now() uint64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fire }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Sim) Pending() int { return s.pq.Len() }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the past
+// panics: it always indicates a component bug, and silently reordering time
+// would corrupt every timing statistic downstream.
+func (s *Sim) At(cycle uint64, fn func()) {
+	if cycle < s.now {
+		panic(fmt.Sprintf("engine: scheduling at cycle %d before now %d", cycle, s.now))
+	}
+	s.seq++
+	heap.Push(&s.pq, event{cycle: cycle, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (s *Sim) After(delay uint64, fn func()) {
+	s.At(s.now+delay, fn)
+}
+
+// Step executes the next event, advancing the clock to its cycle.
+// It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	if s.pq.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pq).(event)
+	s.now = e.cycle
+	s.fire++
+	e.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event lies
+// beyond the given cycle. The clock is left at the last executed event (or
+// moved to `cycle` if it drained early), never beyond cycle.
+func (s *Sim) RunUntil(cycle uint64) {
+	for s.pq.Len() > 0 && s.pq[0].cycle <= cycle {
+		s.Step()
+	}
+	if s.now < cycle {
+		s.now = cycle
+	}
+}
+
+// Drain executes events until none remain. maxEvents bounds runaway
+// self-scheduling loops; Drain panics if exceeded (0 means no bound).
+func (s *Sim) Drain(maxEvents uint64) {
+	var n uint64
+	for s.Step() {
+		n++
+		if maxEvents != 0 && n > maxEvents {
+			panic("engine: Drain exceeded maxEvents; runaway event loop?")
+		}
+	}
+}

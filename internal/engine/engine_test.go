@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySim(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("new sim clock = %d, want 0", s.Now())
+	}
+	if s.Step() {
+		t.Fatal("Step on empty sim returned true")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(10, func() { got = append(got, 1) })
+	s.At(5, func() { got = append(got, 0) })
+	s.At(10, func() { got = append(got, 2) }) // same cycle: insertion order
+	s.At(20, func() { got = append(got, 3) })
+	s.Drain(0)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 20 {
+		t.Fatalf("final clock %d, want 20", s.Now())
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New()
+	var fired uint64
+	s.At(100, func() {
+		s.After(7, func() { fired = s.Now() })
+	})
+	s.Drain(0)
+	if fired != 107 {
+		t.Fatalf("After fired at %d, want 107", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(10, func() {})
+	})
+	s.Drain(0)
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	s := New()
+	var fired []uint64
+	for _, c := range []uint64{5, 10, 15, 20} {
+		c := c
+		s.At(c, func() { fired = append(fired, c) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("fired %v, want [5 10]", fired)
+	}
+	if s.Now() != 12 {
+		t.Fatalf("clock %d, want 12", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenEmpty(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("clock %d, want 42", s.Now())
+	}
+}
+
+func TestDrainPanicsOnRunaway(t *testing.T) {
+	s := New()
+	var loop func()
+	loop = func() { s.After(1, loop) }
+	s.At(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("Drain did not panic on runaway loop")
+		}
+	}()
+	s.Drain(1000)
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 17; i++ {
+		s.At(uint64(i), func() {})
+	}
+	s.Drain(0)
+	if s.Fired() != 17 {
+		t.Fatalf("Fired = %d, want 17", s.Fired())
+	}
+}
+
+// Property: regardless of the insertion order of events, they execute in
+// non-decreasing cycle order, and events with equal cycles execute in
+// insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%100) + 1
+		cycles := make([]uint64, n)
+		for i := range cycles {
+			cycles[i] = uint64(rng.Intn(50)) // dense range forces ties
+		}
+		s := New()
+		type rec struct {
+			cycle uint64
+			idx   int
+		}
+		var got []rec
+		for i, c := range cycles {
+			i, c := i, c
+			s.At(c, func() { got = append(got, rec{c, i}) })
+		}
+		s.Drain(0)
+		if len(got) != n {
+			return false
+		}
+		// Expected: stable sort of (cycle, insertion index).
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return cycles[idx[a]] < cycles[idx[b]] })
+		for i, r := range got {
+			if r.idx != idx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested scheduling never observes a clock earlier than the
+// scheduling event's cycle.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		ok := true
+		var last uint64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+			if depth <= 0 {
+				return
+			}
+			for i := 0; i < 2; i++ {
+				d := uint64(rng.Intn(10))
+				s.After(d, func() { spawn(depth - 1) })
+			}
+		}
+		s.At(0, func() { spawn(6) })
+		s.Drain(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

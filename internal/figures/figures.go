@@ -1,0 +1,141 @@
+// Package figures regenerates every table and figure of the PageSeer
+// paper's evaluation (Section V) from simulation runs: the per-suite
+// service and effectiveness breakdowns (Figures 7-8), prefetch-swap
+// accuracy and composition (Figures 9-10), the bandwidth-heuristic swap
+// rates (Figure 11), page-walk statistics (Figure 12), PRTc waiting time
+// versus PoM (Figure 13), the headline IPC/AMMAT comparison (Figure 14),
+// and the PageSeer-NoCorr ablation of Section V-C.
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"pageseer/internal/sim"
+	"pageseer/internal/workload"
+)
+
+// Options configures a harness campaign.
+type Options struct {
+	// Scale, InstrPerCore, Warmup, Seed mirror sim.Config.
+	Scale        int
+	InstrPerCore uint64
+	Warmup       uint64
+	Seed         uint64
+	// Workloads selects a subset (nil = all 26 of Table III).
+	Workloads []string
+	// MaxCores caps core counts for quick runs (0 = paper counts).
+	MaxCores int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// DefaultOptions runs the full 26-workload campaign at the default scale.
+func DefaultOptions() Options {
+	d := sim.DefaultConfig()
+	return Options{
+		Scale:        d.Scale,
+		InstrPerCore: d.InstrPerCore,
+		Warmup:       d.Warmup,
+		Seed:         1,
+		Workloads:    workload.AllWorkloadNames(),
+	}
+}
+
+// QuickOptions runs a reduced campaign (subset of workloads, smaller
+// budgets, capped cores) for benches and smoke checks.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.InstrPerCore = 400_000
+	o.Warmup = 250_000
+	o.MaxCores = 4
+	o.Workloads = []string{"lbm", "GemsFDTD", "miniFE", "barnes", "mix6"}
+	return o
+}
+
+type runKey struct {
+	workload  string
+	scheme    sim.Scheme
+	disableBW bool
+}
+
+// Runner executes and memoises simulation runs so every figure sharing a
+// configuration reuses the same measurement.
+type Runner struct {
+	opts  Options
+	cache map[runKey]sim.Results
+}
+
+// NewRunner builds a runner for the given options.
+func NewRunner(opts Options) *Runner {
+	if len(opts.Workloads) == 0 {
+		opts.Workloads = workload.AllWorkloadNames()
+	}
+	return &Runner{opts: opts, cache: make(map[runKey]sim.Results)}
+}
+
+// Workloads returns the campaign's workload list.
+func (r *Runner) Workloads() []string { return r.opts.Workloads }
+
+// Run returns the (cached) results for one workload under one scheme.
+func (r *Runner) Run(wl string, scheme sim.Scheme) (sim.Results, error) {
+	return r.run(wl, scheme, false)
+}
+
+// RunNoBWOpt returns PageSeer results with the Swap Driver bandwidth
+// heuristic disabled (Figure 11's second bar).
+func (r *Runner) RunNoBWOpt(wl string) (sim.Results, error) {
+	return r.run(wl, sim.SchemePageSeer, true)
+}
+
+func (r *Runner) run(wl string, scheme sim.Scheme, disableBW bool) (sim.Results, error) {
+	k := runKey{workload: wl, scheme: scheme, disableBW: disableBW}
+	if res, ok := r.cache[k]; ok {
+		return res, nil
+	}
+	cfg := sim.Config{
+		Scheme:       scheme,
+		Workload:     wl,
+		Scale:        r.opts.Scale,
+		InstrPerCore: r.opts.InstrPerCore,
+		Warmup:       r.opts.Warmup,
+		Seed:         r.opts.Seed,
+		MaxCores:     r.opts.MaxCores,
+		DisableBWOpt: disableBW,
+	}
+	sys, err := sim.Build(cfg)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return sim.Results{}, fmt.Errorf("figures: %s/%s: %w", wl, scheme, err)
+	}
+	r.cache[k] = res
+	if r.opts.Progress != nil {
+		d, n, b := res.ServiceBreakdown()
+		fmt.Fprintf(r.opts.Progress, "ran %-12s %-16s ipc=%.3f ammat=%.0f dram/nvm/buf=%.2f/%.2f/%.3f\n",
+			wl, schemeLabel(scheme, disableBW), res.IPC, res.AMMAT, d, n, b)
+	}
+	return res, nil
+}
+
+func schemeLabel(s sim.Scheme, disableBW bool) string {
+	if s == sim.SchemePageSeer && disableBW {
+		return "pageseer-nobw"
+	}
+	return string(s)
+}
+
+// suiteOrder fixes the row order of per-suite figures.
+var suiteOrder = []string{"SPEC", "Splash-3", "CORAL", "Mixes"}
+
+// groupBySuite returns the campaign workloads grouped per suite.
+func (r *Runner) groupBySuite() map[string][]string {
+	g := make(map[string][]string)
+	for _, w := range r.opts.Workloads {
+		s := workload.Suite(w)
+		g[s] = append(g[s], w)
+	}
+	return g
+}

@@ -1,0 +1,314 @@
+// Package hmc provides the Hybrid Memory Controller framework shared by
+// PageSeer and the baseline schemes: request routing between the DRAM and
+// NVM timing models, a swap engine with swap buffers, on-controller
+// metadata caches backed by DRAM-resident tables, service-source and
+// positive/negative/neutral accounting, a DMA freeze protocol, and a
+// data-integrity oracle.
+//
+// A concrete scheme (PageSeer, PoM, MemPod, or the no-swap Static manager)
+// plugs in as a Manager: it receives every request that reaches the
+// controller plus any MMU hints, decides remapping and swaps, and serves
+// requests through the controller's helpers so all schemes are measured
+// identically.
+package hmc
+
+import (
+	"fmt"
+
+	"pageseer/internal/cache"
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+	"pageseer/internal/memsim"
+	"pageseer/internal/mmu"
+)
+
+// Source says which structure serviced a demand request.
+type Source int
+
+// Service sources for Figure 7's breakdown.
+const (
+	SrcDRAM Source = iota
+	SrcNVM
+	SrcSwapBuffer
+)
+
+// Request is one LLC miss (or writeback) that reached the controller. Line
+// is the OS-visible physical address — remapping below the LLC means every
+// request must be translated by the manager before touching memory.
+type Request struct {
+	Line    mem.Addr
+	Write   bool
+	Meta    cache.Meta
+	Arrival uint64
+	done    func()
+	ctl     *Controller
+	served  bool
+}
+
+// Manager is one hybrid-memory management scheme.
+type Manager interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// HandleRequest owns the request: translate it, optionally trigger
+	// swaps, and complete it via Controller.ServeMemory / ServeBuffer.
+	HandleRequest(r *Request)
+	// MMUHint delivers a page-walk hint (PageSeer only; others ignore it).
+	MMUHint(h mmu.Hint)
+	// TranslateLine returns the physical line currently holding the data of
+	// OS-visible line addr (architectural state, no timing). Line
+	// granularity keeps the interface exact for schemes that remap 2KB
+	// segments as well as 4KB pages.
+	TranslateLine(addr mem.Addr) mem.Addr
+	// CheckIntegrity verifies the scheme's translation state against the
+	// shared oracle; used by tests and debug runs.
+	CheckIntegrity() error
+	// FreezePage completes any in-progress swap involving p, prevents
+	// future swaps of p, then calls done (Section III-E).
+	FreezePage(p mem.PPN, done func())
+	// UnfreezePage re-enables swapping for p.
+	UnfreezePage(p mem.PPN)
+}
+
+// Stats aggregates scheme-independent controller counters.
+type Stats struct {
+	Demand     uint64 // non-writeback requests
+	DataDemand uint64 // demand excluding page-walk reads
+	Writebacks uint64
+
+	ServedDRAM uint64 // of DataDemand
+	ServedNVM  uint64
+	ServedBuf  uint64
+
+	Positive uint64 // of DataDemand: NVM-resident page served from DRAM/buffer
+	Negative uint64 // DRAM-resident page served from NVM
+	Neutral  uint64
+
+	// LatencyTotal sums, over all demand requests, the cycles from HMC
+	// arrival to data return. LatencyTotal/Demand is the AMMAT.
+	LatencyTotal uint64
+	// MemLatencyTotal sums only the memory-module portion (issue to data
+	// return) of demand requests, for AMMAT decomposition.
+	MemLatencyTotal uint64
+
+	PTEReachedHMC  uint64 // leaf-PTE reads that missed L2+L3 (Figure 12)
+	PTEServedByHMC uint64 // of those, served by the MMU Driver cache
+}
+
+// Controller is the hybrid memory controller shell.
+type Controller struct {
+	Sim    *engine.Sim
+	OS     *mem.OS
+	Layout mem.Map
+	DRAM   *memsim.Module
+	NVM    *memsim.Module
+	Engine *SwapEngine
+	Oracle *Oracle
+
+	mgr   Manager
+	stats Stats
+
+	frozen map[mem.PPN]bool
+}
+
+// NewController builds a controller with the given memory-part configs over
+// the OS's address map.
+func NewController(sim *engine.Sim, osm *mem.OS, dramCfg, nvmCfg memsim.Config, swapCfg SwapEngineConfig) *Controller {
+	layout := osm.Map()
+	c := &Controller{
+		Sim:    sim,
+		OS:     osm,
+		Layout: layout,
+		Oracle: NewOracle(),
+		frozen: make(map[mem.PPN]bool),
+	}
+	c.DRAM = memsim.New(sim, dramCfg, 0, layout.DRAMBytes)
+	c.NVM = memsim.New(sim, nvmCfg, mem.Addr(layout.DRAMBytes), layout.NVMBytes)
+	c.Engine = NewSwapEngine(sim, swapCfg, c.IssueLine, c.PromoteLine)
+	return c
+}
+
+// SetManager installs the management scheme. Must be called before traffic.
+func (c *Controller) SetManager(m Manager) { c.mgr = m }
+
+// Manager returns the installed scheme.
+func (c *Controller) Manager() Manager { return c.mgr }
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Access implements cache.Backend: the LLC's next level.
+func (c *Controller) Access(line mem.Addr, write bool, meta cache.Meta, done func()) {
+	r := &Request{
+		Line:    mem.LineOf(line),
+		Write:   write,
+		Meta:    meta,
+		Arrival: c.Sim.Now(),
+		done:    done,
+		ctl:     c,
+	}
+	if meta.Writeback {
+		c.stats.Writebacks++
+	} else {
+		c.stats.Demand++
+		if !meta.PageWalk {
+			c.stats.DataDemand++
+		}
+		if meta.IsPTE {
+			c.stats.PTEReachedHMC++
+		}
+	}
+	if c.mgr == nil {
+		panic("hmc: request before SetManager")
+	}
+	c.mgr.HandleRequest(r)
+}
+
+// MMUHint implements mmu.Hinter.
+func (c *Controller) MMUHint(h mmu.Hint) { c.mgr.MMUHint(h) }
+
+// IssueLine routes one line access to the owning memory module, adapting
+// priorities. It is the only path to the timing models, so swap traffic,
+// metadata fills, and demand misses all contend on the same channels.
+func (c *Controller) IssueLine(addr mem.Addr, write bool, prio Priority, done func()) {
+	mprio := memsim.PrioDemand
+	if prio == PrioSwap {
+		mprio = memsim.PrioSwap
+	}
+	c.Route(addr).Access(addr, write, mprio, done)
+}
+
+// PromoteLine raises an already-queued access for addr's line to demand
+// priority (requested-line-first servicing of in-flight swaps).
+func (c *Controller) PromoteLine(addr mem.Addr) { c.Route(addr).Promote(addr) }
+
+// Route returns the module owning addr.
+func (c *Controller) Route(addr mem.Addr) *memsim.Module {
+	if c.Layout.IsDRAM(addr) {
+		return c.DRAM
+	}
+	if !c.Layout.Contains(addr) {
+		panic(fmt.Sprintf("hmc: address %#x outside physical memory", uint64(addr)))
+	}
+	return c.NVM
+}
+
+// ServeMemory completes a request from the memory at the translated address.
+func (c *Controller) ServeMemory(r *Request, actual mem.Addr) {
+	src := SrcNVM
+	if c.Layout.IsDRAM(actual) {
+		src = SrcDRAM
+	}
+	if r.Meta.Writeback {
+		// Writebacks contend for bandwidth but complete asynchronously.
+		c.IssueLine(actual, true, PrioDemand, nil)
+		return
+	}
+	issued := c.Sim.Now()
+	c.IssueLine(actual, r.Write, PrioDemand, func() {
+		c.stats.MemLatencyTotal += c.Sim.Now() - issued
+		c.complete(r, src)
+	})
+}
+
+// ServeBuffer completes a request from the swap buffers; the manager must
+// already have arranged servicing via the swap engine and calls this from
+// the engine's callback.
+func (c *Controller) ServeBuffer(r *Request) { c.complete(r, SrcSwapBuffer) }
+
+// ServeDirect completes r after latency cycles, attributing it to src, for
+// managers that satisfied the data through their own structures or an
+// already-issued memory fetch.
+func (c *Controller) ServeDirect(r *Request, src Source, latency uint64) {
+	c.Sim.After(latency, func() { c.complete(r, src) })
+}
+
+// ServePTECache completes a PTE-line request from the MMU Driver's small
+// PTE cache after `latency` cycles (PageSeer, Section III-B benefit one).
+func (c *Controller) ServePTECache(r *Request, latency uint64) {
+	c.stats.PTEServedByHMC++
+	c.ServeDirect(r, SrcDRAM, latency)
+}
+
+func (c *Controller) complete(r *Request, src Source) {
+	if r.served {
+		panic("hmc: request completed twice")
+	}
+	r.served = true
+	c.stats.LatencyTotal += c.Sim.Now() - r.Arrival
+	if !r.Meta.PageWalk {
+		switch src {
+		case SrcDRAM:
+			c.stats.ServedDRAM++
+		case SrcNVM:
+			c.stats.ServedNVM++
+		case SrcSwapBuffer:
+			c.stats.ServedBuf++
+		}
+		origDRAM := c.Layout.IsDRAM(r.Line)
+		servedFast := src != SrcNVM
+		switch {
+		case !origDRAM && servedFast:
+			c.stats.Positive++
+		case origDRAM && !servedFast:
+			c.stats.Negative++
+		default:
+			c.stats.Neutral++
+		}
+	}
+	if r.done != nil {
+		r.done()
+	}
+}
+
+// AMMAT returns the average main-memory access time so far, in CPU cycles.
+func (c *Controller) AMMAT() float64 {
+	if c.stats.Demand == 0 {
+		return 0
+	}
+	return float64(c.stats.LatencyTotal) / float64(c.stats.Demand)
+}
+
+// AllocMetaRegion reserves contiguous DRAM for a controller table (the full
+// PRT/PCT or a baseline remap table). It must run before any workload
+// allocation so the frames come out contiguous; it panics otherwise.
+func (c *Controller) AllocMetaRegion(bytes, entrySize uint64) MetaRegion {
+	nFrames := (bytes + mem.PageSize - 1) / mem.PageSize
+	var base mem.PPN
+	for i := uint64(0); i < nFrames; i++ {
+		p, ok := c.OS.Allocator().AllocDRAM()
+		if !ok {
+			panic("hmc: DRAM exhausted while reserving metadata region")
+		}
+		if i == 0 {
+			base = p
+		} else if p != base+mem.PPN(i) {
+			panic("hmc: metadata region not contiguous; reserve it before starting workloads")
+		}
+	}
+	return MetaRegion{Base: base.Addr(), Bytes: nFrames * mem.PageSize, EntrySize: entrySize}
+}
+
+// BeginDMA freezes page p (completing any in-flight swap for it) and then
+// invokes done; DMA requests for the page may proceed afterwards, rewritten
+// through Manager.TranslateLine exactly like demand traffic (Section III-E).
+func (c *Controller) BeginDMA(p mem.PPN, done func()) {
+	c.frozen[p] = true
+	c.mgr.FreezePage(p, done)
+}
+
+// EndDMA unfreezes page p.
+func (c *Controller) EndDMA(p mem.PPN) {
+	delete(c.frozen, p)
+	c.mgr.UnfreezePage(p)
+}
+
+// FrozenByDMA reports whether p is currently frozen (managers consult this
+// before starting swaps involving p).
+func (c *Controller) FrozenByDMA(p mem.PPN) bool { return c.frozen[p] }
+
+// VerifyIntegrity checks the manager's translation state against the
+// oracle. It is cheap enough for tests but is not called on hot paths.
+func (c *Controller) VerifyIntegrity() error { return c.mgr.CheckIntegrity() }
+
+// ResetStats zeroes the controller counters (e.g. after warm-up).
+func (c *Controller) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,296 @@
+package hmc
+
+import (
+	"fmt"
+
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+)
+
+// MetaRegion is a contiguous range of DRAM reserved for a controller
+// metadata table (the full PRT, PCT, or a baseline's remap table). The
+// architectural contents of such tables live in ordinary Go maps inside the
+// managers; MetaRegion only provides the *timing* of reaching the in-memory
+// copy: each entry access becomes one line access to the right DRAM address.
+type MetaRegion struct {
+	Base      mem.Addr
+	Bytes     uint64
+	EntrySize uint64
+}
+
+// EntryAddr returns the DRAM line address holding entry idx.
+func (r MetaRegion) EntryAddr(idx uint64) mem.Addr {
+	off := (idx * r.EntrySize) % r.Bytes
+	return mem.LineOf(r.Base + mem.Addr(off))
+}
+
+// MetaCacheConfig sizes an on-controller metadata cache.
+type MetaCacheConfig struct {
+	Name string
+	// Entries and Ways give the geometry; sets = Entries/Ways (not
+	// necessarily a power of two — these are custom SRAM arrays). Tags are
+	// per entry, as in the paper's 3.5B/10.5B entry formats.
+	Entries int
+	Ways    int
+	// HitLatency is the SRAM access time in CPU cycles (1 memory cycle =
+	// 2 CPU cycles for the PRTc/PCTc in Table II).
+	HitLatency uint64
+	// EntriesPerLine is how many table entries share one 64B DRAM line
+	// (18 for 3.5B PRT entries, 6 for 10.5B PCT entries). A miss fetches
+	// the whole line and installs every entry it carries, so adjacent keys
+	// ride along; capacity and eviction remain per entry. 0 means 1.
+	EntriesPerLine int
+	// Background marks a cache whose miss fetches ride the background
+	// (swap) priority class: structures that are off the request critical
+	// path, like the PCTc (Section III-C3: "the HPTs and the PCTc are off
+	// the critical path").
+	Background bool
+}
+
+// MetaCacheStats counts cache activity. WaitCycles accumulates, over all
+// Access calls that missed, the cycles between the access and the fill —
+// the quantity Figure 13 reports for the PRTc.
+type MetaCacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Prefetches uint64
+	Writebacks uint64
+	WaitCycles uint64
+}
+
+type metaLine struct {
+	key   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// MetaCache models an on-controller SRAM cache of a DRAM-resident metadata
+// table. Keys are entry indices into the backing table. A miss issues one
+// DRAM line read (and fills every entry the line carries); a dirty eviction
+// issues a DRAM line write. The cached *values* live in the owning manager;
+// the MetaCache tracks only presence and timing, which is all the hardware
+// structure contributes.
+type MetaCache struct {
+	sim    *engine.Sim
+	cfg    MetaCacheConfig
+	region MetaRegion
+	issue  IssueFunc
+
+	epl     uint64
+	sets    [][]metaLine
+	tick    uint64
+	pending map[uint64][]func() // keyed by line index
+	stats   MetaCacheStats
+}
+
+// NewMetaCache builds a metadata cache over a DRAM region.
+func NewMetaCache(sim *engine.Sim, cfg MetaCacheConfig, region MetaRegion, issue IssueFunc) *MetaCache {
+	if cfg.EntriesPerLine < 1 {
+		cfg.EntriesPerLine = 1
+	}
+	nSets := cfg.Entries / cfg.Ways
+	if nSets < 1 {
+		panic(fmt.Sprintf("hmc: meta cache %s has %d entries < %d ways", cfg.Name, cfg.Entries, cfg.Ways))
+	}
+	c := &MetaCache{
+		sim:     sim,
+		cfg:     cfg,
+		region:  region,
+		issue:   issue,
+		epl:     uint64(cfg.EntriesPerLine),
+		pending: make(map[uint64][]func()),
+	}
+	c.sets = make([][]metaLine, nSets)
+	for i := range c.sets {
+		c.sets[i] = make([]metaLine, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *MetaCache) Config() MetaCacheConfig { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *MetaCache) Sets() int { return len(c.sets) }
+
+// SetOf returns the set index key maps to.
+func (c *MetaCache) SetOf(key uint64) int { return int(key % uint64(len(c.sets))) }
+
+// Stats returns a snapshot of the counters.
+func (c *MetaCache) Stats() MetaCacheStats { return c.stats }
+
+// lineKey groups adjacent table entries that share a DRAM line.
+func (c *MetaCache) lineKey(key uint64) uint64 { return key / c.epl }
+
+func (c *MetaCache) find(key uint64) *metaLine {
+	set := c.sets[c.SetOf(key)]
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Present reports whether key is cached (no LRU update, no timing).
+func (c *MetaCache) Present(key uint64) bool { return c.find(key) != nil }
+
+// Access looks up key, modelling timing: after HitLatency, a hit calls done
+// immediately; a miss fetches the entry's line from DRAM first. dirty marks
+// the entry modified (it will be written back to DRAM on eviction). The
+// cycles a missing access spends waiting are added to WaitCycles.
+func (c *MetaCache) Access(key uint64, dirty bool, done func()) {
+	c.sim.After(c.cfg.HitLatency, func() {
+		if l := c.find(key); l != nil {
+			c.stats.Hits++
+			c.touch(l, dirty)
+			if done != nil {
+				done()
+			}
+			return
+		}
+		c.stats.Misses++
+		start := c.sim.Now()
+		c.fetch(key, false, func() {
+			c.stats.WaitCycles += c.sim.Now() - start
+			if l := c.find(key); l != nil {
+				c.touch(l, dirty)
+			}
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Prefetch fetches key into the cache without a waiter — the early PRTc/PCTc
+// loads PageSeer starts from MMU hints (Section V-B, third factor).
+func (c *MetaCache) Prefetch(key uint64) {
+	if c.find(key) != nil {
+		return
+	}
+	c.stats.Prefetches++
+	c.fetch(key, true, nil)
+}
+
+// AccessUrgent is Access with a demand-priority miss fetch even on a
+// Background cache — for the MMU Driver's hint evaluation, whose entire
+// value is lead time over the replayed access (Section III-B).
+func (c *MetaCache) AccessUrgent(key uint64, done func()) {
+	c.sim.After(c.cfg.HitLatency, func() {
+		if l := c.find(key); l != nil {
+			c.stats.Hits++
+			c.touch(l, false)
+			if done != nil {
+				done()
+			}
+			return
+		}
+		c.stats.Misses++
+		start := c.sim.Now()
+		c.fetchUrgent(key, func() {
+			c.stats.WaitCycles += c.sim.Now() - start
+			if l := c.find(key); l != nil {
+				c.touch(l, false)
+			}
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+func (c *MetaCache) fetchUrgent(key uint64, done func()) {
+	lk := c.lineKey(key)
+	if ws, inflight := c.pending[lk]; inflight {
+		if done != nil {
+			c.pending[lk] = append(ws, done)
+		}
+		return
+	}
+	var list []func()
+	if done != nil {
+		list = append(list, done)
+	}
+	c.pending[lk] = list
+	c.issueFetch(key, lk, PrioDemand)
+}
+
+func (c *MetaCache) fetch(key uint64, prefetch bool, done func()) {
+	lk := c.lineKey(key)
+	if ws, inflight := c.pending[lk]; inflight {
+		if done != nil {
+			c.pending[lk] = append(ws, done)
+		}
+		return
+	}
+	var list []func()
+	if done != nil {
+		list = append(list, done)
+	}
+	c.pending[lk] = list
+	prio := PrioDemand
+	if prefetch || c.cfg.Background {
+		prio = PrioSwap
+	}
+	c.issueFetch(key, lk, prio)
+}
+
+func (c *MetaCache) issueFetch(key, lk uint64, prio Priority) {
+	c.issue(c.region.EntryAddr(key), false, prio, func() {
+		// The fetched line carries every entry sharing it; install them all.
+		for k := lk * c.epl; k < (lk+1)*c.epl; k++ {
+			c.install(k)
+		}
+		ws := c.pending[lk]
+		delete(c.pending, lk)
+		for _, w := range ws {
+			w()
+		}
+	})
+}
+
+func (c *MetaCache) install(key uint64) {
+	if c.find(key) != nil {
+		return
+	}
+	set := c.sets[c.SetOf(key)]
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	if victim.valid && victim.dirty {
+		// Write the evicted entry back to the DRAM table (change-bit
+		// behaviour: only dirty entries go back, Section III-C2).
+		c.stats.Writebacks++
+		c.issue(c.region.EntryAddr(victim.key), true, PrioSwap, nil)
+	}
+	c.tick++
+	*victim = metaLine{key: key, valid: true, lru: c.tick}
+}
+
+// MarkDirty sets the dirty bit of a resident entry (no timing).
+func (c *MetaCache) MarkDirty(key uint64) {
+	if l := c.find(key); l != nil {
+		l.dirty = true
+	}
+}
+
+func (c *MetaCache) touch(l *metaLine, dirty bool) {
+	c.tick++
+	l.lru = c.tick
+	if dirty {
+		l.dirty = true
+	}
+}
+
+// ResetStats zeroes the cache counters (e.g. after warm-up) without
+// touching residency state.
+func (c *MetaCache) ResetStats() { c.stats = MetaCacheStats{} }

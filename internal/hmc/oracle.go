@@ -1,0 +1,83 @@
+package hmc
+
+import "fmt"
+
+// Oracle is the data-integrity checker for hardware page remapping. It
+// tracks, outside the timed simulation, which physical slot currently holds
+// each page's data (pages are identified by their original OS-visible frame
+// number). After every swap the manager records the logical moves here;
+// tests and debug runs then verify that the manager's architectural
+// translation still points every page at the slot that holds its data —
+// the invariant that, in real hardware, is the difference between a remap
+// scheme and silent data corruption.
+//
+// Slots are at the segment granularity the manager swaps (4KB pages for
+// PageSeer, 2KB segments for PoM/MemPod); the oracle is agnostic and tracks
+// opaque uint64 identifiers. Any page permutation — including PageSeer's
+// optimized slow swap — decomposes into Exchange calls.
+type Oracle struct {
+	// location[data] = slot currently holding data's bytes.
+	location map[uint64]uint64
+	// owner[slot] = data currently stored in slot.
+	owner map[uint64]uint64
+	moves uint64
+}
+
+// NewOracle returns an identity-mapped oracle (every data item starts in
+// its own slot, as at boot).
+func NewOracle() *Oracle {
+	return &Oracle{
+		location: make(map[uint64]uint64),
+		owner:    make(map[uint64]uint64),
+	}
+}
+
+// Moves returns how many slot exchanges have been recorded.
+func (o *Oracle) Moves() uint64 { return o.moves }
+
+// Location returns the slot currently holding data.
+func (o *Oracle) Location(data uint64) uint64 {
+	if s, ok := o.location[data]; ok {
+		return s
+	}
+	return data // identity until first move
+}
+
+// Owner returns the data currently held in slot.
+func (o *Oracle) Owner(slot uint64) uint64 {
+	if d, ok := o.owner[slot]; ok {
+		return d
+	}
+	return slot
+}
+
+// Exchange records that the contents of slots a and b were swapped.
+func (o *Oracle) Exchange(a, b uint64) {
+	da, db := o.Owner(a), o.Owner(b)
+	o.owner[a], o.owner[b] = db, da
+	o.location[da], o.location[db] = b, a
+	o.moves++
+}
+
+// Verify checks translate against the oracle for the given data items:
+// translate(data) must equal the slot that holds data.
+func (o *Oracle) Verify(translate func(uint64) uint64, data []uint64) error {
+	for _, d := range data {
+		want := o.Location(d)
+		got := translate(d)
+		if got != want {
+			return fmt.Errorf("oracle: data %#x translated to slot %#x but lives in %#x", d, got, want)
+		}
+	}
+	return nil
+}
+
+// VerifyAll checks every data item that has ever moved.
+func (o *Oracle) VerifyAll(translate func(uint64) uint64) error {
+	for d := range o.location {
+		if err := o.Verify(translate, []uint64{d}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

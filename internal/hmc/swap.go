@@ -1,0 +1,377 @@
+package hmc
+
+import (
+	"fmt"
+
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+)
+
+// NoAddr marks an absent side of a Transfer (buffer fill or buffer drain).
+const NoAddr = ^mem.Addr(0)
+
+// Transfer is one segment movement inside a swap operation.
+//
+//   - Src and Dst set: copy Src -> Dst, line by line, pipelined (each line's
+//     write issues when its read returns).
+//   - Src only (Dst == NoAddr): read the segment into a swap buffer.
+//   - Dst only (Src == NoAddr): drain a previously-buffered segment to Dst.
+type Transfer struct {
+	Src   mem.Addr
+	Dst   mem.Addr
+	Bytes uint64
+}
+
+// Stage is a set of transfers that proceed concurrently. The next stage
+// starts only when every transfer of the current one has fully completed —
+// the barrier PageSeer's optimized slow swap relies on (Figure 5).
+type Stage []Transfer
+
+// Op is a complete swap operation: optimized slow swaps, fast swaps and
+// plain migrations are all choreographies of stages.
+type Op struct {
+	Stages     []Stage
+	OnComplete func()
+
+	// Tag lets the owning manager label the op (swap kind) for stats.
+	Tag int
+}
+
+// Reads and Writes return the total page-read/page-write volume of the op
+// in segments, for cost assertions (optimized slow swap: 3 reads, 3 writes).
+func (o *Op) Reads() (n int) {
+	for _, st := range o.Stages {
+		for _, tr := range st {
+			if tr.Src != NoAddr {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Writes returns the number of segment writes in the op.
+func (o *Op) Writes() (n int) {
+	for _, st := range o.Stages {
+		for _, tr := range st {
+			if tr.Dst != NoAddr {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// IssueFunc routes one line access to the right memory module.
+type IssueFunc func(addr mem.Addr, write bool, prio Priority, done func())
+
+// PromoteFunc raises an already-issued line access to demand priority.
+type PromoteFunc func(addr mem.Addr)
+
+// Priority mirrors memsim's scheduling classes without importing it here;
+// the controller adapts between the two.
+type Priority int
+
+// Swap-engine scheduling classes.
+const (
+	PrioDemand Priority = iota
+	PrioSwap
+)
+
+// SwapEngineConfig sizes the swap machinery.
+type SwapEngineConfig struct {
+	// MaxOps is the number of concurrent swap operations the swap buffers
+	// can hold (buffer pairs in the DRAM and NVM modules).
+	MaxOps int
+	// MaxInflightReads bounds outstanding swap line-reads per op, so one
+	// page move does not flood a channel queue.
+	MaxInflightReads int
+	// BufferLatency is the CPU-cycle cost of servicing a demand request
+	// from a swap buffer.
+	BufferLatency uint64
+}
+
+// DefaultSwapEngineConfig returns the sizing used in the evaluation.
+func DefaultSwapEngineConfig() SwapEngineConfig {
+	return SwapEngineConfig{MaxOps: 8, MaxInflightReads: 32, BufferLatency: 30}
+}
+
+// SwapEngineStats counts swap-machinery activity.
+type SwapEngineStats struct {
+	OpsStarted    uint64
+	OpsCompleted  uint64
+	OpsRejected   uint64
+	LinesRead     uint64
+	LinesWritten  uint64
+	BufHits       uint64 // demand served from an already-filled buffer line
+	BufWaits      uint64 // demand that waited for the line to be buffered
+	EscalatedRead uint64 // buffer reads promoted to demand priority
+	// OpCycles sums each completed op's start-to-finish duration, so
+	// OpCycles/OpsCompleted is the mean swap latency.
+	OpCycles uint64
+}
+
+type lineStatus uint8
+
+const (
+	lineUnissued lineStatus = iota
+	lineIssued
+	lineBuffered
+)
+
+type opLine struct {
+	status lineStatus
+	stage  int
+	src    mem.Addr
+	dst    mem.Addr // NoAddr if fill-only
+}
+
+type runningOp struct {
+	op         *Op
+	began      uint64
+	stage      int
+	lines      map[mem.Addr]*opLine // keyed by src line address, all stages
+	order      [][]mem.Addr         // read issue order per stage
+	nextRead   int
+	inflight   int
+	readsLeft  int // current stage
+	writesLeft int // current stage
+	waiters    map[mem.Addr][]func()
+}
+
+// SwapEngine executes swap operations against the memory modules and
+// services demand requests for in-flight pages from the swap buffers
+// (Section III-D3).
+type SwapEngine struct {
+	sim     *engine.Sim
+	cfg     SwapEngineConfig
+	issue   IssueFunc
+	promote PromoteFunc
+
+	running map[*runningOp]struct{}
+	// lineOwner indexes running ops by src line for fast interception.
+	lineOwner map[mem.Addr]*runningOp
+	stats     SwapEngineStats
+}
+
+// NewSwapEngine builds a swap engine that issues line traffic through
+// issue; promote (optional) re-prioritises an in-flight line when a demand
+// request is waiting on it.
+func NewSwapEngine(sim *engine.Sim, cfg SwapEngineConfig, issue IssueFunc, promote PromoteFunc) *SwapEngine {
+	if promote == nil {
+		promote = func(mem.Addr) {}
+	}
+	return &SwapEngine{
+		sim:       sim,
+		cfg:       cfg,
+		issue:     issue,
+		promote:   promote,
+		running:   make(map[*runningOp]struct{}),
+		lineOwner: make(map[mem.Addr]*runningOp),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (e *SwapEngine) Stats() SwapEngineStats { return e.stats }
+
+// Busy returns the number of running operations.
+func (e *SwapEngine) Busy() int { return len(e.running) }
+
+// CanStart reports whether a new operation would be admitted.
+func (e *SwapEngine) CanStart() bool { return len(e.running) < e.cfg.MaxOps }
+
+// Start begins executing op. It returns false (and counts a rejection) when
+// all swap buffers are busy; the caller decides whether to queue or drop.
+func (e *SwapEngine) Start(op *Op) bool {
+	if !e.CanStart() {
+		e.stats.OpsRejected++
+		return false
+	}
+	if len(op.Stages) == 0 {
+		panic("hmc: swap op with no stages")
+	}
+	r := &runningOp{
+		op:      op,
+		began:   e.sim.Now(),
+		lines:   make(map[mem.Addr]*opLine),
+		order:   make([][]mem.Addr, len(op.Stages)),
+		waiters: make(map[mem.Addr][]func()),
+	}
+	for si, st := range op.Stages {
+		for _, tr := range st {
+			if tr.Bytes == 0 || tr.Bytes%mem.LineSize != 0 {
+				panic(fmt.Sprintf("hmc: transfer of %d bytes not line-aligned", tr.Bytes))
+			}
+			if tr.Src == NoAddr && tr.Dst == NoAddr {
+				panic("hmc: transfer with neither source nor destination")
+			}
+			if tr.Src == NoAddr {
+				continue // drain transfers handled at stage start
+			}
+			for off := uint64(0); off < tr.Bytes; off += mem.LineSize {
+				src := tr.Src + mem.Addr(off)
+				dst := NoAddr
+				if tr.Dst != NoAddr {
+					dst = tr.Dst + mem.Addr(off)
+				}
+				l := &opLine{stage: si, src: src, dst: dst}
+				if _, dup := r.lines[src]; dup {
+					panic(fmt.Sprintf("hmc: line %#x read twice in one op", uint64(src)))
+				}
+				r.lines[src] = l
+				r.order[si] = append(r.order[si], src)
+				e.lineOwner[src] = r
+			}
+		}
+	}
+	e.running[r] = struct{}{}
+	e.stats.OpsStarted++
+	e.startStage(r)
+	return true
+}
+
+func (e *SwapEngine) startStage(r *runningOp) {
+	st := r.op.Stages[r.stage]
+	r.nextRead = 0
+	r.readsLeft = len(r.order[r.stage])
+	r.writesLeft = 0
+	for _, tr := range st {
+		nLines := int(tr.Bytes / mem.LineSize)
+		if tr.Dst != NoAddr {
+			r.writesLeft += nLines
+		}
+		if tr.Src == NoAddr {
+			// Drain: data already buffered, write everything now.
+			for off := uint64(0); off < tr.Bytes; off += mem.LineSize {
+				e.issueWrite(r, tr.Dst+mem.Addr(off))
+			}
+		}
+	}
+	if r.readsLeft == 0 && r.writesLeft == 0 {
+		e.finishStage(r)
+		return
+	}
+	e.pump(r)
+}
+
+// pump issues buffered reads up to the in-flight cap.
+func (e *SwapEngine) pump(r *runningOp) {
+	order := r.order[r.stage]
+	for r.inflight < e.cfg.MaxInflightReads && r.nextRead < len(order) {
+		src := order[r.nextRead]
+		r.nextRead++
+		l := r.lines[src]
+		if l.status != lineUnissued {
+			continue // escalated earlier by a demand waiter
+		}
+		e.issueRead(r, l, PrioSwap)
+	}
+}
+
+func (e *SwapEngine) issueRead(r *runningOp, l *opLine, prio Priority) {
+	l.status = lineIssued
+	r.inflight++
+	e.stats.LinesRead++
+	e.issue(l.src, false, prio, func() {
+		r.inflight--
+		l.status = lineBuffered
+		r.readsLeft--
+		// Release demand requests waiting on this line.
+		if ws := r.waiters[l.src]; len(ws) > 0 {
+			delete(r.waiters, l.src)
+			for _, w := range ws {
+				e.sim.After(e.cfg.BufferLatency, w)
+			}
+		}
+		if l.dst != NoAddr {
+			e.issueWrite(r, l.dst)
+		}
+		if r.readsLeft == 0 && r.writesLeft == 0 {
+			e.finishStage(r)
+		} else {
+			e.pump(r)
+		}
+	})
+}
+
+func (e *SwapEngine) issueWrite(r *runningOp, dst mem.Addr) {
+	e.stats.LinesWritten++
+	e.issue(dst, true, PrioSwap, func() {
+		r.writesLeft--
+		if r.readsLeft == 0 && r.writesLeft == 0 {
+			e.finishStage(r)
+		}
+	})
+}
+
+func (e *SwapEngine) finishStage(r *runningOp) {
+	if r.stage+1 < len(r.op.Stages) {
+		r.stage++
+		e.startStage(r)
+		return
+	}
+	// Operation complete: expose the new mapping first (OnComplete updates
+	// the manager's remap state), then dismantle buffer interception.
+	delete(e.running, r)
+	for src := range r.lines {
+		if e.lineOwner[src] == r {
+			delete(e.lineOwner, src)
+		}
+	}
+	e.stats.OpsCompleted++
+	e.stats.OpCycles += e.sim.Now() - r.began
+	if len(r.waiters) != 0 {
+		// Every waiter registers on a src line of some stage, and every
+		// stage's reads complete before the op does.
+		panic("hmc: swap op completed with demand waiters still pending")
+	}
+	if r.op.OnComplete != nil {
+		r.op.OnComplete()
+	}
+}
+
+// TryService intercepts a demand access to line addr (post-translation). If
+// the line belongs to a page participating in a running swap, the request
+// is serviced from the swap buffers — immediately if the line has been read,
+// or as soon as its read returns — and TryService reports true. done runs
+// when the data is available.
+func (e *SwapEngine) TryService(addr mem.Addr, done func()) bool {
+	src := mem.LineOf(addr)
+	r, ok := e.lineOwner[src]
+	if !ok {
+		return false
+	}
+	l := r.lines[src]
+	switch l.status {
+	case lineBuffered:
+		e.stats.BufHits++
+		e.sim.After(e.cfg.BufferLatency, done)
+	case lineIssued:
+		e.stats.BufWaits++
+		r.waiters[src] = append(r.waiters[src], done)
+		// Requested-line-first: the read is already in a channel queue at
+		// background priority; promote it (Section III-D1).
+		e.stats.EscalatedRead++
+		e.promote(src)
+	case lineUnissued:
+		e.stats.BufWaits++
+		r.waiters[src] = append(r.waiters[src], done)
+		if l.stage == r.stage {
+			// Requested-line-first: promote this read past the queue and
+			// issue it at demand priority (Section III-D1).
+			e.stats.EscalatedRead++
+			e.issueRead(r, l, PrioDemand)
+		}
+	}
+	return true
+}
+
+// Involved reports whether addr's line belongs to a running swap (tests).
+func (e *SwapEngine) Involved(addr mem.Addr) bool {
+	_, ok := e.lineOwner[mem.LineOf(addr)]
+	return ok
+}
+
+// ResetStats zeroes the engine counters (e.g. after warm-up); running
+// operations are unaffected.
+func (e *SwapEngine) ResetStats() { e.stats = SwapEngineStats{} }

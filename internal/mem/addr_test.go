@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if PageSize != 4096 || LineSize != 64 || LinesPerPage != 64 || EntriesPerTable != 512 {
+		t.Fatalf("unexpected geometry: page=%d line=%d lpp=%d ept=%d",
+			PageSize, LineSize, LinesPerPage, EntriesPerTable)
+	}
+}
+
+func TestIndexExtraction(t *testing.T) {
+	// VA with distinct 9-bit indices at each level:
+	// PGD=0x1, PUD=0x2, PMD=0x3, PTE=0x4, offset=0x5.
+	va := VAddr(1)<<39 | VAddr(2)<<30 | VAddr(3)<<21 | VAddr(4)<<12 | 5
+	want := []uint64{1, 2, 3, 4}
+	for l := PGD; l < NumLevels; l++ {
+		if got := Index(va, l); got != want[l] {
+			t.Errorf("Index(%s) = %d, want %d", l, got, want[l])
+		}
+	}
+	if PageOffset(va) != 5 {
+		t.Errorf("PageOffset = %d, want 5", PageOffset(va))
+	}
+}
+
+func TestIndexRoundTripProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		va := VAddr(raw & (1<<48 - 1))
+		rebuilt := VAddr(Index(va, PGD))<<39 |
+			VAddr(Index(va, PUD))<<30 |
+			VAddr(Index(va, PMD))<<21 |
+			VAddr(Index(va, PTE))<<12 |
+			VAddr(PageOffset(va))
+		return rebuilt == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapRegions(t *testing.T) {
+	m := Map{DRAMBytes: 512 << 20, NVMBytes: 4 << 30}
+	if m.Total() != (512<<20)+(4<<30) {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	if !m.IsDRAM(0) || !m.IsDRAM(512<<20-1) {
+		t.Error("DRAM range start/end misclassified")
+	}
+	if m.IsDRAM(512 << 20) {
+		t.Error("first NVM byte classified as DRAM")
+	}
+	if m.DRAMPages() != (512<<20)/4096 || m.NVMPages() != (4<<30)/4096 {
+		t.Error("page counts wrong")
+	}
+	if m.Contains(Addr(m.Total())) {
+		t.Error("Contains accepted out-of-range address")
+	}
+}
+
+func TestPageLineHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if PageOf(a) != 0x12 {
+		t.Errorf("PageOf = %#x", uint64(PageOf(a)))
+	}
+	if LineOf(a) != 0x12340 {
+		t.Errorf("LineOf = %#x", uint64(LineOf(a)))
+	}
+	if PPN(0x12).Addr() != 0x12000 {
+		t.Errorf("PPN.Addr = %#x", uint64(PPN(0x12).Addr()))
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{PGD: "PGD", PUD: "PUD", PMD: "PMD", PTE: "PTE", Level(9): "?"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallMap() Map {
+	return Map{DRAMBytes: 16 * PageSize, NVMBytes: 64 * PageSize}
+}
+
+func TestAllocRegions(t *testing.T) {
+	a := NewAllocator(smallMap())
+	d, ok := a.AllocDRAM()
+	if !ok || !a.Map().IsDRAMPage(d) {
+		t.Fatalf("AllocDRAM returned %v ok=%v", d, ok)
+	}
+	n, ok := a.AllocNVM()
+	if !ok || a.Map().IsDRAMPage(n) {
+		t.Fatalf("AllocNVM returned %v ok=%v", n, ok)
+	}
+	if n != PPN(16) {
+		t.Fatalf("first NVM frame = %d, want 16", n)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := NewAllocator(smallMap())
+	for i := 0; i < 16; i++ {
+		if _, ok := a.AllocDRAM(); !ok {
+			t.Fatalf("DRAM exhausted after %d frames, want 16", i)
+		}
+	}
+	if _, ok := a.AllocDRAM(); ok {
+		t.Fatal("AllocDRAM succeeded past capacity")
+	}
+	if a.FreeDRAMFrames() != 0 {
+		t.Fatalf("FreeDRAMFrames = %d, want 0", a.FreeDRAMFrames())
+	}
+}
+
+func TestFirstTouchSpillsToNVM(t *testing.T) {
+	a := NewAllocator(smallMap())
+	a.ReserveDRAM = 4
+	var dram, nvm int
+	for i := 0; i < 40; i++ {
+		p, ok := a.AllocData()
+		if !ok {
+			t.Fatalf("AllocData failed at %d", i)
+		}
+		if a.Map().IsDRAMPage(p) {
+			dram++
+		} else {
+			nvm++
+		}
+	}
+	if dram != 12 { // 16 total minus 4 reserved
+		t.Fatalf("first-touch placed %d pages in DRAM, want 12", dram)
+	}
+	if nvm != 28 {
+		t.Fatalf("spilled %d pages to NVM, want 28", nvm)
+	}
+}
+
+func TestAllocDataFallsBackToReserveWhenNVMFull(t *testing.T) {
+	a := NewAllocator(Map{DRAMBytes: 4 * PageSize, NVMBytes: 2 * PageSize})
+	a.ReserveDRAM = 2
+	got := make(map[PPN]bool)
+	for i := 0; i < 6; i++ {
+		p, ok := a.AllocData()
+		if !ok {
+			t.Fatalf("AllocData failed at %d with frames still free", i)
+		}
+		if got[p] {
+			t.Fatalf("frame %d allocated twice", p)
+		}
+		got[p] = true
+	}
+	if _, ok := a.AllocData(); ok {
+		t.Fatal("AllocData succeeded with no frames left")
+	}
+}
+
+func TestFreeRecycles(t *testing.T) {
+	a := NewAllocator(smallMap())
+	p, _ := a.AllocDRAM()
+	a.Free(p)
+	q, ok := a.AllocDRAM()
+	if !ok || q != p {
+		t.Fatalf("recycled frame = %v, want %v", q, p)
+	}
+}
+
+func TestFreeOutOfRangePanics(t *testing.T) {
+	a := NewAllocator(smallMap())
+	defer func() {
+		if recover() == nil {
+			t.Error("Free out of range did not panic")
+		}
+	}()
+	a.Free(PPN(1 << 40))
+}
+
+// Property: under any interleaving of alloc/free, no frame is ever handed
+// out twice while live, and every frame stays inside its region.
+func TestAllocatorNoDoubleAllocationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAllocator(Map{DRAMBytes: 8 * PageSize, NVMBytes: 8 * PageSize})
+		live := make(map[PPN]bool)
+		var liveList []PPN
+		for op := 0; op < 500; op++ {
+			if rng.Intn(3) != 0 || len(liveList) == 0 {
+				var p PPN
+				var ok bool
+				switch rng.Intn(3) {
+				case 0:
+					p, ok = a.AllocDRAM()
+				case 1:
+					p, ok = a.AllocNVM()
+				default:
+					p, ok = a.AllocData()
+				}
+				if !ok {
+					continue
+				}
+				if live[p] {
+					return false // double allocation
+				}
+				if !a.Map().Contains(p.Addr()) {
+					return false
+				}
+				live[p] = true
+				liveList = append(liveList, p)
+			} else {
+				i := rng.Intn(len(liveList))
+				p := liveList[i]
+				liveList[i] = liveList[len(liveList)-1]
+				liveList = liveList[:len(liveList)-1]
+				delete(live, p)
+				a.Free(p)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: used+free is conserved in each region.
+func TestAllocatorAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Map{DRAMBytes: 8 * PageSize, NVMBytes: 8 * PageSize}
+		a := NewAllocator(m)
+		var liveList []PPN
+		for op := 0; op < 300; op++ {
+			if rng.Intn(2) == 0 || len(liveList) == 0 {
+				if p, ok := a.AllocData(); ok {
+					liveList = append(liveList, p)
+				}
+			} else {
+				i := rng.Intn(len(liveList))
+				a.Free(liveList[i])
+				liveList[i] = liveList[len(liveList)-1]
+				liveList = liveList[:len(liveList)-1]
+			}
+			if a.UsedDRAMFrames()+a.FreeDRAMFrames() != m.DRAMPages() {
+				return false
+			}
+			if a.UsedNVMFrames()+a.FreeNVMFrames() != m.NVMPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

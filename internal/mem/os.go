@@ -1,0 +1,104 @@
+package mem
+
+import "fmt"
+
+// OS is the minimal operating-system model the simulation needs: it owns the
+// physical frame allocator and one address space per process, builds real
+// 4-level page tables in simulated frames, and maps pages on first touch.
+//
+// Page faults are serviced instantly (zero simulated cost). PageSeer's
+// evaluation runs after 1.5B instructions of warm-up, by which point the
+// working sets are mapped, so fault cost does not shape any reported result.
+type OS struct {
+	alloc *Allocator
+	store *tableStore
+	procs map[int]*AddressSpace
+}
+
+// NewOS creates an OS over the given address map. reserveDRAM frames of DRAM
+// are withheld from first-touch data placement (for page tables and
+// controller metadata such as the in-DRAM PRT/PCT).
+func NewOS(m Map, reserveDRAM uint64) *OS {
+	a := NewAllocator(m)
+	a.ReserveDRAM = reserveDRAM
+	return &OS{
+		alloc: a,
+		store: newTableStore(),
+		procs: make(map[int]*AddressSpace),
+	}
+}
+
+// Allocator exposes the frame allocator (used by the HMC to place its
+// in-DRAM metadata tables).
+func (o *OS) Allocator() *Allocator { return o.alloc }
+
+// Map returns the physical address map.
+func (o *OS) Map() Map { return o.alloc.Map() }
+
+// NewProcess creates an address space for pid. It panics if pid exists:
+// duplicate PIDs always indicate a harness bug.
+func (o *OS) NewProcess(pid int) *AddressSpace {
+	if _, ok := o.procs[pid]; ok {
+		panic(fmt.Sprintf("mem: process %d already exists", pid))
+	}
+	root, ok := o.alloc.AllocTable()
+	if !ok {
+		panic("mem: out of memory allocating PGD")
+	}
+	o.store.add(root)
+	as := &AddressSpace{
+		pid:        pid,
+		root:       root,
+		store:      o.store,
+		alloc:      o.alloc,
+		mapped:     make(map[VPN]PPN),
+		tableCount: 1,
+	}
+	o.procs[pid] = as
+	return as
+}
+
+// Process returns the address space for pid.
+func (o *OS) Process(pid int) (*AddressSpace, bool) {
+	as, ok := o.procs[pid]
+	return as, ok
+}
+
+// IsPageTable reports whether frame p holds a page table. The memory
+// controller pins such frames: swapping a page-table frame out of DRAM
+// would break the MMU Driver's assumption that PTE lines live in DRAM.
+func (o *OS) IsPageTable(p PPN) bool {
+	_, ok := o.store.frames[p]
+	return ok
+}
+
+// WalkVA performs a software-visible translation for pid/va, mapping the
+// page (and any missing table levels) on first touch. The returned Walk
+// carries the physical entry addresses the hardware walker will read.
+func (o *OS) WalkVA(pid int, va VAddr) Walk {
+	as, ok := o.procs[pid]
+	if !ok {
+		panic(fmt.Sprintf("mem: walk for unknown pid %d", pid))
+	}
+	w, _, err := as.Touch(va)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Stats reports frame usage.
+type OSStats struct {
+	UsedDRAMFrames uint64
+	UsedNVMFrames  uint64
+	Processes      int
+}
+
+// Stats returns a snapshot of OS-level memory usage.
+func (o *OS) Stats() OSStats {
+	return OSStats{
+		UsedDRAMFrames: o.alloc.UsedDRAMFrames(),
+		UsedNVMFrames:  o.alloc.UsedNVMFrames(),
+		Processes:      len(o.procs),
+	}
+}

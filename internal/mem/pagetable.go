@@ -1,0 +1,150 @@
+package mem
+
+import "fmt"
+
+// entryPresent marks a page-table entry as valid. The entry layout mirrors
+// x86: bits 51-12 hold the child/leaf frame number, bit 0 is Present.
+const entryPresent = 1
+
+func makeEntry(p PPN) uint64   { return uint64(p)<<PageShift | entryPresent }
+func entryPPN(e uint64) PPN    { return PPN(e >> PageShift & 0xFFFFFFFFF) }
+func entryValid(e uint64) bool { return e&entryPresent != 0 }
+
+// tableStore holds the contents of every allocated page-table frame. It is
+// shared by all address spaces so the walker can read any table by frame
+// number, exactly as hardware reads physical memory.
+type tableStore struct {
+	frames map[PPN]*[EntriesPerTable]uint64
+}
+
+func newTableStore() *tableStore {
+	return &tableStore{frames: make(map[PPN]*[EntriesPerTable]uint64)}
+}
+
+func (ts *tableStore) add(p PPN) {
+	ts.frames[p] = new([EntriesPerTable]uint64)
+}
+
+func (ts *tableStore) read(p PPN, idx uint64) uint64 {
+	t, ok := ts.frames[p]
+	if !ok {
+		panic(fmt.Sprintf("mem: reading page-table frame %#x that was never allocated", uint64(p)))
+	}
+	return t[idx]
+}
+
+func (ts *tableStore) write(p PPN, idx uint64, v uint64) {
+	t, ok := ts.frames[p]
+	if !ok {
+		panic(fmt.Sprintf("mem: writing page-table frame %#x that was never allocated", uint64(p)))
+	}
+	t[idx] = v
+}
+
+// WalkStep records one page-table access of a walk: the level and the
+// physical address of the 8-byte entry that the hardware reads.
+type WalkStep struct {
+	Level     Level
+	EntryAddr Addr
+}
+
+// Walk is the result of a full 4-level page walk.
+type Walk struct {
+	Steps [NumLevels]WalkStep
+	Leaf  PPN // the translated physical page
+}
+
+// PTEAddr returns the physical address of the final (leaf) page-table entry.
+// This is the address whose cache line the PageSeer MMU Driver caches.
+func (w Walk) PTEAddr() Addr { return w.Steps[PTE].EntryAddr }
+
+// AddressSpace is one process's 4-level page table.
+type AddressSpace struct {
+	pid   int
+	root  PPN // PGD frame (the CR3 value)
+	store *tableStore
+	alloc *Allocator
+
+	mapped     map[VPN]PPN
+	tableCount uint64
+}
+
+// PID returns the owning process identifier.
+func (as *AddressSpace) PID() int { return as.pid }
+
+// Root returns the PGD frame (CR3).
+func (as *AddressSpace) Root() PPN { return as.root }
+
+// MappedPages returns the number of data pages currently mapped.
+func (as *AddressSpace) MappedPages() int { return len(as.mapped) }
+
+// TableFrames returns the number of frames consumed by page tables,
+// including the root.
+func (as *AddressSpace) TableFrames() uint64 { return as.tableCount }
+
+func entryAddr(table PPN, idx uint64) Addr {
+	return table.Addr() + Addr(idx*8)
+}
+
+// Lookup walks the table for va without allocating. ok is false if any level
+// is not present.
+func (as *AddressSpace) Lookup(va VAddr) (Walk, bool) {
+	var w Walk
+	table := as.root
+	for l := PGD; l < NumLevels; l++ {
+		idx := Index(va, l)
+		w.Steps[l] = WalkStep{Level: l, EntryAddr: entryAddr(table, idx)}
+		e := as.store.read(table, idx)
+		if !entryValid(e) {
+			return w, false
+		}
+		table = entryPPN(e)
+	}
+	w.Leaf = table
+	return w, true
+}
+
+// Touch walks the table for va, allocating intermediate tables and the leaf
+// data frame on demand (first-touch). It returns the complete walk and
+// whether the leaf page was newly created.
+func (as *AddressSpace) Touch(va VAddr) (Walk, bool, error) {
+	var w Walk
+	table := as.root
+	created := false
+	for l := PGD; l < NumLevels; l++ {
+		idx := Index(va, l)
+		w.Steps[l] = WalkStep{Level: l, EntryAddr: entryAddr(table, idx)}
+		e := as.store.read(table, idx)
+		if !entryValid(e) {
+			var child PPN
+			var ok bool
+			if l == PTE {
+				child, ok = as.alloc.AllocData()
+			} else {
+				child, ok = as.alloc.AllocTable()
+				if ok {
+					as.store.add(child)
+					as.tableCount++
+				}
+			}
+			if !ok {
+				return w, false, fmt.Errorf("mem: out of physical memory mapping va %#x (pid %d)", uint64(va), as.pid)
+			}
+			as.store.write(table, idx, makeEntry(child))
+			e = makeEntry(child)
+			if l == PTE {
+				created = true
+				as.mapped[VPageOf(va)] = child
+			}
+		}
+		table = entryPPN(e)
+	}
+	w.Leaf = table
+	return w, created, nil
+}
+
+// Translate returns the physical page mapped at va, if present.
+func (as *AddressSpace) Translate(va VAddr) (PPN, bool) {
+	p, ok := as.mapped[VPageOf(va)]
+	return p, ok
+}

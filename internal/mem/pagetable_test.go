@@ -1,0 +1,194 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testOS() *OS {
+	return NewOS(Map{DRAMBytes: 4 << 20, NVMBytes: 16 << 20}, 64)
+}
+
+func TestTouchCreatesMapping(t *testing.T) {
+	o := testOS()
+	as := o.NewProcess(1)
+	va := VAddr(0x7f0012345678)
+	w, created, err := as.Touch(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first Touch did not create the page")
+	}
+	if w.Leaf == 0 && !o.Map().Contains(w.Leaf.Addr()) {
+		t.Fatalf("leaf %v outside memory", w.Leaf)
+	}
+	// Second touch of the same page: no new mapping, same leaf.
+	w2, created2, err := as.Touch(va + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 {
+		t.Fatal("second Touch re-created the page")
+	}
+	if w2.Leaf != w.Leaf {
+		t.Fatalf("leaf changed across touches: %v vs %v", w2.Leaf, w.Leaf)
+	}
+}
+
+func TestWalkStepsAreDistinctAndWellFormed(t *testing.T) {
+	o := testOS()
+	as := o.NewProcess(1)
+	va := VAddr(0x00005abcdef01234) & (1<<48 - 1)
+	w, _, err := as.Touch(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Addr]bool{}
+	for l := PGD; l < NumLevels; l++ {
+		st := w.Steps[l]
+		if st.Level != l {
+			t.Errorf("step %d level = %s", l, st.Level)
+		}
+		if seen[st.EntryAddr] {
+			t.Errorf("duplicate entry address %#x", uint64(st.EntryAddr))
+		}
+		seen[st.EntryAddr] = true
+		if st.EntryAddr%8 != 0 {
+			t.Errorf("entry address %#x not 8-byte aligned", uint64(st.EntryAddr))
+		}
+		// Entry must be inside its table frame.
+		if PageOffset(VAddr(st.EntryAddr)) >= PageSize {
+			t.Errorf("entry outside frame")
+		}
+	}
+	if w.PTEAddr() != w.Steps[PTE].EntryAddr {
+		t.Error("PTEAddr mismatch")
+	}
+}
+
+func TestLookupMissingReturnsFalse(t *testing.T) {
+	o := testOS()
+	as := o.NewProcess(1)
+	if _, ok := as.Lookup(0x1234567000); ok {
+		t.Fatal("Lookup found a never-touched page")
+	}
+	if _, ok := as.Translate(0x1234567000); ok {
+		t.Fatal("Translate found a never-touched page")
+	}
+}
+
+func TestSharedLevelsReused(t *testing.T) {
+	o := testOS()
+	as := o.NewProcess(1)
+	// Two pages in the same 2MB region share PGD/PUD/PMD tables.
+	va1 := VAddr(0x40000000)
+	va2 := va1 + PageSize
+	w1, _, _ := as.Touch(va1)
+	w2, _, _ := as.Touch(va2)
+	for l := PGD; l < PTE; l++ {
+		// Same table frame means same entry address at equal indices.
+		if PageOf(w1.Steps[l].EntryAddr) != PageOf(w2.Steps[l].EntryAddr) {
+			t.Errorf("level %s tables differ for adjacent pages", l)
+		}
+	}
+	if w1.Steps[PTE].EntryAddr == w2.Steps[PTE].EntryAddr {
+		t.Error("distinct pages share a PTE slot")
+	}
+	if as.TableFrames() != 4 { // PGD+PUD+PMD+PT
+		t.Errorf("TableFrames = %d, want 4", as.TableFrames())
+	}
+}
+
+func TestProcessIsolation(t *testing.T) {
+	o := testOS()
+	a1 := o.NewProcess(1)
+	a2 := o.NewProcess(2)
+	va := VAddr(0x1000000)
+	w1, _, _ := a1.Touch(va)
+	w2, _, _ := a2.Touch(va)
+	if w1.Leaf == w2.Leaf {
+		t.Fatal("two processes mapped the same VA to the same frame")
+	}
+	if a1.Root() == a2.Root() {
+		t.Fatal("two processes share a PGD")
+	}
+}
+
+func TestDuplicatePIDPanics(t *testing.T) {
+	o := testOS()
+	o.NewProcess(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate NewProcess did not panic")
+		}
+	}()
+	o.NewProcess(1)
+}
+
+func TestWalkVAUnknownPIDPanics(t *testing.T) {
+	o := testOS()
+	defer func() {
+		if recover() == nil {
+			t.Error("WalkVA for unknown pid did not panic")
+		}
+	}()
+	o.WalkVA(99, 0x1000)
+}
+
+func TestOSStats(t *testing.T) {
+	o := testOS()
+	as := o.NewProcess(1)
+	before := o.Stats()
+	if before.Processes != 1 {
+		t.Fatalf("Processes = %d", before.Processes)
+	}
+	if _, _, err := as.Touch(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	after := o.Stats()
+	if after.UsedDRAMFrames <= before.UsedDRAMFrames {
+		t.Error("Touch did not consume frames")
+	}
+}
+
+// Property: a page table is a function — walking the same VA always yields
+// the same leaf, different pages yield different leaves, and Lookup agrees
+// with Touch.
+func TestPageTableFunctionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := NewOS(Map{DRAMBytes: 4 << 20, NVMBytes: 64 << 20}, 16)
+		as := o.NewProcess(1)
+		ref := make(map[VPN]PPN)
+		used := make(map[PPN]VPN)
+		for i := 0; i < 400; i++ {
+			va := VAddr(rng.Uint64() & (1<<40 - 1))
+			w, _, err := as.Touch(va)
+			if err != nil {
+				return false
+			}
+			vpn := VPageOf(va)
+			if prev, ok := ref[vpn]; ok {
+				if prev != w.Leaf {
+					return false // translation changed
+				}
+			} else {
+				if owner, clash := used[w.Leaf]; clash && owner != vpn {
+					return false // two VPNs share a frame
+				}
+				ref[vpn] = w.Leaf
+				used[w.Leaf] = vpn
+			}
+			lw, ok := as.Lookup(va)
+			if !ok || lw.Leaf != w.Leaf || lw.PTEAddr() != w.PTEAddr() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

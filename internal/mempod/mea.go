@@ -1,0 +1,68 @@
+// Package mempod reimplements MemPod (Prodromou et al., HPCA 2017) as
+// configured by the PageSeer paper's Section IV-B: the memory is split into
+// pods, each running the Majority Element Algorithm with 64 counters over
+// its access stream; every 50us the MEA-identified hot NVM segments migrate
+// to DRAM at 2KB granularity, with any-to-any remapping inside the pod, a
+// 32KB remap cache, and (optimistically, as the paper grants) a zero-latency
+// inverted mapping table.
+package mempod
+
+// MEA implements the Majority Element Algorithm of Karp, Papadimitriou and
+// Shenker (counter-based frequent-element sketch): an element already
+// tracked increments its counter; a new element takes a free counter; if
+// none is free, every counter decrements (evicting zeros). Elements still
+// tracked at the end of an interval are the frequent ones.
+type MEA struct {
+	capacity int
+	counts   map[uint64]uint32
+
+	Increments uint64
+	Decrements uint64
+}
+
+// NewMEA builds a sketch with the given counter count (64 in the paper).
+func NewMEA(capacity int) *MEA {
+	return &MEA{capacity: capacity, counts: make(map[uint64]uint32)}
+}
+
+// Observe feeds one element occurrence into the sketch.
+func (m *MEA) Observe(e uint64) {
+	if _, ok := m.counts[e]; ok {
+		m.counts[e]++
+		m.Increments++
+		return
+	}
+	if len(m.counts) < m.capacity {
+		m.counts[e] = 1
+		m.Increments++
+		return
+	}
+	m.Decrements++
+	for k, v := range m.counts {
+		if v <= 1 {
+			delete(m.counts, k)
+		} else {
+			m.counts[k] = v - 1
+		}
+	}
+}
+
+// Len returns the number of tracked elements.
+func (m *MEA) Len() int { return len(m.counts) }
+
+// Count returns e's current counter (0 if untracked).
+func (m *MEA) Count(e uint64) uint32 { return m.counts[e] }
+
+// Frequent returns the tracked elements with count >= minCount, unordered.
+func (m *MEA) Frequent(minCount uint32) []uint64 {
+	out := make([]uint64, 0, len(m.counts))
+	for e, c := range m.counts {
+		if c >= minCount {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset clears the sketch for the next interval.
+func (m *MEA) Reset() { m.counts = make(map[uint64]uint32) }

@@ -1,0 +1,484 @@
+// Package memsim is a DRAMSim2-flavoured memory timing model: channels,
+// ranks, banks, row buffers, and a FR-FCFS scheduler, parameterised with the
+// DRAM and NVM timings from Table I of the PageSeer paper.
+//
+// All requests are cache-line (64B) granularity. Latency comes from three
+// sources, exactly the ones the paper's evaluation depends on:
+//
+//   - row-buffer state: a row hit pays tCAS; a closed bank pays tRCD+tCAS;
+//     a conflict pays tRP+tRCD+tCAS (NVM's tRCD=58 is where its high read
+//     latency lives, and tWR=180 is where its write cost lives);
+//   - bank-level parallelism: each bank tracks its own readiness, so
+//     accesses to different banks overlap;
+//   - channel bandwidth: one 64B burst occupies the channel data bus for
+//     BurstCycles, so demand traffic and page-swap traffic contend.
+//
+// Timing parameters are given in memory-clock cycles (1GHz in the paper)
+// and converted to CPU cycles (2GHz) with ClockRatio at construction.
+package memsim
+
+import (
+	"fmt"
+
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+)
+
+// Timing holds per-command latencies in memory-clock cycles.
+type Timing struct {
+	TCAS uint64 // column access (read latency from open row)
+	TRCD uint64 // row activate to column command
+	TRAS uint64 // row activate to precharge
+	TRP  uint64 // precharge
+	TWR  uint64 // write recovery (data end to precharge)
+}
+
+// Config describes one memory module (a DRAM or NVM part).
+type Config struct {
+	Name            string
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	RowBytes        uint64 // row-buffer size per bank
+	Timing          Timing
+	ClockRatio      uint64 // CPU cycles per memory cycle (2 for 2GHz CPU / 1GHz bus)
+	BurstMemCycles  uint64 // data-bus occupancy of one 64B line, in memory cycles
+	// MaxBypass bounds FR-FCFS reordering: a request can be overtaken by
+	// row hits at most this many times before it becomes highest priority.
+	MaxBypass int
+	// SwapAgeLimit promotes a background (swap-priority) request to the
+	// middle scheduling class once it has waited this many CPU cycles,
+	// bounding migration starvation under heavy demand traffic
+	// (0 disables aging).
+	SwapAgeLimit uint64
+	// ClasslessEvery reserves every Nth commit slot for pure
+	// first-ready-first-come scheduling regardless of class, guaranteeing
+	// background traffic a bounded bandwidth share even under continuous
+	// demand (0 disables the reservation).
+	ClasslessEvery uint64
+}
+
+// DRAMConfig returns the paper's DRAM part (Table I): 4 channels, 1 rank,
+// 8 banks, 11-11-28 with tRP=11, tWR=12.
+func DRAMConfig() Config {
+	return Config{
+		Name:            "DRAM",
+		Channels:        4,
+		RanksPerChannel: 1,
+		BanksPerRank:    8,
+		RowBytes:        8192,
+		Timing:          Timing{TCAS: 11, TRCD: 11, TRAS: 28, TRP: 11, TWR: 12},
+		ClockRatio:      2,
+		BurstMemCycles:  4, // 64B over a 64-bit DDR bus at 1GHz
+		MaxBypass:       3,
+		SwapAgeLimit:    400,
+		ClasslessEvery:  6,
+	}
+}
+
+// NVMConfig returns the paper's NVM part (Table I): 2 channels, 2 ranks,
+// 8 banks, 11-58-80 with tRP=11, tWR=180, refresh disabled.
+func NVMConfig() Config {
+	return Config{
+		Name:            "NVM",
+		Channels:        2,
+		RanksPerChannel: 2,
+		BanksPerRank:    8,
+		RowBytes:        8192,
+		Timing:          Timing{TCAS: 11, TRCD: 58, TRAS: 80, TRP: 11, TWR: 180},
+		ClockRatio:      2,
+		BurstMemCycles:  4,
+		MaxBypass:       3,
+		SwapAgeLimit:    400,
+		ClasslessEvery:  6,
+	}
+}
+
+// Priority orders request classes at the scheduler. Demand misses always
+// beat background swap traffic so page migration cannot starve the program.
+type Priority int
+
+const (
+	// PrioDemand is for processor demand misses and page-walk reads.
+	PrioDemand Priority = iota
+	// PrioSwap is for page-swap and metadata background traffic.
+	PrioSwap
+)
+
+// Request is one line-granularity access.
+type request struct {
+	addr    mem.Addr
+	write   bool
+	prio    Priority
+	arrival uint64
+	bypass  int
+	done    func()
+}
+
+type bank struct {
+	openRow      int64 // -1 when closed
+	nextReady    uint64
+	earliestPre  uint64 // tRAS / tWR constraint on the next precharge
+	rowHits      uint64
+	rowMisses    uint64
+	rowConflicts uint64
+}
+
+type channel struct {
+	banks   []bank
+	busFree uint64
+	queue   []*request
+	// wakeAt is the cycle of the earliest pending scheduler wakeup
+	// (0 = none).
+	wakeAt uint64
+	// commits counts issued requests, for the periodic classless slot.
+	commits uint64
+}
+
+// Stats aggregates module-level counters.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+	// TotalWait is the sum over requests of (completion - arrival), in CPU
+	// cycles. TotalWait/ (Reads+Writes) is this module's average latency.
+	TotalWait uint64
+	// BusBusy is the total CPU cycles of data-bus occupancy, summed across
+	// channels (for bandwidth-utilisation estimates).
+	BusBusy uint64
+}
+
+// Module simulates one memory part (the DRAM or the NVM of the hybrid pair).
+type Module struct {
+	sim  *engine.Sim
+	cfg  Config
+	base mem.Addr
+	size uint64
+
+	chans []channel
+	stats Stats
+
+	// derived, in CPU cycles
+	tCAS, tRCD, tRAS, tRP, tWR, burst uint64
+	linesPerRow                       uint64
+	banksPerChannel                   int
+}
+
+// New creates a module covering physical range [base, base+size).
+func New(sim *engine.Sim, cfg Config, base mem.Addr, size uint64) *Module {
+	if cfg.Channels <= 0 || cfg.BanksPerRank <= 0 || cfg.RanksPerChannel <= 0 {
+		panic("memsim: invalid geometry")
+	}
+	if cfg.ClockRatio == 0 {
+		cfg.ClockRatio = 1
+	}
+	m := &Module{
+		sim:             sim,
+		cfg:             cfg,
+		base:            base,
+		size:            size,
+		tCAS:            cfg.Timing.TCAS * cfg.ClockRatio,
+		tRCD:            cfg.Timing.TRCD * cfg.ClockRatio,
+		tRAS:            cfg.Timing.TRAS * cfg.ClockRatio,
+		tRP:             cfg.Timing.TRP * cfg.ClockRatio,
+		tWR:             cfg.Timing.TWR * cfg.ClockRatio,
+		burst:           cfg.BurstMemCycles * cfg.ClockRatio,
+		linesPerRow:     cfg.RowBytes / mem.LineSize,
+		banksPerChannel: cfg.BanksPerRank * cfg.RanksPerChannel,
+	}
+	m.chans = make([]channel, cfg.Channels)
+	for i := range m.chans {
+		m.chans[i].banks = make([]bank, m.banksPerChannel)
+		for b := range m.chans[i].banks {
+			m.chans[i].banks[b].openRow = -1
+		}
+	}
+	return m
+}
+
+// Config returns the module configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the module counters.
+func (m *Module) Stats() Stats {
+	s := m.stats
+	for i := range m.chans {
+		for b := range m.chans[i].banks {
+			bk := &m.chans[i].banks[b]
+			s.RowHits += bk.rowHits
+			s.RowMisses += bk.rowMisses
+			s.RowConflicts += bk.rowConflicts
+		}
+	}
+	return s
+}
+
+// Contains reports whether addr belongs to this module.
+func (m *Module) Contains(addr mem.Addr) bool {
+	return addr >= m.base && uint64(addr-m.base) < m.size
+}
+
+// locate maps a line address to (channel, bank, row). Lines interleave
+// across channels first (for bandwidth), then columns fill a row, then rows
+// interleave across banks.
+func (m *Module) locate(addr mem.Addr) (ch, bk int, row int64) {
+	if !m.Contains(addr) {
+		panic(fmt.Sprintf("memsim(%s): address %#x outside module", m.cfg.Name, uint64(addr)))
+	}
+	line := uint64(addr-m.base) >> mem.LineShift
+	ch = int(line % uint64(m.cfg.Channels))
+	rest := line / uint64(m.cfg.Channels)
+	rowLocal := rest / m.linesPerRow
+	bk = int(rowLocal % uint64(m.banksPerChannel))
+	row = int64(rowLocal / uint64(m.banksPerChannel))
+	return ch, bk, row
+}
+
+// BusBusy returns cumulative data-bus occupancy in CPU cycles summed over
+// channels; successive deltas divided by (elapsed x Channels) give the
+// module's bandwidth utilization.
+func (m *Module) BusBusy() uint64 { return m.stats.BusBusy }
+
+// Channels returns the channel count.
+func (m *Module) Channels() int { return m.cfg.Channels }
+
+// QueueLen returns the number of requests waiting on channel ch.
+func (m *Module) QueueLen(ch int) int { return len(m.chans[ch].queue) }
+
+// Backlog returns the total number of queued requests across channels plus
+// how far ahead of now the busiest data bus is committed, a cheap proxy for
+// bandwidth saturation used by the Swap Driver heuristic.
+func (m *Module) Backlog() (queued int, busAhead uint64) {
+	now := m.sim.Now()
+	for i := range m.chans {
+		queued += len(m.chans[i].queue)
+		if m.chans[i].busFree > now && m.chans[i].busFree-now > busAhead {
+			busAhead = m.chans[i].busFree - now
+		}
+	}
+	return queued, busAhead
+}
+
+// Access enqueues a line access. done runs at completion time (may be nil).
+func (m *Module) Access(addr mem.Addr, write bool, prio Priority, done func()) {
+	ch, _, _ := m.locate(mem.LineOf(addr))
+	c := &m.chans[ch]
+	c.queue = append(c.queue, &request{
+		addr:    mem.LineOf(addr),
+		write:   write,
+		prio:    prio,
+		arrival: m.sim.Now(),
+		done:    done,
+	})
+	if write {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	m.trySchedule(ch)
+}
+
+// feasible returns the earliest cycle the request's data burst could start,
+// given its bank's state and the shared data bus, without mutating anything.
+// Command latencies overlap with bus occupancy (commands pipeline on the
+// command bus), so back-to-back row hits stream at full bus rate: their
+// tCAS only shows when the bus is otherwise idle.
+func (m *Module) feasible(c *channel, r *request, now uint64) uint64 {
+	_, bkIdx, row := m.locate(r.addr)
+	bk := &c.banks[bkIdx]
+	var path uint64
+	switch {
+	case bk.openRow == row:
+		path = now + m.tCAS
+	case bk.openRow == -1:
+		path = now + m.tRCD + m.tCAS
+	default:
+		pre := now
+		if bk.earliestPre > pre {
+			pre = bk.earliestPre
+		}
+		path = pre + m.tRP + m.tRCD + m.tCAS
+	}
+	if bk.nextReady > path {
+		path = bk.nextReady
+	}
+	if c.busFree > path {
+		path = c.busFree
+	}
+	return path
+}
+
+// pick chooses the next request: best priority class first; within a class,
+// the earliest feasible data-bus slot (which favours ready banks and row
+// hits, the essence of FR-FCFS without head-of-line blocking); ties go to
+// the oldest. A starving oldest request (bypassed more than MaxBypass
+// times) becomes mandatory.
+func (m *Module) pick(c *channel, now uint64) (idx int, start uint64) {
+	classless := m.cfg.ClasslessEvery != 0 && c.commits%m.cfg.ClasslessEvery == m.cfg.ClasslessEvery-1
+	oldest := -1
+	for i, r := range c.queue {
+		if oldest == -1 || r.arrival < c.queue[oldest].arrival {
+			oldest = i
+		}
+	}
+	if c.queue[oldest].bypass >= m.cfg.MaxBypass {
+		// Force the starving oldest request — unless its bank is genuinely
+		// unready (write recovery / precharge constraints push its start
+		// beyond even a worst-case row conflict on an idle bank); idling
+		// the bus behind such a bank would reintroduce head-of-line
+		// blocking through the fairness path.
+		bound := now + m.tRP + m.tRCD + m.tCAS + 2*m.burst
+		if c.busFree > now {
+			bound += c.busFree - now
+		}
+		if s := m.feasible(c, c.queue[oldest], now); s <= bound {
+			return oldest, s
+		}
+	}
+	best := -1
+	var bestStart uint64
+	var bestPrio int
+	for i, r := range c.queue {
+		s := m.feasible(c, r, now)
+		// Three effective classes: demand (0) beats aged background (1)
+		// beats fresh background (2). Aging bounds a migration line's wait
+		// without letting stale swap bursts block fresh demand outright,
+		// and the periodic classless slot guarantees background traffic a
+		// bounded share of the bus under continuous demand.
+		prio := 0
+		if r.prio == PrioSwap {
+			prio = 2
+			if m.cfg.SwapAgeLimit != 0 && now-r.arrival > m.cfg.SwapAgeLimit {
+				prio = 1
+			}
+		}
+		if classless {
+			// Reserved slot: the class order inverts, so queued background
+			// traffic is guaranteed this commit even under continuous
+			// row-hitting demand.
+			prio = -prio
+		}
+		if best == -1 || prio < bestPrio ||
+			(prio == bestPrio && (s < bestStart ||
+				(s == bestStart && r.arrival < c.queue[best].arrival))) {
+			best, bestStart, bestPrio = i, s, prio
+		}
+	}
+	if best != oldest {
+		c.queue[oldest].bypass++
+	}
+	return best, bestStart
+}
+
+// trySchedule commits the best queued request once the data bus has caught
+// up with the previous commitment, then arms a wakeup at the new busFree.
+// Committing only the minimum-dataStart request keeps the bus from being
+// reserved behind a slow bank (no head-of-line blocking), while the
+// one-commitment-ahead rule keeps the scheduler adaptive to new arrivals.
+func (m *Module) trySchedule(ch int) {
+	c := &m.chans[ch]
+	if len(c.queue) == 0 {
+		return
+	}
+	now := m.sim.Now()
+	// Commit the next request tCAS before the bus frees so a row hit's
+	// data burst packs immediately behind the previous one.
+	if c.busFree > now+m.tCAS {
+		m.armWake(c, ch, c.busFree-m.tCAS)
+		return
+	}
+	i, start := m.pick(c, now)
+	r := c.queue[i]
+	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	c.commits++
+	m.issue(ch, r, start)
+	if len(c.queue) > 0 {
+		m.armWake(c, ch, c.busFree)
+	}
+}
+
+func (m *Module) armWake(c *channel, ch int, at uint64) {
+	if c.wakeAt != 0 && at >= c.wakeAt {
+		return
+	}
+	c.wakeAt = at
+	m.sim.At(at, func() {
+		c.wakeAt = 0
+		m.trySchedule(ch)
+	})
+}
+
+// issue commits one request at its data-burst start time.
+func (m *Module) issue(ch int, r *request, dataStart uint64) {
+	c := &m.chans[ch]
+	_, bkIdx, row := m.locate(r.addr)
+	bk := &c.banks[bkIdx]
+
+	switch {
+	case bk.openRow == row:
+		bk.rowHits++
+	case bk.openRow == -1:
+		bk.rowMisses++
+		bk.earliestPre = dataStart - m.tCAS + m.tRAS
+	default:
+		bk.rowConflicts++
+		bk.earliestPre = dataStart - m.tCAS + m.tRAS
+	}
+
+	dataEnd := dataStart + m.burst
+	c.busFree = dataEnd
+	m.stats.BusBusy += m.burst
+
+	bk.openRow = row
+	// The next column command to this bank can pipeline behind this one.
+	bk.nextReady = dataStart
+	if r.write {
+		// Write recovery: the row cannot be closed until tWR after the
+		// data, so a row conflict after writes pays the full tWR (NVM's
+		// 180-cycle tWR is where its write cost bites). Same-row writes
+		// keep streaming at bus rate.
+		if end := dataEnd + m.tWR; end > bk.earliestPre {
+			bk.earliestPre = end
+		}
+	}
+
+	m.stats.TotalWait += dataEnd - r.arrival
+	done := r.done
+	m.sim.At(dataEnd, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Promote raises a queued request for the given line to demand priority —
+// the controller calls this when a processor request is waiting on a swap
+// read (requested-line-first, Section III-D1).
+func (m *Module) Promote(addr mem.Addr) {
+	line := mem.LineOf(addr)
+	ch, _, _ := m.locate(line)
+	c := &m.chans[ch]
+	for _, r := range c.queue {
+		if r.addr == line {
+			r.prio = PrioDemand
+		}
+	}
+}
+
+// IdleLatency returns the no-contention read latency of this module in CPU
+// cycles (closed bank: tRCD+tCAS+burst). Useful for tests and sanity checks.
+func (m *Module) IdleLatency() uint64 { return m.tRCD + m.tCAS + m.burst }
+
+// ResetStats zeroes all counters (e.g. after warm-up) without touching
+// timing state.
+func (m *Module) ResetStats() {
+	m.stats = Stats{}
+	for i := range m.chans {
+		for b := range m.chans[i].banks {
+			bk := &m.chans[i].banks[b]
+			bk.rowHits, bk.rowMisses, bk.rowConflicts = 0, 0, 0
+		}
+	}
+}

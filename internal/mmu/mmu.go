@@ -1,0 +1,205 @@
+package mmu
+
+import (
+	"pageseer/internal/cache"
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+)
+
+// Hint is the MMU -> HMC signal PageSeer adds (action 1 in Figure 3): sent
+// as soon as the walk reaches the fourth translation level and the address
+// of the line holding the PTE is known.
+//
+// LeafPPN carries the value stored in the PTE. The hardware only learns it
+// after reading the PTE line from memory; the MMU Driver models that timing
+// by issuing its own DRAM read before acting on the value. The field exists
+// so the driver does not need a back-pointer into the OS page tables.
+type Hint struct {
+	Core    int
+	PID     int
+	VPN     mem.VPN
+	PTELine mem.Addr
+	LeafPPN mem.PPN
+}
+
+// Hinter receives MMU hints. PageSeer's HMC implements it; baseline
+// controllers leave the MMU unhinted (nil).
+type Hinter interface {
+	MMUHint(Hint)
+}
+
+// Config gathers the per-core MMU parameters.
+type Config struct {
+	L1TLB TLBConfig
+	L2TLB TLBConfig
+	PWC   PWCConfig
+	// HintLatency is the MMU->HMC wire delay (2 CPU cycles in Table II).
+	HintLatency uint64
+}
+
+// DefaultConfig returns the paper's MMU parameters.
+func DefaultConfig() Config {
+	return Config{
+		L1TLB:       L1TLBConfig(),
+		L2TLB:       L2TLBConfig(),
+		PWC:         DefaultPWCConfig(),
+		HintLatency: 2,
+	}
+}
+
+// Stats counts translation activity.
+type Stats struct {
+	L1Hits    uint64
+	L1Misses  uint64
+	L2Hits    uint64
+	L2Misses  uint64
+	Walks     uint64
+	WalkReads uint64
+	Hints     uint64
+}
+
+// MMU is one core's translation machinery. Walk reads go through walkPort
+// (the core's L2 cache — page-table lines are not kept in L1, per the
+// paper), so they populate L2/L3 and can reach the memory controller.
+type MMU struct {
+	sim      *engine.Sim
+	os       *mem.OS
+	core     int
+	pid      int
+	cfg      Config
+	l1       *TLB
+	l2       *TLB
+	pwc      *PWC
+	walkPort cache.Backend
+	hinter   Hinter
+
+	walking bool
+	walkQ   []pendingWalk
+	stats   Stats
+}
+
+type pendingWalk struct {
+	va   mem.VAddr
+	done func(mem.PPN)
+}
+
+// New builds an MMU for (core, pid) whose walker reads page tables through
+// walkPort. hinter may be nil (no MMU->HMC signal, as in the baselines).
+func New(sim *engine.Sim, osm *mem.OS, core, pid int, cfg Config, walkPort cache.Backend, hinter Hinter) *MMU {
+	return &MMU{
+		sim:      sim,
+		os:       osm,
+		core:     core,
+		pid:      pid,
+		cfg:      cfg,
+		l1:       NewTLB(cfg.L1TLB),
+		l2:       NewTLB(cfg.L2TLB),
+		pwc:      NewPWC(cfg.PWC),
+		walkPort: walkPort,
+		hinter:   hinter,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// PID returns the process this MMU translates for.
+func (m *MMU) PID() int { return m.pid }
+
+// Translate resolves va to the OS-visible physical page, modelling TLB and
+// page-walk timing. done receives the PPN when the translation is ready.
+func (m *MMU) Translate(va mem.VAddr, done func(mem.PPN)) {
+	vpn := mem.VPageOf(va)
+	m.sim.After(m.cfg.L1TLB.Latency, func() {
+		if ppn, ok := m.l1.Lookup(m.pid, vpn); ok {
+			m.stats.L1Hits++
+			done(ppn)
+			return
+		}
+		m.stats.L1Misses++
+		m.sim.After(m.cfg.L2TLB.Latency, func() {
+			if ppn, ok := m.l2.Lookup(m.pid, vpn); ok {
+				m.stats.L2Hits++
+				m.l1.Insert(m.pid, vpn, ppn)
+				done(ppn)
+				return
+			}
+			m.stats.L2Misses++
+			m.enqueueWalk(va, done)
+		})
+	})
+}
+
+// enqueueWalk serialises page walks: each core has a single page walker.
+func (m *MMU) enqueueWalk(va mem.VAddr, done func(mem.PPN)) {
+	m.walkQ = append(m.walkQ, pendingWalk{va: va, done: done})
+	if !m.walking {
+		m.startNextWalk()
+	}
+}
+
+func (m *MMU) startNextWalk() {
+	if len(m.walkQ) == 0 {
+		m.walking = false
+		return
+	}
+	m.walking = true
+	pw := m.walkQ[0]
+	m.walkQ = m.walkQ[1:]
+	m.walk(pw.va, func(ppn mem.PPN) {
+		pw.done(ppn)
+		m.startNextWalk()
+	})
+}
+
+// walk performs the 4-level page walk for va. The OS maps the page on first
+// touch (zero-cost fault; see mem.OS); the hardware cost modelled here is
+// the PWC probe plus one cached memory read per remaining level.
+func (m *MMU) walk(va mem.VAddr, done func(mem.PPN)) {
+	m.stats.Walks++
+	w := m.os.WalkVA(m.pid, va)
+
+	m.sim.After(m.cfg.PWC.Latency, func() {
+		start := mem.PGD
+		if lvl, _, ok := m.pwc.Lookup(m.pid, va); ok {
+			start = lvl + 1
+		}
+		m.walkLevel(va, w, start, done)
+	})
+}
+
+func (m *MMU) walkLevel(va mem.VAddr, w mem.Walk, l mem.Level, done func(mem.PPN)) {
+	if l == mem.PTE && m.hinter != nil {
+		// The address of the PTE line is now known: signal the HMC in
+		// parallel with the L2 request (Figure 3, action 1).
+		m.stats.Hints++
+		h := Hint{
+			Core:    m.core,
+			PID:     m.pid,
+			VPN:     mem.VPageOf(va),
+			PTELine: mem.LineOf(w.Steps[mem.PTE].EntryAddr),
+			LeafPPN: w.Leaf,
+		}
+		m.sim.After(m.cfg.HintLatency, func() { m.hinter.MMUHint(h) })
+	}
+	m.stats.WalkReads++
+	meta := cache.Meta{Core: m.core, PID: m.pid, PageWalk: true, IsPTE: l == mem.PTE}
+	m.walkPort.Access(w.Steps[l].EntryAddr, false, meta, func() {
+		if l < mem.PTE {
+			// Cache the discovered next-table frame in the PWC. The frame
+			// is the page holding the next level's entry.
+			next := mem.PageOf(w.Steps[l+1].EntryAddr)
+			m.pwc.Insert(m.pid, va, l, next)
+			m.walkLevel(va, w, l+1, done)
+			return
+		}
+		vpn := mem.VPageOf(va)
+		m.l1.Insert(m.pid, vpn, w.Leaf)
+		m.l2.Insert(m.pid, vpn, w.Leaf)
+		done(w.Leaf)
+	})
+}
+
+// ResetStats zeroes the MMU counters (e.g. after warm-up), keeping TLB and
+// PWC contents.
+func (m *MMU) ResetStats() { m.stats = Stats{} }

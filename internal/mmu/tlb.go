@@ -1,0 +1,119 @@
+// Package mmu models the per-core memory management unit: L1/L2 TLBs,
+// page-walk caches for the intermediate translation levels, and a hardware
+// page walker that reads the 4-level page tables through the cache
+// hierarchy. It also implements PageSeer's one hardware change to the MMU:
+// when a walk reaches the fourth level and the PTE address is known, the MMU
+// sends a hint to the hybrid memory controller (Section III-B).
+package mmu
+
+import (
+	"pageseer/internal/mem"
+)
+
+// TLBConfig describes one TLB level.
+type TLBConfig struct {
+	Entries int
+	Ways    int
+	Latency uint64
+}
+
+// L1TLBConfig returns the paper's L1 TLB: 64 entries, 4-way, 1 cycle.
+func L1TLBConfig() TLBConfig { return TLBConfig{Entries: 64, Ways: 4, Latency: 1} }
+
+// L2TLBConfig returns the paper's L2 TLB: 1024 entries, 12-way, 10 cycles.
+// 1024 is not divisible by 12, so the model holds 85 sets x 12 ways = 1020
+// entries, the closest realisable geometry.
+func L2TLBConfig() TLBConfig { return TLBConfig{Entries: 1024, Ways: 12, Latency: 10} }
+
+type tlbEntry struct {
+	pid   int
+	vpn   mem.VPN
+	ppn   mem.PPN
+	valid bool
+	lru   uint64
+}
+
+// TLB is a set-associative, PID-tagged translation cache.
+type TLB struct {
+	cfg  TLBConfig
+	sets [][]tlbEntry
+	tick uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB builds a TLB; entry count is rounded down to sets*ways.
+func NewTLB(cfg TLBConfig) *TLB {
+	nSets := cfg.Entries / cfg.Ways
+	if nSets < 1 {
+		nSets = 1
+	}
+	t := &TLB{cfg: cfg}
+	t.sets = make([][]tlbEntry, nSets)
+	for i := range t.sets {
+		t.sets[i] = make([]tlbEntry, cfg.Ways)
+	}
+	return t
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Capacity returns the realised entry count (sets x ways).
+func (t *TLB) Capacity() int { return len(t.sets) * t.cfg.Ways }
+
+// Hits and Misses return lookup counters.
+func (t *TLB) Hits() uint64   { return t.hits }
+func (t *TLB) Misses() uint64 { return t.misses }
+
+func (t *TLB) set(vpn mem.VPN) []tlbEntry {
+	return t.sets[uint64(vpn)%uint64(len(t.sets))]
+}
+
+// Lookup searches for (pid, vpn) and refreshes LRU on a hit.
+func (t *TLB) Lookup(pid int, vpn mem.VPN) (mem.PPN, bool) {
+	s := t.set(vpn)
+	for i := range s {
+		if s[i].valid && s[i].pid == pid && s[i].vpn == vpn {
+			t.tick++
+			s[i].lru = t.tick
+			t.hits++
+			return s[i].ppn, true
+		}
+	}
+	t.misses++
+	return 0, false
+}
+
+// Insert installs a translation, evicting the set's LRU entry if needed.
+func (t *TLB) Insert(pid int, vpn mem.VPN, ppn mem.PPN) {
+	s := t.set(vpn)
+	victim := &s[0]
+	for i := range s {
+		if s[i].valid && s[i].pid == pid && s[i].vpn == vpn {
+			victim = &s[i] // refresh in place
+			break
+		}
+		if !s[i].valid {
+			victim = &s[i]
+			break
+		}
+		if s[i].lru < victim.lru {
+			victim = &s[i]
+		}
+	}
+	t.tick++
+	*victim = tlbEntry{pid: pid, vpn: vpn, ppn: ppn, valid: true, lru: t.tick}
+}
+
+// FlushPID invalidates all entries of one process (TLB shootdown).
+func (t *TLB) FlushPID(pid int) {
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			if t.sets[i][j].pid == pid {
+				t.sets[i][j].valid = false
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package pom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pageseer/internal/cache"
+	"pageseer/internal/engine"
+	"pageseer/internal/hmc"
+	"pageseer/internal/mem"
+	"pageseer/internal/memsim"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SRCEntries = 128
+	cfg.RemapTableBytes = 8 << 10
+	cfg.CounterDecayInterval = 0
+	cfg.CounterTableEntries = 256
+	return cfg
+}
+
+func testRig() (*engine.Sim, *hmc.Controller, *PoM) {
+	sim := engine.New()
+	osm := mem.NewOS(mem.Map{DRAMBytes: 2 << 20, NVMBytes: 16 << 20}, 16)
+	ctl := hmc.NewController(sim, osm, memsim.DRAMConfig(), memsim.NVMConfig(), hmc.DefaultSwapEngineConfig())
+	p := New(ctl, testConfig())
+	return sim, ctl, p
+}
+
+func slowSeg(ctl *hmc.Controller, i int) mem.Addr {
+	return mem.Addr(ctl.Layout.DRAMBytes) + mem.Addr(i)*SegmentBytes
+}
+
+func miss(sim *engine.Sim, ctl *hmc.Controller, a mem.Addr) {
+	ctl.Access(a, false, cache.Meta{PID: 1}, nil)
+	sim.Drain(0)
+}
+
+func TestSwapAtThresholdK(t *testing.T) {
+	sim, ctl, p := testRig()
+	a := slowSeg(ctl, 100)
+	for i := 0; i < int(p.cfg.K)-1; i++ {
+		miss(sim, ctl, a)
+	}
+	if p.Stats().Swaps != 0 {
+		t.Fatal("swap fired below K")
+	}
+	miss(sim, ctl, a)
+	sim.Drain(0)
+	if p.Stats().Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", p.Stats().Swaps)
+	}
+	if got := p.TranslateLine(a); !ctl.Layout.IsDRAM(got) {
+		t.Fatalf("hot segment still maps to %#x (NVM)", uint64(got))
+	}
+	if err := ctl.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectMappedGroup(t *testing.T) {
+	_, ctl, p := testRig()
+	// A slow segment's group is (index - fastSegs) % fastSegs.
+	fast := seg(ctl.Layout.DRAMBytes / SegmentBytes)
+	if p.group(0) != 0 || p.group(fast) != 0 || p.group(fast+1) != 1 {
+		t.Fatalf("group mapping wrong: %d %d %d", p.group(0), p.group(fast), p.group(fast+1))
+	}
+	if p.group(2*fast) != 0 {
+		t.Fatal("wraparound group mapping wrong")
+	}
+}
+
+func TestFastSwapDisplacesToSlowHome(t *testing.T) {
+	sim, ctl, p := testRig()
+	// Two slow segments of the same group swap in sequence; the first's
+	// data must end up at the second's original home (fast swap), not at
+	// its own.
+	fast := seg(ctl.Layout.DRAMBytes / SegmentBytes)
+	// Avoid group 0..N where metadata lives.
+	g := fast - 1
+	s1 := g + fast   // first slow segment of group g
+	s2 := g + 2*fast // second slow segment of group g
+	for i := 0; i < int(p.cfg.K); i++ {
+		miss(sim, ctl, s1.base())
+	}
+	sim.Drain(0)
+	if p.locate(s1) != g {
+		t.Fatalf("s1 not in fast slot: %d", p.locate(s1))
+	}
+	for i := 0; i < int(p.cfg.K); i++ {
+		miss(sim, ctl, s2.base())
+	}
+	sim.Drain(0)
+	if p.locate(s2) != g {
+		t.Fatalf("s2 not in fast slot: %d", p.locate(s2))
+	}
+	if p.locate(s1) != s2 {
+		t.Fatalf("fast swap should strand s1 at s2's home; s1 is at %d", p.locate(s1))
+	}
+	if err := ctl.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictThrashingPossible(t *testing.T) {
+	sim, ctl, p := testRig()
+	// PoM's direct mapping means two hot segments of one group keep
+	// displacing each other — the weakness PageSeer Section V-A calls out.
+	fast := seg(ctl.Layout.DRAMBytes / SegmentBytes)
+	g := fast - 2
+	s1, s2 := g+fast, g+2*fast
+	for round := 0; round < 3; round++ {
+		for i := 0; i < int(p.cfg.K); i++ {
+			miss(sim, ctl, s1.base())
+		}
+		for i := 0; i < int(p.cfg.K); i++ {
+			miss(sim, ctl, s2.base())
+		}
+		sim.Drain(0)
+	}
+	if p.Stats().Swaps < 4 {
+		t.Fatalf("expected repeated displacement swaps, got %d", p.Stats().Swaps)
+	}
+	if err := ctl.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinnedFastSlotBlocksSwap(t *testing.T) {
+	sim, ctl, p := testRig()
+	// Group 0's fast slot hosts the SRC region (allocated first): swaps
+	// into it must be blocked.
+	fast := seg(ctl.Layout.DRAMBytes / SegmentBytes)
+	s := fast // slow segment of group 0
+	for i := 0; i < int(p.cfg.K)+3; i++ {
+		miss(sim, ctl, s.base())
+	}
+	sim.Drain(0)
+	if p.locate(s) == 0 {
+		t.Fatal("segment swapped into a pinned metadata slot")
+	}
+	if p.Stats().SwapsBlocked == 0 {
+		t.Fatal("no blocked swap recorded")
+	}
+}
+
+func TestCounterDecay(t *testing.T) {
+	cfg := testConfig()
+	cfg.CounterDecayInterval = 1000
+	sim2 := engine.New()
+	osm := mem.NewOS(mem.Map{DRAMBytes: 2 << 20, NVMBytes: 16 << 20}, 16)
+	ctl2 := hmc.NewController(sim2, osm, memsim.DRAMConfig(), memsim.NVMConfig(), hmc.DefaultSwapEngineConfig())
+	p2 := New(ctl2, cfg)
+	a := slowSeg(ctl2, 50)
+	for i := 0; i < int(cfg.K)-2; i++ {
+		miss(sim2, ctl2, a)
+	}
+	// Let counters decay well below threshold, then a few more accesses
+	// must not trigger a swap.
+	sim2.RunUntil(sim2.Now() + 10_000)
+	for i := 0; i < 2; i++ {
+		miss(sim2, ctl2, a)
+	}
+	sim2.Drain(0)
+	if p2.Stats().Swaps != 0 {
+		t.Fatal("decayed counter still triggered a swap")
+	}
+}
+
+func TestWritebackRoutedThroughRemap(t *testing.T) {
+	sim, ctl, p := testRig()
+	a := slowSeg(ctl, 100)
+	for i := 0; i < int(p.cfg.K); i++ {
+		miss(sim, ctl, a)
+	}
+	sim.Drain(0)
+	before := ctl.DRAM.Stats().Writes
+	ctl.Access(a, true, cache.Meta{Writeback: true}, nil)
+	sim.Drain(0)
+	if ctl.DRAM.Stats().Writes == before {
+		t.Fatal("writeback to a swapped-in segment did not reach DRAM")
+	}
+}
+
+// Property: random traffic never desynchronises PoM's remap state from the
+// data movement (oracle-checked), and all requests complete.
+func TestPoMIntegrityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim, ctl, _ := testRig()
+		want, got := 0, 0
+		for op := 0; op < 400; op++ {
+			var a mem.Addr
+			if rng.Intn(3) == 0 {
+				a = mem.Addr(rng.Intn(1<<20) + (1 << 20)) // DRAM, above metadata
+			} else {
+				a = slowSeg(ctl, rng.Intn(512))
+			}
+			a &= ^mem.Addr(63)
+			want++
+			ctl.Access(a, rng.Intn(4) == 0, cache.Meta{PID: rng.Intn(2)}, func() { got++ })
+			if rng.Intn(6) == 0 {
+				sim.RunUntil(sim.Now() + uint64(rng.Intn(3000)))
+			}
+			if rng.Intn(60) == 0 {
+				sim.Drain(0)
+				if err := ctl.VerifyIntegrity(); err != nil {
+					t.Log(err)
+					return false
+				}
+			}
+		}
+		sim.Drain(0)
+		if err := ctl.VerifyIntegrity(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return want == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreezePageWaitsForInflightSwap(t *testing.T) {
+	sim, ctl, p := testRig()
+	a := slowSeg(ctl, 100)
+	// Trigger a swap without draining: the op is in flight.
+	for i := 0; i < int(p.cfg.K); i++ {
+		ctl.Access(a, false, cache.Meta{PID: 1}, nil)
+	}
+	sim.RunUntil(sim.Now() + 30)
+	if len(p.inflight) == 0 {
+		t.Skip("swap completed before it could be observed in flight")
+	}
+	frozen := false
+	ctl.BeginDMA(mem.PageOf(a), func() { frozen = true })
+	if frozen {
+		t.Fatal("freeze completed while segment swap in flight")
+	}
+	sim.Drain(0)
+	if !frozen {
+		t.Fatal("freeze never completed")
+	}
+	ctl.EndDMA(mem.PageOf(a))
+	if err := ctl.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"pageseer/internal/core"
+	"pageseer/internal/hmc"
+	"pageseer/internal/memsim"
+	"pageseer/internal/mmu"
+)
+
+// Results carries every measurement the paper's figures draw on, for one
+// (workload, scheme) run.
+type Results struct {
+	Scheme   Scheme
+	Workload string
+	Cores    int
+
+	// Cycles is the measured-epoch duration (max over cores).
+	Cycles       uint64
+	Instructions uint64  // total across cores
+	IPC          float64 // aggregate: total instructions / epoch cycles
+
+	Ctl  hmc.Stats
+	Swap hmc.SwapEngineStats
+	DRAM memsim.Stats
+	NVM  memsim.Stats
+	MMU  mmu.Stats // summed over cores
+
+	// AMMAT is the average main-memory access time in CPU cycles
+	// (HMC arrival to data return, as in MemPod and Section V-B).
+	AMMAT float64
+
+	// Remap-cache (PRTc / SRC / MemPod remap) statistics for Figure 13.
+	RemapCache hmc.MetaCacheStats
+
+	// PageSeer-only detail (zero value otherwise).
+	PS               core.Stats
+	PrefetchAccuracy float64
+	PCTc             hmc.MetaCacheStats
+
+	// SwapsPerKI is completed swap operations per kilo-instruction
+	// (Figure 11).
+	SwapsPerKI float64
+}
+
+// ServiceBreakdown returns the Figure 7 fractions (DRAM, NVM, swap buffer)
+// over data demand accesses.
+func (r Results) ServiceBreakdown() (dram, nvm, buf float64) {
+	tot := float64(r.Ctl.ServedDRAM + r.Ctl.ServedNVM + r.Ctl.ServedBuf)
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	return float64(r.Ctl.ServedDRAM) / tot, float64(r.Ctl.ServedNVM) / tot, float64(r.Ctl.ServedBuf) / tot
+}
+
+// Effectiveness returns the Figure 8 fractions (positive, negative,
+// neutral) over data demand accesses.
+func (r Results) Effectiveness() (pos, neg, neu float64) {
+	tot := float64(r.Ctl.Positive + r.Ctl.Negative + r.Ctl.Neutral)
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	return float64(r.Ctl.Positive) / tot, float64(r.Ctl.Negative) / tot, float64(r.Ctl.Neutral) / tot
+}
+
+// PTEMissRate returns Figure 12's metric: the fraction of page walks whose
+// final PTE read missed both L2 and L3 and reached the HMC.
+func (r Results) PTEMissRate() float64 {
+	if r.MMU.Walks == 0 {
+		return 0
+	}
+	return float64(r.Ctl.PTEReachedHMC) / float64(r.MMU.Walks)
+}
+
+// MMUDriverHitRate returns the fraction of HMC-reaching PTE requests served
+// by the MMU Driver's cache (Section V-B reports >99%).
+func (r Results) MMUDriverHitRate() float64 {
+	if r.Ctl.PTEReachedHMC == 0 {
+		return 1
+	}
+	return float64(r.Ctl.PTEServedByHMC) / float64(r.Ctl.PTEReachedHMC)
+}
+
+func (s *System) collect(epochStart uint64) Results {
+	r := Results{
+		Scheme:   s.Cfg.Scheme,
+		Workload: s.Cfg.Workload,
+		Cores:    len(s.Cores),
+	}
+	var maxFinish uint64
+	for _, c := range s.Cores {
+		st := c.Stats()
+		r.Instructions += st.Instructions
+		if st.FinishCycle > maxFinish {
+			maxFinish = st.FinishCycle
+		}
+		ms := c.MMU().Stats()
+		r.MMU.L1Hits += ms.L1Hits
+		r.MMU.L1Misses += ms.L1Misses
+		r.MMU.L2Hits += ms.L2Hits
+		r.MMU.L2Misses += ms.L2Misses
+		r.MMU.Walks += ms.Walks
+		r.MMU.WalkReads += ms.WalkReads
+		r.MMU.Hints += ms.Hints
+	}
+	if maxFinish > epochStart {
+		r.Cycles = maxFinish - epochStart
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	r.Ctl = s.Ctl.Stats()
+	r.Swap = s.Ctl.Engine.Stats()
+	r.DRAM = s.Ctl.DRAM.Stats()
+	r.NVM = s.Ctl.NVM.Stats()
+	r.AMMAT = s.Ctl.AMMAT()
+
+	var swaps uint64
+	switch {
+	case s.PageSeer != nil:
+		r.PS = s.PageSeer.Stats()
+		r.PrefetchAccuracy = s.PageSeer.PrefetchAccuracy()
+		r.RemapCache = s.PageSeer.PRTc().Stats()
+		r.PCTc = s.PageSeer.PCTc().Stats()
+		swaps = r.PS.TotalSwaps()
+	case s.PoM != nil:
+		r.RemapCache = s.PoM.SRC().Stats()
+		swaps = s.PoM.Stats().Swaps
+	case s.MemPod != nil:
+		r.RemapCache = s.MemPod.RemapCache().Stats()
+		swaps = s.MemPod.Stats().Migrations
+	case s.CAMEO != nil:
+		r.RemapCache = s.CAMEO.RemapCache().Stats()
+		swaps = s.CAMEO.Stats().Swaps
+	}
+	if r.Instructions > 0 {
+		r.SwapsPerKI = float64(swaps) / (float64(r.Instructions) / 1000)
+	}
+	return r
+}

@@ -1,0 +1,393 @@
+// Package sim assembles complete simulated systems — cores, TLBs and page
+// walkers, cache hierarchy, hybrid memory controller with a chosen
+// management scheme, DRAM and NVM timing models, OS, and workload traces —
+// and runs them to produce the measurements the paper's figures report.
+package sim
+
+import (
+	"fmt"
+
+	"pageseer/internal/cache"
+	"pageseer/internal/cameo"
+	"pageseer/internal/core"
+	"pageseer/internal/cpu"
+	"pageseer/internal/engine"
+	"pageseer/internal/hmc"
+	"pageseer/internal/mem"
+	"pageseer/internal/mempod"
+	"pageseer/internal/memsim"
+	"pageseer/internal/mmu"
+	"pageseer/internal/pom"
+	"pageseer/internal/workload"
+)
+
+// Scheme selects the hybrid-memory management policy.
+type Scheme string
+
+// The managers the evaluation compares.
+const (
+	SchemeStatic         Scheme = "static"
+	SchemePageSeer       Scheme = "pageseer"
+	SchemePageSeerNoCorr Scheme = "pageseer-nocorr"
+	SchemePoM            Scheme = "pom"
+	SchemeMemPod         Scheme = "mempod"
+	// SchemeCAMEO is the extension baseline from the paper's background
+	// section (64B blocks, swap on every slow access).
+	SchemeCAMEO Scheme = "cameo"
+)
+
+// Schemes returns the comparison set of Figure 14.
+func Schemes() []Scheme { return []Scheme{SchemePoM, SchemeMemPod, SchemePageSeer} }
+
+// Config describes one simulation run.
+type Config struct {
+	Scheme   Scheme
+	Workload string // one of the 26 Table III names
+
+	// Scale divides the paper's memory sizes, footprints, cache/TLB/SRAM
+	// capacities uniformly so runs fit in seconds while preserving the
+	// pressure ratios (DRAM:footprint, TLB reach:footprint, frames per
+	// PRTc color). Scale=1 is the paper's full configuration.
+	Scale int
+
+	// InstrPerCore is the measured instruction budget per core; Warmup
+	// instructions run first and are excluded from every statistic
+	// (the paper: 2B measured after 1.5B warm-up).
+	InstrPerCore uint64
+	Warmup       uint64
+
+	Seed uint64
+
+	// MaxCores caps the core count (unique-benchmark workloads run
+	// Instances cores, e.g. leslie3d x12). 0 means no cap.
+	MaxCores int
+
+	// BWOpt toggles PageSeer's Swap Driver bandwidth heuristic
+	// (Figure 11's ablation). Defaults to on for scheme "pageseer".
+	DisableBWOpt bool
+
+	CoreConfig cpu.CoreConfig
+
+	// pageSeerCfg overrides the scaled default PageSeer configuration
+	// (set via BuildWithPageSeerConfig).
+	pageSeerCfg *core.Config
+
+	// customManager, when set (via BuildWithManager), installs a
+	// user-defined scheme instead of one of the named ones.
+	customManager ManagerFactory
+}
+
+// ManagerFactory builds a user-defined management scheme on a controller.
+// The factory must call ctl.SetManager (managers typically do so in their
+// constructors).
+type ManagerFactory func(ctl *hmc.Controller) hmc.Manager
+
+// DefaultConfig returns a laptop-scale configuration: 1/128 of the paper's
+// memory system. At this scale a workload's active region cycles in about
+// 2M instructions per core, so warm-up trains the PCT (and fills DRAM) and
+// the measured epoch covers at least one full recurrence — the same
+// train-then-measure structure the paper gets from 1.5B warm-up + 2B
+// measured instructions.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:       SchemePageSeer,
+		Workload:     "lbm",
+		Scale:        128,
+		InstrPerCore: 2_000_000,
+		Warmup:       1_000_000,
+		Seed:         1,
+		CoreConfig:   cpu.DefaultCoreConfig(),
+	}
+}
+
+// System is one fully-wired simulated machine.
+type System struct {
+	Cfg   Config
+	Sim   *engine.Sim
+	OS    *mem.OS
+	Ctl   *hmc.Controller
+	L3    *cache.Cache
+	Cores []*cpu.Core
+	L2s   []*cache.Cache
+
+	PageSeer *core.PageSeer // nil unless Scheme is pageseer / nocorr
+	PoM      *pom.PoM       // nil unless pom
+	MemPod   *mempod.MemPod // nil unless mempod
+	CAMEO    *cameo.CAMEO   // nil unless cameo
+
+	doneCores int
+}
+
+// BuildWithManager assembles a system around a user-defined management
+// scheme — the extension point for custom policies (see
+// examples/custom-policy).
+func BuildWithManager(cfg Config, factory ManagerFactory) (*System, error) {
+	cfg.customManager = factory
+	return Build(cfg)
+}
+
+// BuildWithPageSeerConfig assembles a PageSeer system with an explicit
+// PageSeer configuration — the hook the tuning example and the ablation
+// benches use to vary thresholds and structure sizes.
+func BuildWithPageSeerConfig(cfg Config, pcfg core.Config) (*System, error) {
+	cfg.Scheme = SchemePageSeer
+	cfg.pageSeerCfg = &pcfg
+	return Build(cfg)
+}
+
+// Build assembles a system for cfg.
+func Build(cfg Config) (*System, error) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.CoreConfig.MaxOutstanding == 0 {
+		cfg.CoreConfig = cpu.DefaultCoreConfig()
+	}
+	gens, pids, feet, err := buildWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nCores := len(gens)
+
+	scale := uint64(cfg.Scale)
+	layout := mem.Map{
+		DRAMBytes: (512 << 20) / scale,
+		NVMBytes:  (4 << 30) / scale,
+	}
+	// Reserve DRAM for page tables plus the manager's metadata regions.
+	reserve := layout.DRAMPages() / 16
+	osm := mem.NewOS(layout, reserve)
+
+	sm := engine.New()
+	ctl := hmc.NewController(sm, osm, memsim.DRAMConfig(), memsim.NVMConfig(), hmc.DefaultSwapEngineConfig())
+
+	sys := &System{Cfg: cfg, Sim: sm, OS: osm, Ctl: ctl}
+
+	switch {
+	case cfg.customManager != nil:
+		if m := cfg.customManager(ctl); ctl.Manager() == nil {
+			ctl.SetManager(m)
+		}
+	default:
+		if err := installScheme(cfg, sys, ctl); err != nil {
+			return nil, err
+		}
+	}
+
+	l3cfg := cache.L3Config()
+	l3cfg.SizeBytes = scaleCache(l3cfg.SizeBytes, cfg.Scale, 64<<10)
+	sys.L3 = cache.New(sm, l3cfg, ctl)
+
+	var hinter mmu.Hinter
+	if sys.PageSeer != nil || cfg.customManager != nil {
+		hinter = ctl
+	}
+	// TLB reach scales with the *active* working set, which shrinks like
+	// the square root of the memory scale (same reasoning as the
+	// controller's SRAM caches): linear scaling would leave toy TLBs that
+	// miss on every page flurry and inflate the page-walk rate far beyond
+	// the paper's regime.
+	mcfg := mmu.DefaultConfig()
+	root := 1
+	for (root+1)*(root+1) <= cfg.Scale {
+		root++
+	}
+	mcfg.L1TLB.Entries = scaleCount(mcfg.L1TLB.Entries, root, mcfg.L1TLB.Ways)
+	mcfg.L2TLB.Entries = scaleCount(mcfg.L2TLB.Entries, root, mcfg.L2TLB.Ways)
+
+	for i := 0; i < nCores; i++ {
+		pid := pids[i]
+		osm.NewProcess(pid)
+		l2cfg := cache.L2Config()
+		l2cfg.SizeBytes = scaleCache(l2cfg.SizeBytes, cfg.Scale, 16<<10)
+		l2 := cache.New(sm, l2cfg, sys.L3)
+		l1cfg := cache.L1Config()
+		l1cfg.SizeBytes = scaleCache(l1cfg.SizeBytes, cfg.Scale, 4<<10)
+		l1 := cache.New(sm, l1cfg, l2)
+		m := mmu.New(sm, osm, i, pid, mcfg, l2, hinter)
+		c := cpu.NewCore(sm, i, pid, cfg.CoreConfig, m, l1, gens[i])
+		sys.L2s = append(sys.L2s, l2)
+		sys.Cores = append(sys.Cores, c)
+	}
+	preTouch(osm, pids, feet)
+	return sys, nil
+}
+
+func installScheme(cfg Config, sys *System, ctl *hmc.Controller) error {
+	switch cfg.Scheme {
+	case SchemeStatic:
+		hmc.NewStatic(ctl)
+	case SchemePageSeer, SchemePageSeerNoCorr:
+		var pcfg core.Config
+		if cfg.pageSeerCfg != nil {
+			pcfg = *cfg.pageSeerCfg
+		} else {
+			pcfg = core.DefaultConfig().Scale(cfg.Scale)
+			pcfg.NoCorr = cfg.Scheme == SchemePageSeerNoCorr
+			pcfg.BWOpt = !cfg.DisableBWOpt
+		}
+		sys.PageSeer = core.New(ctl, pcfg)
+	case SchemePoM:
+		sys.PoM = pom.New(ctl, pom.DefaultConfig().Scale(cfg.Scale))
+	case SchemeMemPod:
+		sys.MemPod = mempod.New(ctl, mempod.DefaultConfig().Scale(cfg.Scale))
+	case SchemeCAMEO:
+		sys.CAMEO = cameo.New(ctl, cameo.DefaultConfig().Scale(cfg.Scale))
+	default:
+		return fmt.Errorf("sim: unknown scheme %q", cfg.Scheme)
+	}
+	return nil
+}
+
+// preTouch maps every process's footprint up front, interleaved round-robin
+// across processes — the placement a concurrent first-touch run converges
+// to after the paper's 1.5B-instruction warm-up. Early (usually hottest)
+// pages land in DRAM; the remainder spills to NVM.
+func preTouch(osm *mem.OS, pids []int, feet []uint64) {
+	var maxPages uint64
+	pages := make([]uint64, len(feet))
+	for i, f := range feet {
+		pages[i] = f / mem.PageSize
+		if pages[i] > maxPages {
+			maxPages = pages[i]
+		}
+	}
+	for off := uint64(0); off < maxPages; off++ {
+		for i, pid := range pids {
+			if off < pages[i] {
+				osm.WalkVA(pid, workload.VABase+mem.VAddr(off*mem.PageSize))
+			}
+		}
+	}
+}
+
+// scaleCache divides a cache size by scale, keeping it a power-of-two
+// multiple of floor bytes.
+func scaleCache(size, scale int, floor int) int {
+	s := size / scale
+	if s < floor {
+		s = floor
+	}
+	// round down to a power of two so set counts stay powers of two
+	p := floor
+	for p*2 <= s {
+		p *= 2
+	}
+	return p
+}
+
+func scaleCount(n, scale, ways int) int {
+	s := n / scale
+	if s < ways*2 {
+		s = ways * 2
+	}
+	return s
+}
+
+// buildWorkload returns one generator per core plus the pid layout and the
+// per-core footprints.
+func buildWorkload(cfg Config) ([]workload.Generator, []int, []uint64, error) {
+	scale := uint64(cfg.Scale)
+	foot := func(p workload.Profile) uint64 {
+		f := uint64(p.FootprintMB) << 20 / scale
+		if f < 64*mem.PageSize {
+			f = 64 * mem.PageSize
+		}
+		return f
+	}
+	var gens []workload.Generator
+	var pids []int
+	var feet []uint64
+	if m, err := workload.MixByName(cfg.Workload); err == nil {
+		for i, name := range m.Members {
+			p, err := workload.ProfileByName(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			gens = append(gens, workload.NewGenerator(p, foot(p), cfg.Seed+uint64(i)))
+			pids = append(pids, i+1)
+			feet = append(feet, foot(p))
+		}
+		return gens, pids, feet, nil
+	}
+	p, err := workload.ProfileByName(cfg.Workload)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sim: workload %q is neither a benchmark nor a mix", cfg.Workload)
+	}
+	n := p.Instances
+	if cfg.MaxCores > 0 && n > cfg.MaxCores {
+		n = cfg.MaxCores
+	}
+	for i := 0; i < n; i++ {
+		gens = append(gens, workload.NewGenerator(p, foot(p), cfg.Seed+uint64(i)))
+		pids = append(pids, i+1)
+		feet = append(feet, foot(p))
+	}
+	return gens, pids, feet, nil
+}
+
+// maxRunEvents bounds a single phase against event-loop bugs.
+const maxRunEvents = 5_000_000_000
+
+// runPhase runs every core to the given *additional* instruction budget and
+// drains the machine.
+func (s *System) runPhase(instr uint64) {
+	if instr == 0 {
+		return
+	}
+	s.doneCores = 0
+	n := len(s.Cores)
+	for _, c := range s.Cores {
+		target := c.Stats().Instructions + instr
+		c.RunTo(target, func(*cpu.Core) { s.doneCores++ })
+	}
+	for s.doneCores < n {
+		if !s.Sim.Step() {
+			panic("sim: event queue drained before cores finished")
+		}
+	}
+	// Let in-flight swaps and writebacks settle so stats are consistent.
+	s.Sim.Drain(maxRunEvents)
+}
+
+// resetStats zeroes every statistic after warm-up.
+func (s *System) resetStats() {
+	s.Ctl.ResetStats()
+	s.Ctl.DRAM.ResetStats()
+	s.Ctl.NVM.ResetStats()
+	s.Ctl.Engine.ResetStats()
+	s.L3.ResetStats()
+	for i, c := range s.Cores {
+		c.MMU().ResetStats()
+		c.L1().ResetStats()
+		s.L2s[i].ResetStats()
+		c.MarkEpoch()
+	}
+	switch {
+	case s.PageSeer != nil:
+		s.PageSeer.ResetStats()
+	case s.PoM != nil:
+		s.PoM.ResetStats()
+	case s.MemPod != nil:
+		s.MemPod.ResetStats()
+	case s.CAMEO != nil:
+		s.CAMEO.ResetStats()
+	}
+}
+
+// Run executes warm-up then measurement and returns the results.
+func (s *System) Run() (Results, error) {
+	if s.Cfg.Warmup > 0 {
+		s.runPhase(s.Cfg.Warmup)
+		s.resetStats()
+	}
+	start := s.Sim.Now()
+	s.runPhase(s.Cfg.InstrPerCore)
+	if s.PageSeer != nil {
+		s.PageSeer.Finish()
+	}
+	if err := s.Ctl.VerifyIntegrity(); err != nil {
+		return Results{}, fmt.Errorf("sim: integrity check failed after run: %w", err)
+	}
+	return s.collect(start), nil
+}

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSmokeRun prints a compact cross-scheme comparison on two contrasting
+// workloads — a streaming SPEC benchmark and a pattern-changing one — as a
+// quick visual sanity check of the whole stack.
+func TestSmokeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke comparison in -short mode")
+	}
+	for _, wl := range []string{"lbm", "GemsFDTD"} {
+		for _, sch := range []Scheme{SchemeStatic, SchemePageSeer, SchemePoM} {
+			cfg := DefaultConfig()
+			cfg.Scheme = sch
+			cfg.Workload = wl
+			cfg.InstrPerCore = 500_000
+			cfg.Warmup = 300_000
+			sys, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, n, b := r.ServiceBreakdown()
+			pos, neg, _ := r.Effectiveness()
+			fmt.Printf("%-9s %-9s ipc=%.2f ammat=%.0f dram=%.2f nvm=%.2f buf=%.3f pos=%.2f neg=%.3f swaps/ki=%.3f\n",
+				wl, sch, r.IPC, r.AMMAT, d, n, b, pos, neg, r.SwapsPerKI)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package stats holds evaluation-side helpers that do not belong to the
+// simulator proper: the CACTI-derived energy/area model of Table II and
+// small aggregation utilities used by the figures harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"pageseer/internal/hmc"
+)
+
+// StructureEnergy carries Table II's per-structure CACTI numbers: area in
+// 10^-3 mm^2, leakage in mW, and read/write energy in pJ per access.
+type StructureEnergy struct {
+	Name      string
+	AreaMilli float64 // 10^-3 mm^2
+	LeakageMW float64
+	ReadPJ    float64
+	WritePJ   float64
+}
+
+// TableII returns the paper's per-access energy and area numbers for the
+// PageSeer hardware structures (these are inputs reproduced from the paper,
+// not simulator outputs — CACTI itself is out of scope).
+func TableII() []StructureEnergy {
+	return []StructureEnergy{
+		{Name: "PRTc", AreaMilli: 54.9, LeakageMW: 11.4, ReadPJ: 14.8, WritePJ: 14.4},
+		{Name: "PCTc", AreaMilli: 36.8, LeakageMW: 11.4, ReadPJ: 14.7, WritePJ: 16.7},
+		{Name: "HPT", AreaMilli: 23.7, LeakageMW: 9.1, ReadPJ: 1.8, WritePJ: 2.6},
+		{Name: "Filter", AreaMilli: 7.7, LeakageMW: 2.3, ReadPJ: 1.4, WritePJ: 2.7},
+	}
+}
+
+// EnergyReport estimates dynamic energy spent in the PageSeer SRAM
+// structures over a run, from access counts and Table II per-access costs.
+type EnergyReport struct {
+	PRTcNanoJ   float64
+	PCTcNanoJ   float64
+	TotalNanoJ  float64
+	TotalAccess uint64
+}
+
+// Energy computes the report. HPT/Filter accesses ride along with every
+// tracked miss; we charge one HPT read-modify-write and amortised Filter
+// activity per data demand, matching how the paper's structures are
+// exercised.
+func Energy(prtc, pctc hmc.MetaCacheStats, dataDemand uint64) EnergyReport {
+	t2 := TableII()
+	prtcE := float64(prtc.Hits+prtc.Misses)*t2[0].ReadPJ + float64(prtc.Writebacks)*t2[0].WritePJ
+	pctcE := float64(pctc.Hits+pctc.Misses)*t2[1].ReadPJ + float64(pctc.Writebacks)*t2[1].WritePJ
+	hptE := float64(dataDemand) * (t2[2].ReadPJ + t2[2].WritePJ)
+	filterE := float64(dataDemand) * t2[3].ReadPJ
+	total := prtcE + pctcE + hptE + filterE
+	return EnergyReport{
+		PRTcNanoJ:   prtcE / 1000,
+		PCTcNanoJ:   pctcE / 1000,
+		TotalNanoJ:  total / 1000,
+		TotalAccess: prtc.Hits + prtc.Misses + pctc.Hits + pctc.Misses + 2*dataDemand,
+	}
+}
+
+// String renders the report.
+func (e EnergyReport) String() string {
+	return fmt.Sprintf("PRTc %.1f nJ, PCTc %.1f nJ, total %.1f nJ over %d structure accesses",
+		e.PRTcNanoJ, e.PCTcNanoJ, e.TotalNanoJ, e.TotalAccess)
+}
+
+// GeoMean returns the geometric mean of vs (1 if empty); zeros are skipped.
+func GeoMean(vs []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vs {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	// nth root of the running product.
+	return nthRoot(prod, n)
+}
+
+func nthRoot(x float64, n int) float64 {
+	if x <= 0 || n == 0 {
+		return 1
+	}
+	return math.Pow(x, 1/float64(n))
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pageseer/internal/hmc"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	t2 := TableII()
+	if len(t2) != 4 {
+		t.Fatalf("got %d structures, want 4", len(t2))
+	}
+	want := map[string][2]float64{
+		"PRTc": {14.8, 14.4}, "PCTc": {14.7, 16.7}, "HPT": {1.8, 2.6}, "Filter": {1.4, 2.7},
+	}
+	for _, e := range t2 {
+		w, ok := want[e.Name]
+		if !ok {
+			t.Errorf("unexpected structure %q", e.Name)
+			continue
+		}
+		if e.ReadPJ != w[0] || e.WritePJ != w[1] {
+			t.Errorf("%s energy = %v/%v, want %v/%v", e.Name, e.ReadPJ, e.WritePJ, w[0], w[1])
+		}
+	}
+}
+
+func TestEnergyScalesWithAccesses(t *testing.T) {
+	small := Energy(hmc.MetaCacheStats{Hits: 100}, hmc.MetaCacheStats{Hits: 100}, 100)
+	big := Energy(hmc.MetaCacheStats{Hits: 10_000}, hmc.MetaCacheStats{Hits: 10_000}, 10_000)
+	if big.TotalNanoJ <= small.TotalNanoJ {
+		t.Fatal("energy not monotone in access count")
+	}
+	if small.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestEnergyExactForKnownCounts(t *testing.T) {
+	// 1000 PRTc reads at 14.8pJ = 14.8nJ exactly.
+	r := Energy(hmc.MetaCacheStats{Hits: 600, Misses: 400}, hmc.MetaCacheStats{}, 0)
+	if math.Abs(r.PRTcNanoJ-14.8) > 1e-9 {
+		t.Fatalf("PRTc energy = %v nJ, want 14.8", r.PRTcNanoJ)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 1 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{0, 4}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean skips zeros: %v", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-9 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+}
+
+// Property: the geometric mean lies between min and max of the inputs.
+func TestGeoMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vs []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r%1000)/100 + 0.01
+			vs = append(vs, v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(vs) == 0 {
+			return GeoMean(vs) == 1
+		}
+		g := GeoMean(vs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

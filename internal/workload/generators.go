@@ -1,0 +1,320 @@
+package workload
+
+import (
+	"fmt"
+
+	"pageseer/internal/mem"
+)
+
+// VABase is where each process's synthetic heap starts. The driver
+// pre-touches [VABase, VABase+footprint) to model the page placement a real
+// run reaches after the paper's 1.5B-instruction warm-up.
+const VABase = mem.VAddr(0x10000000)
+
+const vaBase = VABase
+
+// NewGenerator builds the trace generator for one instance of a profile.
+// footprintBytes is the (possibly scaled) footprint; seed individualises
+// instances of the same benchmark.
+func NewGenerator(p Profile, footprintBytes uint64, seed uint64) Generator {
+	pages := int(footprintBytes / mem.PageSize)
+	if pages < 8 {
+		pages = 8
+	}
+	g := &gen{
+		p:     p,
+		r:     newRNG(seed*0x9E3779B97F4A7C15 + 1),
+		pages: pages,
+		scr:   newScramble(pages),
+	}
+	if g.p.Burst < 1 {
+		g.p.Burst = 8
+	}
+	if g.p.Gap < 1 {
+		g.p.Gap = 4
+	}
+	switch p.Kind {
+	case Stream:
+		n := p.Arrays
+		if n < 1 {
+			n = 1
+		}
+		region := pages / n
+		if region < 4 {
+			region = 4
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			g.lanes = append(g.lanes, newWindow(i*region, region, p))
+		}
+	case Sweep, Scatter:
+		g.lanes = []*window{newWindow(0, pages, p)}
+	case PhaseShift:
+		g.lanes = []*window{newWindow(0, pages, p)}
+		g.perm = identityPerm(pages)
+	case Butterfly:
+		g.lanes = []*window{newWindow(0, pages, p)}
+		g.stride = 1
+	}
+	if p.Kind == Scatter {
+		g.buckets = 256
+		if g.buckets > pages/4 {
+			g.buckets = pages/4 + 1
+		}
+	}
+	return g
+}
+
+func identityPerm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+// window is one phase region of a sweeping kernel: `repeats` in-order
+// passes over a winSize-page phase window, cycling around the active
+// region. Each time the cycle completes, the active region itself drifts by
+// one window within the lane's full data, so the hot set keeps taking in
+// fresh (cold, typically NVM-resident) pages while most of it re-enters
+// with learnable history — the steady churn-plus-recurrence structure of
+// long-running iterative programs, and the regime where page migration
+// earns its keep.
+type window struct {
+	fullLo, fullSize int // the lane's whole data range
+	activeOff        int // drifting offset of the active region
+	regionSize       int // active region size
+	winSize          int
+	repeats          int
+
+	start  int // offset of the window within the active region
+	pass   int
+	cursor int // offset within the window
+	phases uint64
+}
+
+func newWindow(regionLo, regionSize int, p Profile) *window {
+	active := int(float64(regionSize) * p.activeFrac())
+	if active < 2 {
+		active = 2
+	}
+	if active > regionSize {
+		active = regionSize
+	}
+	w := int(float64(active) * p.windowFrac())
+	if w < 2 {
+		w = 2
+	}
+	if w > active {
+		w = active
+	}
+	return &window{
+		fullLo:     regionLo,
+		fullSize:   regionSize,
+		regionSize: active,
+		winSize:    w,
+		repeats:    p.repeats(),
+	}
+}
+
+// next returns the next page of the phased sweep and whether a new phase
+// window just started.
+func (w *window) next() (page int, newPhase bool) {
+	page = w.fullLo + (w.activeOff+w.start+w.cursor)%w.fullSize
+	w.cursor++
+	if w.cursor >= w.winSize {
+		w.cursor = 0
+		w.pass++
+		if w.pass >= w.repeats {
+			w.pass = 0
+			w.phases++
+			newPhase = true
+			w.start += w.winSize
+			if w.start+w.winSize > w.regionSize {
+				// Cycle complete: the active region drifts one window
+				// forward through the lane's data.
+				w.start = 0
+				w.activeOff = (w.activeOff + w.winSize) % w.fullSize
+			}
+		}
+	}
+	return page, newPhase
+}
+
+// scramble is a fixed bijection over [0, pages) applied to every selected
+// page: real programs' hot working sets are interleaved structure fields
+// and multiple arrays, not one contiguous VA range. Scattering page
+// identities preserves the deterministic page-sequence (so follower
+// correlation still learns) while giving hot sets the address-space spread
+// that exposes, e.g., PoM's direct-mapped group conflicts.
+type scramble struct {
+	mult, pages int
+}
+
+func newScramble(pages int) scramble {
+	m := pages*618/1000 | 1
+	if m < 3 {
+		m = 3
+	}
+	for gcd(m, pages) != 1 {
+		m += 2
+	}
+	return scramble{mult: m, pages: pages}
+}
+
+func (s scramble) apply(p int) int { return (p * s.mult) % s.pages }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+type gen struct {
+	p     Profile
+	r     *rng
+	pages int
+	scr   scramble
+
+	// burst state
+	page      int
+	remaining int
+	lineCur   int
+
+	lanes []*window
+	lane  int
+
+	// PhaseShift
+	perm []int32
+
+	// Butterfly
+	stride  int
+	usePair bool
+	pairOf  int
+
+	// Scatter
+	buckets int
+	writes  int
+}
+
+// Next implements Generator.
+func (g *gen) Next() Access {
+	if g.remaining <= 0 {
+		g.startBurst()
+	}
+	g.remaining--
+
+	line := g.lineCur % mem.LinesPerPage
+	g.lineCur++
+	va := vaBase + mem.VAddr(g.page)*mem.PageSize + mem.VAddr(line*mem.LineSize)
+
+	write := g.r.float() < g.p.WriteFrac
+	if g.p.Kind == Scatter && g.writes > 0 {
+		// Scattered bucket stores.
+		g.writes--
+		b := g.r.intn(g.buckets)
+		bp := g.scr.apply((b * (g.pages / g.buckets)) % g.pages)
+		va = vaBase + mem.VAddr(bp)*mem.PageSize + mem.VAddr(g.r.intn(mem.LinesPerPage)*mem.LineSize)
+		write = true
+	}
+
+	gap := uint32(g.p.Gap/2 + g.r.intn(g.p.Gap+1))
+	return Access{VA: va, Write: write, Gap: gap}
+}
+
+// startBurst picks the next page according to the kernel and arms a flurry
+// of accesses to it.
+func (g *gen) startBurst() {
+	g.remaining = g.p.Burst/2 + g.r.intn(g.p.Burst+1)
+	if g.remaining < 1 {
+		g.remaining = 1
+	}
+	g.lineCur = g.r.intn(mem.LinesPerPage)
+
+	switch g.p.Kind {
+	case Stream:
+		g.lane = (g.lane + 1) % len(g.lanes)
+		g.page, _ = g.lanes[g.lane].next()
+		g.lineCur = 0 // streams walk pages front to back
+
+	case Sweep:
+		g.page, _ = g.lanes[0].next()
+		g.lineCur = 0
+
+	case PhaseShift:
+		raw, newPhase := g.lanes[0].next()
+		if newPhase {
+			period := g.p.ReshufflePeriod
+			if period < 1 {
+				period = 4
+			}
+			if g.lanes[0].phases%uint64(period) == 0 {
+				g.reshuffle()
+			}
+		}
+		g.page = int(g.perm[raw])
+		g.lineCur = 0
+
+	case Chase:
+		hotN := int(float64(g.pages) * g.p.HotFrac)
+		if hotN < 1 {
+			hotN = 1
+		}
+		if g.r.float() < 0.8 {
+			// The hot structure lives in late-allocated (NVM-spilled) pages.
+			g.page = g.pages - hotN + g.r.intn(hotN)
+		} else {
+			// Cold pointer-chase tail: single-miss visits.
+			g.page = g.r.intn(g.pages)
+			g.remaining = 1
+		}
+
+	case Butterfly:
+		if g.usePair {
+			g.page = g.pairOf
+			g.usePair = false
+		} else {
+			raw, newPhase := g.lanes[0].next()
+			if newPhase {
+				g.stride *= 2
+				if g.stride >= g.lanes[0].winSize {
+					g.stride = 1
+				}
+			}
+			g.page = raw
+			w := g.lanes[0]
+			g.pairOf = w.fullLo + (raw-w.fullLo+g.stride)%w.fullSize
+			g.usePair = true
+		}
+		g.lineCur = 0
+
+	case Scatter:
+		g.page, _ = g.lanes[0].next()
+		g.lineCur = 0
+		g.writes = g.p.Burst / 3
+
+	case HotCold:
+		// Skewed popularity: u^3 concentrates on high page indices — the
+		// late-allocated, NVM-spilled part of the footprint.
+		u := g.r.float()
+		idx := int(u * u * u * float64(g.pages))
+		if idx >= g.pages {
+			idx = g.pages - 1
+		}
+		g.page = g.pages - 1 - idx
+
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %d", g.p.Kind))
+	}
+	g.page = g.scr.apply(g.page)
+}
+
+// reshuffle permutes the sweep order (Fisher-Yates with the trace RNG).
+func (g *gen) reshuffle() {
+	for i := len(g.perm) - 1; i > 0; i-- {
+		j := g.r.intn(i + 1)
+		g.perm[i], g.perm[j] = g.perm[j], g.perm[i]
+	}
+}

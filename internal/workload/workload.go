@@ -1,0 +1,139 @@
+// Package workload generates deterministic synthetic memory traces that
+// stand in for the paper's 26 workloads (Table III). Real SPEC CPU2006,
+// Splash-3 and CORAL binaries are not runnable inside this simulator, so
+// each benchmark gets a generator reproducing its dominant page-granularity
+// behaviour — footprint, streaming vs. reuse, page-flurry structure,
+// leader/follower page sequences, write ratio and memory intensity — which
+// are the statistics PageSeer's mechanisms key off.
+package workload
+
+import "pageseer/internal/mem"
+
+// Access is one memory operation of a trace.
+type Access struct {
+	VA    mem.VAddr
+	Write bool
+	// Gap is the number of non-memory instructions preceding this access.
+	Gap uint32
+}
+
+// Generator produces an infinite deterministic access stream.
+type Generator interface {
+	Next() Access
+}
+
+// rng is a small deterministic xorshift64* generator, so traces never vary
+// across platforms or Go versions (unlike math/rand conventions).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Kind selects a pattern kernel.
+type Kind int
+
+// Pattern kernels. Each reproduces one family of page-level behaviour.
+const (
+	// Stream: long sequential scans over a few arrays (lbm, stream,
+	// bwaves, libquantum, leslie3d). Strong page flurries with perfectly
+	// predictable followers.
+	Stream Kind = iota
+	// Sweep: repeated in-order sweeps over the whole footprint with phase
+	// re-visits (stencil/grid codes: GemsFDTD, miniFE, LULESH, AMGmk,
+	// SNAP, MILCmk, milc, oceanCon). Page sequences recur across sweeps.
+	Sweep
+	// Chase: pointer chasing with per-page bursts and skewed page reuse
+	// (mcf, omnetpp). Hard for prefetchers, decent for hot-page counting.
+	Chase
+	// Butterfly: FFT-style passes with doubling strides (fft).
+	Butterfly
+	// Scatter: sequential reads plus scattered bucket writes (radix).
+	Scatter
+	// HotCold: zipf-like page popularity (barnes, luCon/luNCon) where a
+	// hot set bigger than DRAM churns.
+	HotCold
+	// PhaseShift: like Sweep but the page order reshuffles every few
+	// sweeps — the changing-pattern behaviour that hurts prefetch-swap
+	// accuracy (GemsFDTD's low accuracy in Figure 9).
+	PhaseShift
+)
+
+// Profile describes one benchmark's synthetic model.
+type Profile struct {
+	Name string
+	// FootprintMB is the single-instance footprint from Table III.
+	FootprintMB int
+	// Instances is the number of copies run (Table III's xN column).
+	Instances int
+	Kind      Kind
+	// Burst is the mean number of consecutive accesses within one page
+	// (the LLC-miss flurry length the PCT learns).
+	Burst int
+	// Gap is the mean non-memory instruction count between accesses
+	// (memory intensity).
+	Gap int
+	// WriteFrac is the store fraction.
+	WriteFrac float64
+	// HotFrac, for HotCold: fraction of pages receiving most accesses.
+	HotFrac float64
+	// Arrays, for Stream/Butterfly: number of concurrent streams.
+	Arrays int
+	// ReshufflePeriod, for PhaseShift: windows between order changes.
+	ReshufflePeriod int
+	// ActiveFrac is the fraction of each lane's footprint that is hot at
+	// any time (the benchmark's active working region); the rest is cold
+	// data that only occupies capacity. The sweeping kernels cycle their
+	// phase windows around this region, so pages recur with learnable
+	// periodicity — the structure iterative HPC codes exhibit.
+	ActiveFrac float64
+	// WindowFrac is the fraction of the active region that forms one phase
+	// window. Real iterative codes re-traverse a working region several
+	// times before moving on; a window is that region.
+	WindowFrac float64
+	// Repeats is how many passes a window receives before the phase moves.
+	Repeats int
+}
+
+func (p Profile) activeFrac() float64 {
+	if p.ActiveFrac <= 0 || p.ActiveFrac > 1 {
+		return 1
+	}
+	return p.ActiveFrac
+}
+
+func (p Profile) windowFrac() float64 {
+	if p.WindowFrac <= 0 || p.WindowFrac > 1 {
+		return 0.12
+	}
+	return p.WindowFrac
+}
+
+func (p Profile) repeats() int {
+	if p.Repeats < 1 {
+		return 4
+	}
+	return p.Repeats
+}

@@ -1,0 +1,100 @@
+// Package pageseer is a from-scratch reproduction of "PageSeer: Using Page
+// Walks to Trigger Page Swaps in Hybrid Memory Systems" (Kokolis, Skarlatos,
+// Torrellas; HPCA 2019): a cycle-level hybrid DRAM+NVM memory-system
+// simulator, the PageSeer hardware scheme (PRT/PRTc, PCT/PCTc, Filter, Hot
+// Page Tables, MMU Driver, Swap Driver), the PoM and MemPod baselines, the
+// paper's 26 workloads as synthetic trace generators, and a harness that
+// regenerates every table and figure of the evaluation.
+//
+// This root package is the public facade: it re-exports the simulation
+// driver and figure harness so tools and examples read naturally. The
+// building blocks live under internal/ (see DESIGN.md for the map).
+//
+// Quick start:
+//
+//	cfg := pageseer.DefaultConfig()
+//	cfg.Workload = "lbm"
+//	cfg.Scheme = pageseer.SchemePageSeer
+//	sys, err := pageseer.Build(cfg)
+//	if err != nil { ... }
+//	res, err := sys.Run()
+//	fmt.Println(res.IPC, res.AMMAT)
+package pageseer
+
+import (
+	"pageseer/internal/core"
+	"pageseer/internal/figures"
+	"pageseer/internal/sim"
+	"pageseer/internal/workload"
+)
+
+// Scheme selects the hybrid-memory management policy of a run.
+type Scheme = sim.Scheme
+
+// The available schemes.
+const (
+	// SchemeStatic performs no swaps: every page stays at its OS-assigned
+	// location (the reference for positive/negative accounting).
+	SchemeStatic = sim.SchemeStatic
+	// SchemePageSeer is the paper's contribution.
+	SchemePageSeer = sim.SchemePageSeer
+	// SchemePageSeerNoCorr disables follower correlation (Section V-C).
+	SchemePageSeerNoCorr = sim.SchemePageSeerNoCorr
+	// SchemePoM is the PoM baseline (Sim et al., MICRO 2014).
+	SchemePoM = sim.SchemePoM
+	// SchemeMemPod is the MemPod baseline (Prodromou et al., HPCA 2017).
+	SchemeMemPod = sim.SchemeMemPod
+	// SchemeCAMEO is the fine-granularity extension baseline (Chou et al.,
+	// MICRO 2014), as described in the paper's background section.
+	SchemeCAMEO = sim.SchemeCAMEO
+)
+
+// Config describes one simulation run; see sim.Config for field docs.
+type Config = sim.Config
+
+// System is a fully-wired simulated machine.
+type System = sim.System
+
+// Results carries every measurement the paper's figures draw on.
+type Results = sim.Results
+
+// PageSeerConfig carries the Table II hardware parameters.
+type PageSeerConfig = core.Config
+
+// DefaultConfig returns the laptop-scale default (1/128 of the paper's
+// memory system, 2M measured instructions per core after 1M warm-up).
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// DefaultPageSeerConfig returns the paper's Table II parameters (unscaled).
+func DefaultPageSeerConfig() PageSeerConfig { return core.DefaultConfig() }
+
+// Build assembles a system for cfg.
+func Build(cfg Config) (*System, error) { return sim.Build(cfg) }
+
+// BuildWithPageSeerConfig assembles a PageSeer system with explicit
+// hardware parameters — the hook for threshold sweeps and ablations.
+func BuildWithPageSeerConfig(cfg Config, pcfg PageSeerConfig) (*System, error) {
+	return sim.BuildWithPageSeerConfig(cfg, pcfg)
+}
+
+// Workloads returns the 26 Table III workload names.
+func Workloads() []string { return workload.AllWorkloadNames() }
+
+// Suite classifies a workload name (SPEC, Splash-3, CORAL, Mixes).
+func Suite(name string) string { return workload.Suite(name) }
+
+// FigureOptions configures a figure-regeneration campaign.
+type FigureOptions = figures.Options
+
+// FigureRunner executes and memoises the runs behind the paper's figures.
+type FigureRunner = figures.Runner
+
+// NewFigureRunner builds a runner; use figures helpers (Figure7..Figure14,
+// Ablation) to regenerate specific results.
+func NewFigureRunner(opts FigureOptions) *FigureRunner { return figures.NewRunner(opts) }
+
+// DefaultFigureOptions runs the full 26-workload campaign.
+func DefaultFigureOptions() FigureOptions { return figures.DefaultOptions() }
+
+// QuickFigureOptions runs a reduced campaign for smoke checks and benches.
+func QuickFigureOptions() FigureOptions { return figures.QuickOptions() }

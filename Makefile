@@ -1,0 +1,35 @@
+# Development targets. `make tier1` is the pre-PR check: it must pass
+# before any change lands (see README.md "Testing").
+
+GO ?= go
+
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench
+
+## tier1: the full pre-PR gate — vet, build, race-enabled tests, and a
+## one-shot figure-campaign smoke bench.
+tier1: vet build race benchsmoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## benchsmoke: one iteration of the headline figure bench — catches
+## campaign-path regressions without the cost of a full bench sweep.
+benchsmoke:
+	$(GO) test -run '^$$' -bench BenchmarkFigure14 -benchtime 1x .
+
+## bench: the full figure + ablation bench sweep (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## campaign-bench: regenerate BENCH_campaign.json from the quick campaign.
+campaign-bench:
+	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson BENCH_campaign.json

@@ -1,18 +1,26 @@
-// Command pageseer-sim runs one hybrid-memory simulation and prints a
-// detailed report: performance, service breakdown, swap activity, page-walk
-// statistics, and the Table II energy estimate.
+// Command pageseer-sim runs hybrid-memory simulations and prints a
+// detailed report per run: performance, service breakdown, swap activity,
+// page-walk statistics, and the Table II energy estimate.
+//
+// -workload accepts one name, a comma-separated list, or "all"; with more
+// than one workload the runs fan out across -j workers (each run stays
+// single-threaded and deterministic) and reports print in argument order.
 //
 // Usage:
 //
 //	pageseer-sim -workload lbm -scheme pageseer
 //	pageseer-sim -workload mix3 -scheme pom -scale 64 -instr 4000000
 //	pageseer-sim -workload GemsFDTD -scheme pageseer -nobw
+//	pageseer-sim -workload all -j 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"pageseer"
 	"pageseer/internal/stats"
@@ -20,7 +28,7 @@ import (
 
 func main() {
 	var (
-		wl     = flag.String("workload", "lbm", "one of the 26 Table III workloads")
+		wl     = flag.String("workload", "lbm", `Table III workload name(s), comma-separated, or "all"`)
 		scheme = flag.String("scheme", "pageseer", "pageseer | pageseer-nocorr | pom | mempod | static")
 		scale  = flag.Int("scale", 0, "memory scale denominator (0 = default)")
 		instr  = flag.Uint64("instr", 0, "measured instructions per core (0 = default)")
@@ -28,6 +36,7 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "workload seed")
 		cores  = flag.Int("maxcores", 0, "cap on core count (0 = paper counts)")
 		nobw   = flag.Bool("nobw", false, "disable the Swap Driver bandwidth heuristic")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel runs when multiple workloads are given")
 		list   = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -39,8 +48,12 @@ func main() {
 		return
 	}
 
+	wls := strings.Split(*wl, ",")
+	if *wl == "all" {
+		wls = pageseer.Workloads()
+	}
+
 	cfg := pageseer.DefaultConfig()
-	cfg.Workload = *wl
 	cfg.Scheme = pageseer.Scheme(*scheme)
 	if *scale > 0 {
 		cfg.Scale = *scale
@@ -55,39 +68,86 @@ func main() {
 	cfg.MaxCores = *cores
 	cfg.DisableBWOpt = *nobw
 
+	// Fan runs across -j workers; each worker owns its private system, so
+	// per-run determinism is untouched. Reports buffer per run and print
+	// in argument order, never interleaved.
+	par := *jobs
+	if par < 1 {
+		par = 1
+	}
+	if par > len(wls) {
+		par = len(wls)
+	}
+	reports := make([]string, len(wls))
+	errs := make([]error, len(wls))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cfg
+				c.Workload = wls[i]
+				reports[i], errs[i] = runOne(c)
+			}
+		}()
+	}
+	for i := range wls {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i := range wls {
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, "error:", errs[i])
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(reports[i])
+	}
+}
+
+func runOne(cfg pageseer.Config) (string, error) {
 	sys, err := pageseer.Build(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return "", err
 	}
 	res, err := sys.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return "", err
 	}
+	return report(cfg, res), nil
+}
 
-	d, n, b := res.ServiceBreakdown()
+func report(cfg pageseer.Config, res pageseer.Results) string {
+	var b strings.Builder
+	d, n, bf := res.ServiceBreakdown()
 	pos, neg, neu := res.Effectiveness()
-	fmt.Printf("workload %s  scheme %s  cores %d  scale 1/%d\n", res.Workload, res.Scheme, res.Cores, cfg.Scale)
-	fmt.Printf("performance:   IPC %.3f   AMMAT %.1f cycles   (%d instructions, %d cycles)\n",
+	fmt.Fprintf(&b, "workload %s  scheme %s  cores %d  scale 1/%d\n", res.Workload, res.Scheme, res.Cores, cfg.Scale)
+	fmt.Fprintf(&b, "performance:   IPC %.3f   AMMAT %.1f cycles   (%d instructions, %d cycles)\n",
 		res.IPC, res.AMMAT, res.Instructions, res.Cycles)
-	fmt.Printf("service:       DRAM %.1f%%  NVM %.1f%%  swap buffers %.1f%%\n", d*100, n*100, b*100)
-	fmt.Printf("effectiveness: positive %.1f%%  negative %.1f%%  neutral %.1f%%\n", pos*100, neg*100, neu*100)
-	fmt.Printf("page walks:    %d walks, %.1f%% of PTE reads reached the HMC, driver hit rate %.1f%%\n",
+	fmt.Fprintf(&b, "service:       DRAM %.1f%%  NVM %.1f%%  swap buffers %.1f%%\n", d*100, n*100, bf*100)
+	fmt.Fprintf(&b, "effectiveness: positive %.1f%%  negative %.1f%%  neutral %.1f%%\n", pos*100, neg*100, neu*100)
+	fmt.Fprintf(&b, "page walks:    %d walks, %.1f%% of PTE reads reached the HMC, driver hit rate %.1f%%\n",
 		res.MMU.Walks, res.PTEMissRate()*100, res.MMUDriverHitRate()*100)
-	fmt.Printf("swaps:         %.3f per Kinstr", res.SwapsPerKI)
+	fmt.Fprintf(&b, "swaps:         %.3f per Kinstr", res.SwapsPerKI)
 	if res.Scheme == pageseer.SchemePageSeer || res.Scheme == pageseer.SchemePageSeerNoCorr {
 		st := res.PS
-		fmt.Printf("  [regular %d, prefetching-triggered %d, MMU-triggered %d]",
+		fmt.Fprintf(&b, "  [regular %d, prefetching-triggered %d, MMU-triggered %d]",
 			st.SwapsCompleted[0], st.SwapsCompleted[1], st.SwapsCompleted[2])
-		fmt.Printf("\n               prefetch accuracy %.1f%% (%d tracked), declined: bw=%d victim=%d queue=%d",
+		fmt.Fprintf(&b, "\n               prefetch accuracy %.1f%% (%d tracked), declined: bw=%d victim=%d queue=%d",
 			res.PrefetchAccuracy*100, st.PrefetchTracked, st.DeclinedBW, st.DeclinedNoVictim, st.DeclinedQueue)
-		fmt.Printf("\nenergy:        %s", stats.Energy(res.RemapCache, res.PCTc, res.Ctl.DataDemand))
+		fmt.Fprintf(&b, "\nenergy:        %s", stats.Energy(res.RemapCache, res.PCTc, res.Ctl.DataDemand))
 	}
-	fmt.Println()
-	fmt.Printf("memory:        DRAM %d reads %d writes (row hit %.1f%%) | NVM %d reads %d writes (row hit %.1f%%)\n",
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "memory:        DRAM %d reads %d writes (row hit %.1f%%) | NVM %d reads %d writes (row hit %.1f%%)\n",
 		res.DRAM.Reads, res.DRAM.Writes, rowHitPct(res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts),
 		res.NVM.Reads, res.NVM.Writes, rowHitPct(res.NVM.RowHits, res.NVM.RowMisses, res.NVM.RowConflicts))
+	return b.String()
 }
 
 func rowHitPct(h, m, c uint64) float64 {

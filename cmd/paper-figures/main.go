@@ -4,17 +4,22 @@
 // Usage:
 //
 //	paper-figures -all                # every table and figure (slow)
+//	paper-figures -all -j 8           # same, 8 simulations in flight at once
 //	paper-figures -quick -all         # reduced campaign for a fast look
+//	paper-figures -quick -all -benchjson BENCH_campaign.json
 //	paper-figures -fig14              # just the headline IPC/AMMAT figure
 //	paper-figures -fig7 -fig8 -scale 64 -instr 4000000 -warmup 2000000
 //	paper-figures -workloads lbm,miniFE,mix6 -fig14
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"pageseer/internal/figures"
 )
@@ -44,6 +49,9 @@ func main() {
 		maxCores  = flag.Int("maxcores", 0, "cap on cores per workload (0 = paper counts)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation runs (campaign-level; each run stays single-threaded)")
+		benchJSON = flag.String("benchjson", "", "write per-run wall-clock/throughput records to this JSON file")
+		benchNote = flag.String("benchnote", "", "free-form note recorded in the -benchjson output (e.g. serial-vs-parallel comparison)")
 	)
 	flag.Parse()
 
@@ -70,6 +78,7 @@ func main() {
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
+	opts.Parallelism = *jobs
 
 	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl
 	anyTable := *table1 || *table2 || *table3
@@ -97,6 +106,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+
+	// Prefetch fans the needed (workload, scheme, disableBW) runs across
+	// the -j worker pool before any figure is assembled; the figure
+	// builders then drain the cache serially, so their output is
+	// byte-identical to a fully serial campaign.
+	needs := figures.Needs{
+		Baselines: *fig7 || *fig8 || *fig13 || *fig14,
+		NoCorr:    *abl,
+		NoBW:      *fig11,
+	}
+	campaignStart := time.Now()
+	if anyFigure || *all {
+		if err := r.Prefetch(needs); err != nil {
+			fail(err)
+		}
+	}
+	campaignWall := time.Since(campaignStart)
+
 	if *fig7 {
 		rows, err := figures.Figure7(r)
 		if err != nil {
@@ -160,4 +187,52 @@ func main() {
 		}
 		fmt.Println(figures.RenderAblation(rows))
 	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, r, opts, *jobs, *quick, campaignWall, *benchNote); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// campaignBench is the machine-readable perf record (BENCH_campaign.json):
+// one campaign's wall-clock and per-run throughput, so future changes have
+// a trajectory to compare against.
+type campaignBench struct {
+	Generated        string              `json:"generated"`
+	Note             string              `json:"note,omitempty"`
+	GoMaxProcs       int                 `json:"go_max_procs"`
+	NumCPU           int                 `json:"num_cpu"`
+	Parallelism      int                 `json:"parallelism"`
+	Quick            bool                `json:"quick"`
+	Workloads        []string            `json:"workloads"`
+	Runs             []figures.RunMetric `json:"runs"`
+	TotalWallSeconds float64             `json:"total_wall_seconds"`
+	TotalEvents      uint64              `json:"total_events"`
+	EventsPerSec     float64             `json:"events_per_sec"`
+}
+
+func writeBenchJSON(path string, r *figures.Runner, opts figures.Options, jobs int, quick bool, wall time.Duration, note string) error {
+	b := campaignBench{
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		Note:             note,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		Parallelism:      jobs,
+		Quick:            quick,
+		Workloads:        opts.Workloads,
+		Runs:             r.Metrics(),
+		TotalWallSeconds: wall.Seconds(),
+	}
+	for _, m := range b.Runs {
+		b.TotalEvents += m.EventsFired
+	}
+	if b.TotalWallSeconds > 0 {
+		b.EventsPerSec = float64(b.TotalEvents) / b.TotalWallSeconds
+	}
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

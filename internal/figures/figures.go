@@ -5,11 +5,21 @@
 // rates (Figure 11), page-walk statistics (Figure 12), PRTc waiting time
 // versus PoM (Figure 13), the headline IPC/AMMAT comparison (Figure 14),
 // and the PageSeer-NoCorr ablation of Section V-C.
+//
+// Each (workload, scheme) run is an independent, deterministically-seeded
+// sim.System, so a campaign is embarrassingly parallel. The Runner
+// exploits that at the campaign level only — fanning whole runs across a
+// worker pool (Options.Parallelism) — never inside one engine.Sim, whose
+// single-threaded event loop is what makes every run exactly repeatable.
+// Parallel and serial campaigns therefore produce byte-identical figures.
 package figures
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"time"
 
 	"pageseer/internal/sim"
 	"pageseer/internal/workload"
@@ -27,7 +37,13 @@ type Options struct {
 	// MaxCores caps core counts for quick runs (0 = paper counts).
 	MaxCores int
 	// Progress, when non-nil, receives one line per completed run.
+	// Writes are serialised, and during Prefetch/RunAll they are emitted
+	// in campaign order regardless of which worker finishes first.
 	Progress io.Writer
+	// Parallelism is the worker-pool width for Prefetch/RunAll
+	// (0 = runtime.GOMAXPROCS(0)). Individual runs are always
+	// single-threaded; parallelism lives strictly between runs.
+	Parallelism int
 }
 
 // DefaultOptions runs the full 26-workload campaign at the default scale.
@@ -59,11 +75,31 @@ type runKey struct {
 	disableBW bool
 }
 
+// runEntry is one memoised run. done closes when res/err/wall are final;
+// the entry doubles as a per-key singleflight so two figures requesting
+// the same run never simulate it twice, even concurrently.
+type runEntry struct {
+	done chan struct{}
+	res  sim.Results
+	err  error
+	wall time.Duration
+}
+
 // Runner executes and memoises simulation runs so every figure sharing a
-// configuration reuses the same measurement.
+// configuration reuses the same measurement. All methods are safe for
+// concurrent use.
 type Runner struct {
-	opts  Options
-	cache map[runKey]sim.Results
+	opts Options
+
+	mu    sync.Mutex // guards cache (the map, not the entries)
+	cache map[runKey]*runEntry
+
+	// Ordered progress emission during Prefetch/RunAll: lines buffer in
+	// pending and flush in order[next:] as the completed prefix grows.
+	progressMu sync.Mutex
+	order      []runKey
+	pending    map[runKey]string
+	next       int
 }
 
 // NewRunner builds a runner for the given options.
@@ -71,11 +107,19 @@ func NewRunner(opts Options) *Runner {
 	if len(opts.Workloads) == 0 {
 		opts.Workloads = workload.AllWorkloadNames()
 	}
-	return &Runner{opts: opts, cache: make(map[runKey]sim.Results)}
+	return &Runner{opts: opts, cache: make(map[runKey]*runEntry)}
 }
 
 // Workloads returns the campaign's workload list.
 func (r *Runner) Workloads() []string { return r.opts.Workloads }
+
+// Parallelism returns the effective worker-pool width.
+func (r *Runner) Parallelism() int {
+	if r.opts.Parallelism > 0 {
+		return r.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Run returns the (cached) results for one workload under one scheme.
 func (r *Runner) Run(wl string, scheme sim.Scheme) (sim.Results, error) {
@@ -90,18 +134,36 @@ func (r *Runner) RunNoBWOpt(wl string) (sim.Results, error) {
 
 func (r *Runner) run(wl string, scheme sim.Scheme, disableBW bool) (sim.Results, error) {
 	k := runKey{workload: wl, scheme: scheme, disableBW: disableBW}
-	if res, ok := r.cache[k]; ok {
-		return res, nil
+	r.mu.Lock()
+	if e, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		<-e.done // another goroutine owns the run; wait it out
+		return e.res, e.err
 	}
+	e := &runEntry{done: make(chan struct{})}
+	r.cache[k] = e
+	r.mu.Unlock()
+
+	start := time.Now()
+	e.res, e.err = r.simulate(k)
+	e.wall = time.Since(start)
+	close(e.done)
+	r.emitProgress(k, e)
+	return e.res, e.err
+}
+
+// simulate executes one run; it holds no Runner locks, so independent keys
+// proceed in parallel.
+func (r *Runner) simulate(k runKey) (sim.Results, error) {
 	cfg := sim.Config{
-		Scheme:       scheme,
-		Workload:     wl,
+		Scheme:       k.scheme,
+		Workload:     k.workload,
 		Scale:        r.opts.Scale,
 		InstrPerCore: r.opts.InstrPerCore,
 		Warmup:       r.opts.Warmup,
 		Seed:         r.opts.Seed,
 		MaxCores:     r.opts.MaxCores,
-		DisableBWOpt: disableBW,
+		DisableBWOpt: k.disableBW,
 	}
 	sys, err := sim.Build(cfg)
 	if err != nil {
@@ -109,15 +171,193 @@ func (r *Runner) run(wl string, scheme sim.Scheme, disableBW bool) (sim.Results,
 	}
 	res, err := sys.Run()
 	if err != nil {
-		return sim.Results{}, fmt.Errorf("figures: %s/%s: %w", wl, scheme, err)
-	}
-	r.cache[k] = res
-	if r.opts.Progress != nil {
-		d, n, b := res.ServiceBreakdown()
-		fmt.Fprintf(r.opts.Progress, "ran %-12s %-16s ipc=%.3f ammat=%.0f dram/nvm/buf=%.2f/%.2f/%.3f\n",
-			wl, schemeLabel(scheme, disableBW), res.IPC, res.AMMAT, d, n, b)
+		return sim.Results{}, fmt.Errorf("figures: %s/%s: %w", k.workload, k.scheme, err)
 	}
 	return res, nil
+}
+
+// emitProgress writes one run's progress line. Outside a prefetch it goes
+// out immediately; during one it buffers until every earlier campaign key
+// has reported, so worker interleaving never reorders the log.
+func (r *Runner) emitProgress(k runKey, e *runEntry) {
+	if r.opts.Progress == nil {
+		return
+	}
+	var line string
+	if e.err == nil {
+		d, n, b := e.res.ServiceBreakdown()
+		line = fmt.Sprintf("ran %-12s %-16s ipc=%.3f ammat=%.0f dram/nvm/buf=%.2f/%.2f/%.3f\n",
+			k.workload, schemeLabel(k.scheme, k.disableBW), e.res.IPC, e.res.AMMAT, d, n, b)
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	if r.order == nil {
+		if line != "" {
+			fmt.Fprint(r.opts.Progress, line)
+		}
+		return
+	}
+	if r.pending == nil {
+		r.pending = make(map[runKey]string)
+	}
+	r.pending[k] = line
+	for r.next < len(r.order) {
+		l, ok := r.pending[r.order[r.next]]
+		if !ok {
+			break
+		}
+		if l != "" {
+			fmt.Fprint(r.opts.Progress, l)
+		}
+		delete(r.pending, r.order[r.next])
+		r.next++
+	}
+}
+
+// Needs selects which run families a figure selection requires beyond the
+// always-needed PageSeer runs.
+type Needs struct {
+	Baselines bool // PoM and MemPod (Figures 7, 8, 13, 14)
+	NoCorr    bool // PageSeer-NoCorr (Section V-C ablation)
+	NoBW      bool // PageSeer without the BW heuristic (Figure 11)
+}
+
+// AllNeeds is the full campaign: every family every figure draws on.
+func AllNeeds() Needs { return Needs{Baselines: true, NoCorr: true, NoBW: true} }
+
+// keys enumerates the campaign key set for n in canonical (workload-major)
+// order — the order progress lines and Metrics follow.
+func (r *Runner) keys(n Needs) []runKey {
+	var ks []runKey
+	for _, wl := range r.opts.Workloads {
+		if n.Baselines {
+			ks = append(ks,
+				runKey{workload: wl, scheme: sim.SchemePoM},
+				runKey{workload: wl, scheme: sim.SchemeMemPod})
+		}
+		ks = append(ks, runKey{workload: wl, scheme: sim.SchemePageSeer})
+		if n.NoCorr {
+			ks = append(ks, runKey{workload: wl, scheme: sim.SchemePageSeerNoCorr})
+		}
+		if n.NoBW {
+			ks = append(ks, runKey{workload: wl, scheme: sim.SchemePageSeer, disableBW: true})
+		}
+	}
+	return ks
+}
+
+// RunAll pre-executes the campaign's full (workload, scheme, disableBW)
+// key set across the worker pool. Figures built afterwards hit the cache.
+func (r *Runner) RunAll() error { return r.Prefetch(AllNeeds()) }
+
+// Prefetch fans the selected run families across Parallelism workers.
+// Results land in the cache; the first error (in campaign order) is
+// returned after every worker finishes. Runs already cached are reused.
+func (r *Runner) Prefetch(n Needs) error {
+	keys := r.keys(n)
+	if len(keys) == 0 {
+		return nil
+	}
+
+	// Install ordered progress for keys that have not yet reported.
+	// Already-completed entries emitted their lines when they ran.
+	r.mu.Lock()
+	todo := keys[:0:0]
+	for _, k := range keys {
+		e, ok := r.cache[k]
+		done := false
+		if ok {
+			select {
+			case <-e.done:
+				done = true
+			default:
+			}
+		}
+		if !done {
+			todo = append(todo, k)
+		}
+	}
+	r.mu.Unlock()
+	r.progressMu.Lock()
+	r.order, r.pending, r.next = todo, nil, 0
+	r.progressMu.Unlock()
+	defer func() {
+		r.progressMu.Lock()
+		r.order, r.pending, r.next = nil, nil, 0
+		r.progressMu.Unlock()
+	}()
+
+	par := r.Parallelism()
+	if par > len(keys) {
+		par = len(keys)
+	}
+	jobs := make(chan int)
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				k := keys[i]
+				_, errs[i] = r.run(k.workload, k.scheme, k.disableBW)
+			}
+		}()
+	}
+	for i := range keys {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMetric is one run's perf record for the campaign bench trajectory
+// (BENCH_campaign.json).
+type RunMetric struct {
+	Workload     string  `json:"workload"`
+	Scheme       string  `json:"scheme"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsFired  uint64  `json:"events_fired"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Metrics returns per-run wall-clock and event-throughput records for
+// every completed campaign run, in canonical order.
+func (r *Runner) Metrics() []RunMetric {
+	var ms []RunMetric
+	for _, k := range r.keys(AllNeeds()) {
+		r.mu.Lock()
+		e, ok := r.cache[k]
+		r.mu.Unlock()
+		if !ok {
+			continue
+		}
+		select {
+		case <-e.done:
+		default:
+			continue // still in flight
+		}
+		if e.err != nil {
+			continue
+		}
+		m := RunMetric{
+			Workload:    k.workload,
+			Scheme:      schemeLabel(k.scheme, k.disableBW),
+			WallSeconds: e.wall.Seconds(),
+			EventsFired: e.res.EventsFired,
+		}
+		if m.WallSeconds > 0 {
+			m.EventsPerSec = float64(m.EventsFired) / m.WallSeconds
+		}
+		ms = append(ms, m)
+	}
+	return ms
 }
 
 func schemeLabel(s sim.Scheme, disableBW bool) string {

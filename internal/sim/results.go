@@ -40,6 +40,12 @@ type Results struct {
 	// SwapsPerKI is completed swap operations per kilo-instruction
 	// (Figure 11).
 	SwapsPerKI float64
+
+	// EventsFired counts engine events executed during the measured
+	// epoch — the simulator-throughput denominator the campaign bench
+	// record (BENCH_campaign.json) divides wall time by. Deterministic
+	// for a given Config, like every other field.
+	EventsFired uint64
 }
 
 // ServiceBreakdown returns the Figure 7 fractions (DRAM, NVM, swap buffer)

@@ -382,6 +382,7 @@ func (s *System) Run() (Results, error) {
 		s.resetStats()
 	}
 	start := s.Sim.Now()
+	firedStart := s.Sim.Fired()
 	s.runPhase(s.Cfg.InstrPerCore)
 	if s.PageSeer != nil {
 		s.PageSeer.Finish()
@@ -389,5 +390,7 @@ func (s *System) Run() (Results, error) {
 	if err := s.Ctl.VerifyIntegrity(); err != nil {
 		return Results{}, fmt.Errorf("sim: integrity check failed after run: %w", err)
 	}
-	return s.collect(start), nil
+	r := s.collect(start)
+	r.EventsFired = s.Sim.Fired() - firedStart
+	return r, nil
 }

@@ -93,6 +93,14 @@ type FigureRunner = figures.Runner
 // Ablation) to regenerate specific results.
 func NewFigureRunner(opts FigureOptions) *FigureRunner { return figures.NewRunner(opts) }
 
+// FigureNeeds selects which run families FigureRunner.Prefetch executes
+// (baselines, ablation, no-BW); FigureRunner.RunAll covers them all.
+type FigureNeeds = figures.Needs
+
+// RunMetric is one run's wall-clock/throughput record, as emitted into
+// BENCH_campaign.json by paper-figures -benchjson.
+type RunMetric = figures.RunMetric
+
 // DefaultFigureOptions runs the full 26-workload campaign.
 func DefaultFigureOptions() FigureOptions { return figures.DefaultOptions() }
 

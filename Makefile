@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard trace-demo
 
-## tier1: the full pre-PR gate — vet, build, race-enabled tests, and a
-## one-shot figure-campaign smoke bench.
-tier1: vet build race benchsmoke
+## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
+## one-shot figure-campaign smoke bench, and the zero-alloc guard for the
+## disabled observability sinks.
+tier1: vet build race benchsmoke allocguard
 
 vet:
 	$(GO) vet ./...
@@ -33,3 +34,15 @@ bench:
 ## campaign-bench: regenerate BENCH_campaign.json from the quick campaign.
 campaign-bench:
 	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson BENCH_campaign.json
+
+## allocguard: testing.AllocsPerRun proof that the hot path pays zero
+## allocations per request with the observability sinks disabled. Run
+## without -race (race instrumentation allocates and would false-fail).
+allocguard:
+	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs
+
+## trace-demo: produce a sample Perfetto trace + epoch timeline from a
+## quick run (open trace-demo.json at https://ui.perfetto.dev).
+trace-demo:
+	$(GO) run ./cmd/pageseer-sim -workload lbm -scheme pageseer \
+		-trace trace-demo.json -timeline timeline-demo.csv

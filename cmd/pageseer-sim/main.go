@@ -6,19 +6,30 @@
 // than one workload the runs fan out across -j workers (each run stays
 // single-threaded and deterministic) and reports print in argument order.
 //
+// Observability: -trace writes swap-lifecycle spans and MMU-hint causality
+// arrows in Chrome Trace Event Format (open in Perfetto or chrome://tracing);
+// -timeline samples IPC, swap activity, and queue occupancy every
+// -timeline-every cycles into CSV (or JSON when the path ends in .json).
+// With multiple workloads each run writes its own file, the workload name
+// inserted before the extension (trace.json -> trace-lbm.json).
+//
 // Usage:
 //
 //	pageseer-sim -workload lbm -scheme pageseer
 //	pageseer-sim -workload mix3 -scheme pom -scale 64 -instr 4000000
 //	pageseer-sim -workload GemsFDTD -scheme pageseer -nobw
 //	pageseer-sim -workload all -j 8
+//	pageseer-sim -workload lbm -trace trace.json -timeline tl.csv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -38,8 +49,28 @@ func main() {
 		nobw   = flag.Bool("nobw", false, "disable the Swap Driver bandwidth heuristic")
 		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel runs when multiple workloads are given")
 		list   = flag.Bool("list", false, "list workloads and exit")
+
+		tracePath  = flag.String("trace", "", "write a Chrome/Perfetto trace of swap lifecycles and MMU hints to this file")
+		tlPath     = flag.String("timeline", "", "write the epoch timeline to this file (.json = JSON, otherwise CSV)")
+		tlEvery    = flag.Uint64("timeline-every", 50_000, "timeline sampling interval in cycles")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	if *list {
 		for _, w := range pageseer.Workloads() {
@@ -67,6 +98,10 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MaxCores = *cores
 	cfg.DisableBWOpt = *nobw
+	cfg.Obs.Trace = *tracePath != ""
+	if *tlPath != "" {
+		cfg.Obs.TimelineEvery = *tlEvery
+	}
 
 	// Fan runs across -j workers; each worker owns its private system, so
 	// per-run determinism is untouched. Reports buffer per run and print
@@ -89,7 +124,8 @@ func main() {
 			for i := range work {
 				c := cfg
 				c.Workload = wls[i]
-				reports[i], errs[i] = runOne(c)
+				multi := len(wls) > 1
+				reports[i], errs[i] = runOne(c, outPath(*tracePath, wls[i], multi), outPath(*tlPath, wls[i], multi))
 			}
 		}()
 	}
@@ -111,7 +147,7 @@ func main() {
 	}
 }
 
-func runOne(cfg pageseer.Config) (string, error) {
+func runOne(cfg pageseer.Config, tracePath, tlPath string) (string, error) {
 	sys, err := pageseer.Build(cfg)
 	if err != nil {
 		return "", err
@@ -120,7 +156,60 @@ func runOne(cfg pageseer.Config) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if tracePath != "" {
+		if err := writeSink(tracePath, sys.Tracer.WriteJSON); err != nil {
+			return "", err
+		}
+	}
+	if tlPath != "" {
+		w := sys.Timeline.WriteCSV
+		if strings.HasSuffix(tlPath, ".json") {
+			w = sys.Timeline.WriteJSON
+		}
+		if err := writeSink(tlPath, w); err != nil {
+			return "", err
+		}
+	}
 	return report(cfg, res), nil
+}
+
+// outPath returns base with the workload name inserted before the extension
+// when several workloads share one invocation (trace.json -> trace-lbm.json),
+// so parallel runs never clobber each other's files.
+func outPath(base, wl string, multi bool) string {
+	if base == "" || !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + wl + ext
+}
+
+func writeSink(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
 }
 
 func report(cfg pageseer.Config, res pageseer.Results) string {
@@ -131,6 +220,9 @@ func report(cfg pageseer.Config, res pageseer.Results) string {
 	fmt.Fprintf(&b, "performance:   IPC %.3f   AMMAT %.1f cycles   (%d instructions, %d cycles)\n",
 		res.IPC, res.AMMAT, res.Instructions, res.Cycles)
 	fmt.Fprintf(&b, "service:       DRAM %.1f%%  NVM %.1f%%  swap buffers %.1f%%\n", d*100, n*100, bf*100)
+	fmt.Fprintf(&b, "latency:       %s  %s  %s  %s\n",
+		latencyCell("DRAM", res.Latency.DRAM), latencyCell("NVM", res.Latency.NVM),
+		latencyCell("buf", res.Latency.Buf), latencyCell("pte", res.Latency.PTE))
 	fmt.Fprintf(&b, "effectiveness: positive %.1f%%  negative %.1f%%  neutral %.1f%%\n", pos*100, neg*100, neu*100)
 	fmt.Fprintf(&b, "page walks:    %d walks, %.1f%% of PTE reads reached the HMC, driver hit rate %.1f%%\n",
 		res.MMU.Walks, res.PTEMissRate()*100, res.MMUDriverHitRate()*100)
@@ -148,6 +240,15 @@ func report(cfg pageseer.Config, res pageseer.Results) string {
 		res.DRAM.Reads, res.DRAM.Writes, rowHitPct(res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts),
 		res.NVM.Reads, res.NVM.Writes, rowHitPct(res.NVM.RowHits, res.NVM.RowMisses, res.NVM.RowConflicts))
 	return b.String()
+}
+
+// latencyCell formats one serving source's per-request latency digest
+// (cycles) for the report's latency line.
+func latencyCell(name string, d pageseer.LatencyDist) string {
+	if d.Count == 0 {
+		return name + " —"
+	}
+	return fmt.Sprintf("%s p50/p90/p99/max %d/%d/%d/%d", name, d.P50, d.P90, d.P99, d.Max)
 }
 
 func rowHitPct(h, m, c uint64) float64 {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,6 +42,7 @@ func main() {
 		fig13  = flag.Bool("fig13", false, "Figure 13: remap-cache waiting time vs PoM")
 		fig14  = flag.Bool("fig14", false, "Figure 14: IPC and AMMAT normalised to MemPod")
 		abl    = flag.Bool("ablation", false, "Section V-C: PageSeer vs PageSeer-NoCorr")
+		lat    = flag.Bool("latency", false, "per-source HMC service-latency percentiles (PageSeer)")
 
 		scale     = flag.Int("scale", 0, "memory scale denominator (default from profile)")
 		instr     = flag.Uint64("instr", 0, "measured instructions per core")
@@ -52,8 +54,25 @@ func main() {
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation runs (campaign-level; each run stays single-threaded)")
 		benchJSON = flag.String("benchjson", "", "write per-run wall-clock/throughput records to this JSON file")
 		benchNote = flag.String("benchnote", "", "free-form note recorded in the -benchjson output (e.g. serial-vs-parallel comparison)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	opts := figures.DefaultOptions()
 	if *quick {
@@ -80,12 +99,12 @@ func main() {
 	}
 	opts.Parallelism = *jobs
 
-	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl
+	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl || *lat
 	anyTable := *table1 || *table2 || *table3
 	if *all {
 		*table1, *table2, *table3 = true, true, true
-		*fig7, *fig8, *fig9, *fig10, *fig11, *fig12, *fig13, *fig14, *abl =
-			true, true, true, true, true, true, true, true, true
+		*fig7, *fig8, *fig9, *fig10, *fig11, *fig12, *fig13, *fig14, *abl, *lat =
+			true, true, true, true, true, true, true, true, true, true
 	} else if !anyFigure && !anyTable {
 		flag.Usage()
 		os.Exit(2)
@@ -187,6 +206,15 @@ func main() {
 		}
 		fmt.Println(figures.RenderAblation(rows))
 	}
+	// The latency table prints last so every pre-existing output keeps its
+	// position (and bytes) in an -all run.
+	if *lat {
+		rows, err := figures.LatencyTable(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderLatencyTable(rows))
+	}
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, r, opts, *jobs, *quick, campaignWall, *benchNote); err != nil {
@@ -210,6 +238,22 @@ type campaignBench struct {
 	TotalWallSeconds float64             `json:"total_wall_seconds"`
 	TotalEvents      uint64              `json:"total_events"`
 	EventsPerSec     float64             `json:"events_per_sec"`
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
 }
 
 func writeBenchJSON(path string, r *figures.Runner, opts figures.Options, jobs int, quick bool, wall time.Duration, note string) error {

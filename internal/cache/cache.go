@@ -83,6 +83,19 @@ type Stats struct {
 	PTEMiss    uint64
 }
 
+// Add accumulates o into s (e.g. summing private caches across cores).
+// Keep it exhaustive: the reflection test in internal/sim pins that every
+// numeric field survives aggregation.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.MSHRMerges += o.MSHRMerges
+	s.Writebacks += o.Writebacks
+	s.PTEAccess += o.PTEAccess
+	s.PTEMiss += o.PTEMiss
+}
+
 // Cache is one level of the hierarchy.
 type Cache struct {
 	sim  *engine.Sim

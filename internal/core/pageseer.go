@@ -7,6 +7,7 @@ import (
 	"pageseer/internal/hmc"
 	"pageseer/internal/mem"
 	"pageseer/internal/mmu"
+	"pageseer/internal/obs"
 )
 
 // SwapKind distinguishes the three swap triggers of Section III-A.
@@ -109,7 +110,23 @@ type PageSeer struct {
 
 	prefTracks map[mem.PPN]*prefTrack
 
+	// Tracing state (nil/empty when the controller has no tracer): hintSeq
+	// numbers MMU-hint causality arrows; hintFlow remembers where each
+	// hint fired so the arrow can be emitted retroactively — only when an
+	// MMU-triggered swap actually closes it (dangling arrows clutter
+	// Perfetto and bloat the trace; most hints trigger nothing).
+	hintSeq  uint64
+	hintFlow map[mem.PPN]hintOrigin
+
 	stats Stats
+}
+
+// hintOrigin records when/where an MMU hint fired, keyed by the hinted
+// page, so bindHintFlow can open its causality arrow at the original spot.
+type hintOrigin struct {
+	id   uint64
+	ts   uint64
+	core int
 }
 
 type pendingSwap struct {
@@ -119,6 +136,11 @@ type pendingSwap struct {
 }
 
 const maxPendingSwaps = 1024
+
+// traceQueueTid is the trace track (under the swap-engine process) that
+// carries Swap Driver queueing events: request instants, queue-wait spans,
+// and remap commits. Transfer spans live on tids 0..MaxOps-1.
+const traceQueueTid = 99
 
 // pendingStaleCycles expires queued swap requests: converting a page whose
 // flurry has already ended wastes swap bandwidth that a fresh request could
@@ -321,6 +343,19 @@ func (p *PageSeer) evaluateCorrelation(page mem.PPN, kind SwapKind) {
 // page, prefetch its metadata, and possibly start MMU-triggered swaps.
 func (p *PageSeer) MMUHint(h mmu.Hint) {
 	p.stats.HintsReceived++
+	if t := p.ctl.Tracer(); t != nil {
+		// Remember where the hint fired; if it ends up starting an
+		// MMU-triggered prefetch swap, bindHintFlow opens the causality
+		// arrow here retroactively and the swap's transfer span closes it
+		// (the arrow Perfetto draws from page walk to page move).
+		p.hintSeq++
+		now := p.sim.Now()
+		t.Instant("hint", "mmu-hint", obs.TracePidCores, h.Core, now, "vpn", uint64(h.VPN))
+		if p.hintFlow == nil {
+			p.hintFlow = make(map[mem.PPN]hintOrigin)
+		}
+		p.hintFlow[h.LeafPPN] = hintOrigin{id: p.hintSeq, ts: now, core: h.Core}
+	}
 	fetch := func(done func()) {
 		// The PTE line lives in a page-table frame, which is pinned, so no
 		// translation is needed; fetch it from DRAM (action 2, Figure 3).
@@ -376,6 +411,10 @@ func (p *PageSeer) requestSwap(page mem.PPN, kind SwapKind) bool {
 	if p.ctl.FrozenByDMA(page) {
 		return false
 	}
+	if t := p.ctl.Tracer(); t != nil {
+		t.Instant("swap", "request:"+kind.String(), obs.TracePidSwap, traceQueueTid,
+			p.sim.Now(), "page", uint64(page))
+	}
 	if p.cfg.BWOpt && p.dramSaturated() {
 		p.stats.DeclinedBW++
 		return false
@@ -419,6 +458,10 @@ func (p *PageSeer) popPending() (pendingSwap, bool) {
 			if now-e.at > pendingStaleCycles {
 				p.stats.DeclinedQueue++
 				continue // expired: the flurry this served has passed
+			}
+			if t := p.ctl.Tracer(); t != nil && now > e.at {
+				t.Complete("swap", "queued:"+e.kind.String(), obs.TracePidSwap,
+					traceQueueTid, e.at, now, "page", uint64(e.page))
 			}
 			return e, true
 		}
@@ -572,6 +615,11 @@ func (p *PageSeer) startSwap(page mem.PPN, kind SwapKind) {
 		}}
 	}
 	op.Tag = int(kind)
+	op.Label = "swap:" + kind.String()
+	if hasPartner {
+		op.Label += "+opt"
+	}
+	p.bindHintFlow(op, page, kind)
 	op.OnComplete = func() { p.completeSwap(page, frame, partner, hasPartner, job) }
 	if !p.ctl.Engine.Start(op) {
 		// Raced with another start; requeue.
@@ -597,7 +645,8 @@ func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind) {
 	nSlot := nPartner.Addr() // holds dPage's data
 	job := &swapJob{kind: kind, pages: []mem.PPN{dPage, nPartner}}
 	op := &hmc.Op{
-		Tag: int(kind),
+		Tag:   int(kind),
+		Label: "swap:restore:" + kind.String(),
 		Stages: []hmc.Stage{{
 			{Src: dSlot, Dst: nSlot, Bytes: mem.PageSize},
 			{Src: nSlot, Dst: dSlot, Bytes: mem.PageSize},
@@ -609,6 +658,7 @@ func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind) {
 			p.finalizeTrack(nPartner) // it just left DRAM
 			p.hptNVM.Remove(dPage)
 			p.ctl.IssueLine(p.prtRegion.EntryAddr(uint64(dPage)), true, hmc.PrioSwap, nil)
+			p.traceRemapCommit(dPage)
 			p.stats.SwapsCompleted[job.kind]++
 			for _, pg := range job.pages {
 				delete(p.inflight, pg)
@@ -619,6 +669,7 @@ func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind) {
 			p.drainPending()
 		},
 	}
+	p.bindHintFlow(op, dPage, kind)
 	if !p.ctl.Engine.Start(op) {
 		if _, queued := p.pendingKind[dPage]; !queued {
 			p.enqueue(dPage, kind)
@@ -648,6 +699,7 @@ func (p *PageSeer) completeSwap(page, frame, partner mem.PPN, hasPartner bool, j
 	// Persist the PRT entry (one metadata line write) and refresh the PRTc.
 	p.ctl.IssueLine(p.prtRegion.EntryAddr(uint64(frame)), true, hmc.PrioSwap, nil)
 	p.prtc.Prefetch(uint64(page))
+	p.traceRemapCommit(page)
 
 	// Residence changed: restart hot-page tracking on the new tiers.
 	p.hptNVM.Remove(page)
@@ -668,6 +720,32 @@ func (p *PageSeer) completeSwap(page, frame, partner mem.PPN, hasPartner bool, j
 		w()
 	}
 	p.drainPending()
+}
+
+// bindHintFlow opens the MMU-hint causality arrow for page (back at the
+// hint's recorded time and core) and attaches it to the op's transfer
+// span, so Perfetto draws hint → swap. Arrows for hints that never
+// trigger a swap are never emitted.
+func (p *PageSeer) bindHintFlow(op *hmc.Op, page mem.PPN, kind SwapKind) {
+	if kind != SwapPrefetchMMU || p.hintFlow == nil {
+		return
+	}
+	if o, ok := p.hintFlow[page]; ok {
+		if t := p.ctl.Tracer(); t != nil {
+			t.FlowStart("hint", "mmu-hint", o.id, obs.TracePidCores, o.core, o.ts)
+		}
+		op.FlowID = o.id
+		delete(p.hintFlow, page)
+	}
+}
+
+// traceRemapCommit marks the moment a completed swap's new mapping became
+// architecturally visible (PRT updated, oracle exchanged).
+func (p *PageSeer) traceRemapCommit(page mem.PPN) {
+	if t := p.ctl.Tracer(); t != nil {
+		t.Instant("swap", "remap-commit", obs.TracePidSwap, traceQueueTid,
+			p.sim.Now(), "page", uint64(page))
+	}
 }
 
 // finalizeTrack closes the accuracy window for a page leaving DRAM.

@@ -39,6 +39,14 @@ type Sim struct {
 	now  uint64
 	seq  uint64
 	fire uint64 // events executed, for stats/debugging
+
+	// Cycle-tick hook (SetTick): fired from Step when the clock crosses a
+	// period boundary. Deliberately not a queued event — a self-scheduling
+	// sampler would keep Drain alive forever and perturb Pending/Fired;
+	// the hook rides the clock instead, costing one nil check per step.
+	tickFn    func()
+	tickEvery uint64
+	tickNext  uint64
 }
 
 // New returns an empty simulator positioned at cycle 0.
@@ -124,6 +132,23 @@ func (s *Sim) After(delay uint64, fn func()) {
 	s.At(s.now+delay, fn)
 }
 
+// SetTick installs fn to run whenever the clock reaches or crosses a
+// multiple of `every` cycles from now — the engine's cycle-time hook for
+// periodic observers (e.g. the epoch timeline sampler). The hook is not a
+// queued event: it cannot keep Drain alive, does not count toward Fired,
+// and fires at the first executed event on or after each boundary (discrete
+// time jumps, so boundaries between events fire once, at the jump). fn must
+// not schedule events or mutate component state. SetTick(0, nil) disarms.
+func (s *Sim) SetTick(every uint64, fn func()) {
+	if every == 0 || fn == nil {
+		s.tickEvery, s.tickNext, s.tickFn = 0, 0, nil
+		return
+	}
+	s.tickEvery = every
+	s.tickNext = s.now + every
+	s.tickFn = fn
+}
+
 // Step executes the next event, advancing the clock to its cycle.
 // It reports whether an event was executed.
 func (s *Sim) Step() bool {
@@ -132,6 +157,12 @@ func (s *Sim) Step() bool {
 	}
 	e := s.pop()
 	s.now = e.cycle
+	if s.tickFn != nil && s.now >= s.tickNext {
+		s.tickFn()
+		for s.tickNext <= s.now {
+			s.tickNext += s.tickEvery
+		}
+	}
 	s.fire++
 	e.fn()
 	return true

@@ -1,0 +1,63 @@
+package engine
+
+import "testing"
+
+// TestSetTickFiresOnBoundaries: the cycle-tick hook fires at the first
+// event on or after each period boundary, exactly once per crossed span,
+// and never keeps the queue alive.
+func TestSetTickFiresOnBoundaries(t *testing.T) {
+	s := New()
+	var at []uint64
+	s.SetTick(10, func() { at = append(at, s.Now()) })
+
+	for _, c := range []uint64{3, 9, 10, 11, 25, 47, 47, 100} {
+		s.At(c, func() {})
+	}
+	s.Drain(0)
+
+	// Boundaries 10,20,...: fired at 10 (first >=10), 25 (>=20), 47 (>=30;
+	// 40 also passed but a span of crossed boundaries fires once), 100.
+	want := []uint64{10, 25, 47, 100}
+	if len(at) != len(want) {
+		t.Fatalf("tick fired at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("tick fired at %v, want %v", at, want)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("tick left %d events pending", s.Pending())
+	}
+}
+
+func TestSetTickDisarm(t *testing.T) {
+	s := New()
+	fired := 0
+	s.SetTick(5, func() { fired++ })
+	s.At(7, func() {})
+	s.Drain(0)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	s.SetTick(0, nil)
+	s.At(50, func() {})
+	s.Drain(0)
+	if fired != 1 {
+		t.Fatalf("disarmed tick still fired (%d)", fired)
+	}
+}
+
+// TestSetTickDoesNotCountAsEvent: ticks ride the clock; Fired counts only
+// real events, so EventsFired stays byte-identical with sinks on or off.
+func TestSetTickDoesNotCountAsEvent(t *testing.T) {
+	s := New()
+	s.SetTick(1, func() {})
+	for c := uint64(1); c <= 20; c++ {
+		s.At(c, func() {})
+	}
+	s.Drain(0)
+	if s.Fired() != 20 {
+		t.Fatalf("Fired = %d, want 20", s.Fired())
+	}
+}

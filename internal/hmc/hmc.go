@@ -20,6 +20,7 @@ import (
 	"pageseer/internal/mem"
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
+	"pageseer/internal/obs"
 )
 
 // Source says which structure serviced a demand request.
@@ -43,6 +44,7 @@ type Request struct {
 	done    func()
 	ctl     *Controller
 	served  bool
+	pteSrc  bool // served by the MMU Driver's PTE cache (latency split)
 }
 
 // Manager is one hybrid-memory management scheme.
@@ -107,6 +109,12 @@ type Controller struct {
 	mgr   Manager
 	stats Stats
 
+	// Observability sinks, both nil-guarded: a controller without them
+	// pays one branch per request and zero allocations (the obs package's
+	// zero-cost-when-off contract).
+	lat   *obs.LatencySet
+	trace *obs.Tracer
+
 	frozen map[mem.PPN]bool
 }
 
@@ -135,6 +143,26 @@ func (c *Controller) Manager() Manager { return c.mgr }
 
 // Stats returns a snapshot of the controller counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// SetLatencySink attaches the per-source demand-latency histograms (nil
+// detaches). Recording is allocation-free, so sim attaches one on every
+// build; the nil guard exists for bare controllers in unit tests and for
+// the zero-cost contract.
+func (c *Controller) SetLatencySink(l *obs.LatencySet) { c.lat = l }
+
+// LatencySink returns the attached latency histograms (may be nil).
+func (c *Controller) LatencySink() *obs.LatencySet { return c.lat }
+
+// SetTracer attaches the swap/hint event tracer to the controller and its
+// swap engine (nil detaches). Must be installed before the manager, so
+// managers can cache it.
+func (c *Controller) SetTracer(t *obs.Tracer) {
+	c.trace = t
+	c.Engine.tracer = t
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Controller) Tracer() *obs.Tracer { return c.trace }
 
 // Access implements cache.Backend: the LLC's next level.
 func (c *Controller) Access(line mem.Addr, write bool, meta cache.Meta, done func()) {
@@ -226,6 +254,7 @@ func (c *Controller) ServeDirect(r *Request, src Source, latency uint64) {
 // PTE cache after `latency` cycles (PageSeer, Section III-B benefit one).
 func (c *Controller) ServePTECache(r *Request, latency uint64) {
 	c.stats.PTEServedByHMC++
+	r.pteSrc = true
 	c.ServeDirect(r, SrcDRAM, latency)
 }
 
@@ -234,7 +263,20 @@ func (c *Controller) complete(r *Request, src Source) {
 		panic("hmc: request completed twice")
 	}
 	r.served = true
-	c.stats.LatencyTotal += c.Sim.Now() - r.Arrival
+	lat := c.Sim.Now() - r.Arrival
+	c.stats.LatencyTotal += lat
+	if c.lat != nil {
+		idx := obs.LatDRAM
+		switch {
+		case r.pteSrc:
+			idx = obs.LatPTE
+		case src == SrcNVM:
+			idx = obs.LatNVM
+		case src == SrcSwapBuffer:
+			idx = obs.LatBuf
+		}
+		c.lat.Record(idx, lat)
+	}
 	if !r.Meta.PageWalk {
 		switch src {
 		case SrcDRAM:
@@ -310,5 +352,9 @@ func (c *Controller) FrozenByDMA(p mem.PPN) bool { return c.frozen[p] }
 // oracle. It is cheap enough for tests but is not called on hot paths.
 func (c *Controller) VerifyIntegrity() error { return c.mgr.CheckIntegrity() }
 
-// ResetStats zeroes the controller counters (e.g. after warm-up).
-func (c *Controller) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the controller counters and the attached latency
+// histograms (e.g. after warm-up).
+func (c *Controller) ResetStats() {
+	c.stats = Stats{}
+	c.lat.Reset()
+}

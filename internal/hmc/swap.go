@@ -5,6 +5,7 @@ import (
 
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
+	"pageseer/internal/obs"
 )
 
 // NoAddr marks an absent side of a Transfer (buffer fill or buffer drain).
@@ -35,6 +36,13 @@ type Op struct {
 
 	// Tag lets the owning manager label the op (swap kind) for stats.
 	Tag int
+
+	// Label names the op's transfer span in traces ("swap" when empty).
+	Label string
+
+	// FlowID, when nonzero, closes a causality arrow (e.g. MMU hint →
+	// prefetch swap) at the start of the transfer span.
+	FlowID uint64
 }
 
 // Reads and Writes return the total page-read/page-write volume of the op
@@ -129,6 +137,8 @@ type opLine struct {
 type runningOp struct {
 	op         *Op
 	began      uint64
+	stageBegan uint64
+	slot       int // trace track: op sequence % MaxOps
 	stage      int
 	lines      map[mem.Addr]*opLine // keyed by src line address, all stages
 	order      [][]mem.Addr         // read issue order per stage
@@ -152,6 +162,11 @@ type SwapEngine struct {
 	// lineOwner indexes running ops by src line for fast interception.
 	lineOwner map[mem.Addr]*runningOp
 	stats     SwapEngineStats
+
+	// tracer (nil when off) receives the transfer span of every op; opSeq
+	// spreads concurrent ops across MaxOps trace tracks.
+	tracer *obs.Tracer
+	opSeq  uint64
 }
 
 // NewSwapEngine builds a swap engine that issues line traffic through
@@ -191,11 +206,20 @@ func (e *SwapEngine) Start(op *Op) bool {
 		panic("hmc: swap op with no stages")
 	}
 	r := &runningOp{
-		op:      op,
-		began:   e.sim.Now(),
-		lines:   make(map[mem.Addr]*opLine),
-		order:   make([][]mem.Addr, len(op.Stages)),
-		waiters: make(map[mem.Addr][]func()),
+		op:         op,
+		began:      e.sim.Now(),
+		stageBegan: e.sim.Now(),
+		lines:      make(map[mem.Addr]*opLine),
+		order:      make([][]mem.Addr, len(op.Stages)),
+		waiters:    make(map[mem.Addr][]func()),
+	}
+	if e.tracer != nil {
+		r.slot = int(e.opSeq % uint64(e.cfg.MaxOps))
+		e.opSeq++
+		if op.FlowID != 0 {
+			// Close the causality arrow (e.g. MMU hint) on this op's track.
+			e.tracer.FlowEnd("hint", "mmu-hint", op.FlowID, obs.TracePidSwap, r.slot, r.began)
+		}
 	}
 	for si, st := range op.Stages {
 		for _, tr := range st {
@@ -305,6 +329,11 @@ func (e *SwapEngine) issueWrite(r *runningOp, dst mem.Addr) {
 }
 
 func (e *SwapEngine) finishStage(r *runningOp) {
+	if e.tracer != nil {
+		e.tracer.Complete("swap", fmt.Sprintf("stage-%d", r.stage),
+			obs.TracePidSwap, r.slot, r.stageBegan, e.sim.Now(), "lines", uint64(len(r.order[r.stage])))
+		r.stageBegan = e.sim.Now()
+	}
 	if r.stage+1 < len(r.op.Stages) {
 		r.stage++
 		e.startStage(r)
@@ -320,6 +349,14 @@ func (e *SwapEngine) finishStage(r *runningOp) {
 	}
 	e.stats.OpsCompleted++
 	e.stats.OpCycles += e.sim.Now() - r.began
+	if e.tracer != nil {
+		label := r.op.Label
+		if label == "" {
+			label = "swap"
+		}
+		e.tracer.Complete("swap", label, obs.TracePidSwap, r.slot,
+			r.began, e.sim.Now(), "stages", uint64(len(r.op.Stages)))
+	}
 	if len(r.waiters) != 0 {
 		// Every waiter registers on a src line of some stage, and every
 		// stage's reads complete before the op does.

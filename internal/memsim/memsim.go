@@ -150,6 +150,18 @@ type Stats struct {
 	BusBusy uint64
 }
 
+// Add accumulates o into s. Keep it exhaustive: the reflection test in
+// internal/sim pins that every numeric field survives aggregation.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.RowConflicts += o.RowConflicts
+	s.TotalWait += o.TotalWait
+	s.BusBusy += o.BusBusy
+}
+
 // Module simulates one memory part (the DRAM or the NVM of the hybrid pair).
 type Module struct {
 	sim  *engine.Sim
@@ -246,6 +258,16 @@ func (m *Module) Channels() int { return m.cfg.Channels }
 
 // QueueLen returns the number of requests waiting on channel ch.
 func (m *Module) QueueLen(ch int) int { return len(m.chans[ch].queue) }
+
+// QueueOccupancy returns the total queued requests across channels — the
+// timeline sampler's congestion probe (cheap, no allocation).
+func (m *Module) QueueOccupancy() int {
+	var n int
+	for i := range m.chans {
+		n += len(m.chans[i].queue)
+	}
+	return n
+}
 
 // Backlog returns the total number of queued requests across channels plus
 // how far ahead of now the busiest data bus is committed, a cheap proxy for

@@ -58,6 +58,20 @@ type Stats struct {
 	Hints     uint64
 }
 
+// Add accumulates o into s — the only way sim.collect may sum per-core MMU
+// stats, so a newly added counter cannot be silently dropped from
+// aggregation. Keep it exhaustive: the reflection test in internal/sim pins
+// that every numeric field survives.
+func (s *Stats) Add(o Stats) {
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.Walks += o.Walks
+	s.WalkReads += o.WalkReads
+	s.Hints += o.Hints
+}
+
 // MMU is one core's translation machinery. Walk reads go through walkPort
 // (the core's L2 cache — page-table lines are not kept in L1, per the
 // paper), so they populate L2/L3 and can reach the memory controller.

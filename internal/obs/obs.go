@@ -1,0 +1,19 @@
+// Package obs is the simulator-wide observability layer: log2-bucketed
+// latency histograms, an epoch timeline sampler, and a Chrome-trace/Perfetto
+// event tracer.
+//
+// The package is designed around a zero-cost-when-off contract. Every sink
+// is consulted through a nil-guarded pointer, and every recording method is
+// safe to call on a nil receiver (it returns immediately). Call sites on
+// simulator hot paths therefore pay one predictable branch and zero
+// allocations when a sink is disabled — pinned by the AllocsPerRun guard in
+// this package's tests and the Makefile `allocguard` target. Enabled sinks
+// only ever append to slices or bump fixed-size counters; none of them
+// schedules engine events or perturbs simulated time, so Results are
+// byte-identical with sinks on or off.
+//
+// obs depends only on the standard library: the simulator packages (engine,
+// hmc, core, memsim, sim) import it, never the reverse. Cross-package
+// measurements flow in through plain counter snapshots (TimelineCounters)
+// and scalar recording calls.
+package obs

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Trace-track process ids. Chrome-trace groups events into processes and
+// threads; the simulator maps components to fixed pids so Perfetto renders
+// one lane group per component.
+const (
+	TracePidCores = 1 // tid = core id
+	TracePidSwap  = 2 // tid = swap-buffer slot (op sequence % MaxOps)
+)
+
+// traceEvent is one Chrome trace-event. Fields mirror the Trace Event
+// Format; values stay scalar so recording never boxes into interfaces.
+type traceEvent struct {
+	name string
+	cat  string
+	ph   byte // 'X' complete, 'i' instant, 's' flow start, 'f' flow finish, 'M' metadata
+	ts   uint64
+	dur  uint64
+	pid  int32
+	tid  int32
+	id   uint64
+	argK string
+	argV uint64
+	argS string
+}
+
+// Tracer collects Chrome-trace/Perfetto events: swap lifecycle spans and
+// MMU-hint causality arrows. All recording methods are nil-safe, so call
+// sites guard with a single pointer test and pay nothing when tracing is
+// off. Timestamps are CPU cycles written as trace microseconds — absolute
+// durations read 1 cycle = 1us in the UI, which keeps relative timing exact.
+type Tracer struct {
+	events []traceEvent
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Len returns the number of recorded events (0 for a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// ProcessName emits the metadata event naming a trace process lane.
+func (t *Tracer) ProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: "process_name", ph: 'M', pid: int32(pid), argK: "name", argS: name,
+	})
+}
+
+// Complete records a duration span [start, end] on (pid, tid).
+func (t *Tracer) Complete(cat, name string, pid, tid int, start, end uint64, argK string, argV uint64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'X', ts: start, dur: end - start,
+		pid: int32(pid), tid: int32(tid), argK: argK, argV: argV,
+	})
+}
+
+// Instant records a point event at ts on (pid, tid).
+func (t *Tracer) Instant(cat, name string, pid, tid int, ts uint64, argK string, argV uint64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'i', ts: ts,
+		pid: int32(pid), tid: int32(tid), argK: argK, argV: argV,
+	})
+}
+
+// FlowStart opens causality arrow id at ts on (pid, tid); FlowEnd with the
+// same id draws the arrow to its destination.
+func (t *Tracer) FlowStart(cat, name string, id uint64, pid, tid int, ts uint64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 's', ts: ts, id: id, pid: int32(pid), tid: int32(tid),
+	})
+}
+
+// FlowEnd closes causality arrow id at ts on (pid, tid).
+func (t *Tracer) FlowEnd(cat, name string, id uint64, pid, tid int, ts uint64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'f', ts: ts, id: id, pid: int32(pid), tid: int32(tid),
+	})
+}
+
+// jsonEvent is the wire form of one event (Trace Event Format fields).
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int32          `json:"pid"`
+	Tid  int32          `json:"tid"`
+	ID   *uint64        `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"` // flow-finish binding point
+	S    string         `json:"s,omitempty"`  // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the Chrome trace format, which
+// Perfetto and chrome://tracing both load.
+type traceFile struct {
+	TraceEvents     []jsonEvent       `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// WriteJSON writes the collected events as a Chrome trace-event JSON object.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	out := traceFile{
+		TraceEvents:     make([]jsonEvent, 0, t.Len()),
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"clock": "cpu-cycles (1 cycle = 1us in the UI)"},
+	}
+	if t != nil {
+		for i := range t.events {
+			e := &t.events[i]
+			je := jsonEvent{
+				Name: e.name, Cat: e.cat, Ph: string(e.ph), Ts: e.ts,
+				Pid: e.pid, Tid: e.tid,
+			}
+			switch e.ph {
+			case 'X':
+				d := e.dur
+				je.Dur = &d
+			case 'i':
+				je.S = "t" // thread-scoped instant
+			case 's':
+				id := e.id
+				je.ID = &id
+			case 'f':
+				id := e.id
+				je.ID = &id
+				je.BP = "e" // bind to the enclosing slice
+			}
+			if e.argK != "" {
+				if e.argS != "" {
+					je.Args = map[string]any{e.argK: e.argS}
+				} else {
+					je.Args = map[string]any{e.argK: e.argV}
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, je)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,38 @@
+package obs
+
+import "testing"
+
+// TestZeroAllocDisabledSinks pins the zero-cost-when-off contract: every
+// recording call a simulator hot path makes against disabled (nil) sinks —
+// and the always-cheap histogram increment — must allocate nothing. This is
+// the Makefile `allocguard` tier-1 gate.
+func TestZeroAllocDisabledSinks(t *testing.T) {
+	var tr *Tracer
+	var ls *LatencySet
+	n := testing.AllocsPerRun(1000, func() {
+		// The nil-guarded tracer calls made per swap / per hint.
+		tr.Complete("swap", "swap:regular", TracePidSwap, 0, 100, 200, "page", 1)
+		tr.Instant("swap", "remap-commit", TracePidSwap, 0, 200, "page", 1)
+		tr.FlowStart("hint", "mmu-hint", 1, TracePidCores, 0, 100)
+		tr.FlowEnd("hint", "mmu-hint", 1, TracePidSwap, 0, 200)
+		// The nil-guarded latency record made per demand request.
+		ls.Record(LatDRAM, 123)
+	})
+	if n != 0 {
+		t.Fatalf("disabled-sink hot path allocates %.1f times per request, want 0", n)
+	}
+}
+
+// TestZeroAllocEnabledHistogram: the latency histograms are cheap enough to
+// stay on for every run — recording must never allocate even when enabled.
+func TestZeroAllocEnabledHistogram(t *testing.T) {
+	ls := &LatencySet{}
+	var v uint64
+	n := testing.AllocsPerRun(1000, func() {
+		v += 37
+		ls.Record(LatSource(v%uint64(NumLatSources)), v)
+	})
+	if n != 0 {
+		t.Fatalf("enabled histogram Record allocates %.1f times per call, want 0", n)
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pageseer/internal/cache"
+	"pageseer/internal/memsim"
+	"pageseer/internal/mmu"
+)
+
+// addRoundTrip pins the Stats.Add contract with reflection: every numeric
+// field must survive aggregation, so a counter added to a Stats struct but
+// forgotten in Add fails here instead of silently vanishing from Results.
+func addRoundTrip[T any](t *testing.T) {
+	t.Helper()
+	var a, b T
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	typ := av.Type()
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Kind() != reflect.Uint64 {
+			t.Fatalf("%s.%s: unexpected kind %s (extend the test)", typ, typ.Field(i).Name, av.Field(i).Kind())
+		}
+		av.Field(i).SetUint(uint64(i + 1))
+		bv.Field(i).SetUint(uint64(100 * (i + 1)))
+	}
+	m := reflect.ValueOf(&a).MethodByName("Add")
+	if !m.IsValid() {
+		t.Fatalf("%s has no Add method", typ)
+	}
+	m.Call([]reflect.Value{reflect.ValueOf(b)})
+	for i := 0; i < av.NumField(); i++ {
+		want := uint64(i+1) + uint64(100*(i+1))
+		if got := av.Field(i).Uint(); got != want {
+			t.Errorf("%s.%s: got %d, want %d (field dropped from Add?)", typ, typ.Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestStatsAddRoundTrip(t *testing.T) {
+	addRoundTrip[mmu.Stats](t)
+	addRoundTrip[cache.Stats](t)
+	addRoundTrip[memsim.Stats](t)
+}
+
+// TestResultsIdenticalWithObsSinks pins the zero-perturbation contract: a
+// run with the timeline and tracer attached produces byte-identical Results
+// to a run with them off. The four runs execute concurrently, which under
+// -race also proves independent systems share no mutable state.
+func TestResultsIdenticalWithObsSinks(t *testing.T) {
+	configs := []Config{0: tinyConfig(SchemePageSeer, "lbm"), 1: tinyConfig(SchemePageSeer, "lbm")}
+	configs[1].Obs = ObsOptions{TimelineEvery: 7_500, Trace: true}
+
+	results := make([]Results, 4)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sys, err := Build(configs[i%2])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = sys.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("obs sinks perturbed Results:\nsinks off: %+v\nrun %d: %+v", results[0], i, results[i])
+		}
+	}
+}
+
+// TestTimelineSwapSumMatchesResults pins the timeline's accounting against
+// the headline metric: per-interval swap deltas must sum to exactly
+// SwapsPerKI x instructions / 1000 over the measured epoch.
+func TestTimelineSwapSumMatchesResults(t *testing.T) {
+	cfg := tinyConfig(SchemePageSeer, "lbm")
+	cfg.Obs.TimelineEvery = 5_000
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Timeline == nil || len(sys.Timeline.Samples()) == 0 {
+		t.Fatal("timeline enabled but produced no samples")
+	}
+	want := res.SwapsPerKI * float64(res.Instructions) / 1000
+	if got := float64(sys.Timeline.SwapsTotal()); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("timeline swaps sum to %v, Results imply %v", got, want)
+	}
+	var instr uint64
+	for _, s := range sys.Timeline.Samples() {
+		instr += s.Instructions
+	}
+	if instr != res.Instructions {
+		t.Fatalf("timeline instruction deltas sum to %d, Results report %d", instr, res.Instructions)
+	}
+}
+
+// TestTraceIsValidChromeTrace runs a traced simulation and checks the
+// emitted JSON parses as Chrome Trace Event Format with well-formed events.
+func TestTraceIsValidChromeTrace(t *testing.T) {
+	cfg := tinyConfig(SchemePageSeer, "lbm")
+	cfg.Obs.Trace = true
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("trace contains no events")
+	}
+	sawSpan := false
+	for _, e := range f.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Fatalf("event %v missing %q", e, k)
+			}
+		}
+		if e["ph"] == "X" {
+			sawSpan = true
+			if _, ok := e["dur"]; !ok {
+				t.Fatalf("complete event %v missing dur", e)
+			}
+		}
+	}
+	if !sawSpan {
+		t.Fatal("trace has no swap transfer spans")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"pageseer/internal/hmc"
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
+	"pageseer/internal/obs"
 )
 
 // Results carries every measurement the paper's figures draw on, for one
@@ -28,6 +29,11 @@ type Results struct {
 	// AMMAT is the average main-memory access time in CPU cycles
 	// (HMC arrival to data return, as in MemPod and Section V-B).
 	AMMAT float64
+
+	// Latency summarises per-request HMC service latency split by serving
+	// source (DRAM / NVM / swap buffer / PTE-cache): count, mean, and
+	// p50/p90/p99/max from log2-bucketed histograms. Always collected.
+	Latency obs.LatencySummary
 
 	// Remap-cache (PRTc / SRC / MemPod remap) statistics for Figure 13.
 	RemapCache hmc.MetaCacheStats
@@ -99,14 +105,7 @@ func (s *System) collect(epochStart uint64) Results {
 		if st.FinishCycle > maxFinish {
 			maxFinish = st.FinishCycle
 		}
-		ms := c.MMU().Stats()
-		r.MMU.L1Hits += ms.L1Hits
-		r.MMU.L1Misses += ms.L1Misses
-		r.MMU.L2Hits += ms.L2Hits
-		r.MMU.L2Misses += ms.L2Misses
-		r.MMU.Walks += ms.Walks
-		r.MMU.WalkReads += ms.WalkReads
-		r.MMU.Hints += ms.Hints
+		r.MMU.Add(c.MMU().Stats())
 	}
 	if maxFinish > epochStart {
 		r.Cycles = maxFinish - epochStart
@@ -119,25 +118,22 @@ func (s *System) collect(epochStart uint64) Results {
 	r.DRAM = s.Ctl.DRAM.Stats()
 	r.NVM = s.Ctl.NVM.Stats()
 	r.AMMAT = s.Ctl.AMMAT()
+	r.Latency = s.lat.Summary()
 
-	var swaps uint64
 	switch {
 	case s.PageSeer != nil:
 		r.PS = s.PageSeer.Stats()
 		r.PrefetchAccuracy = s.PageSeer.PrefetchAccuracy()
 		r.RemapCache = s.PageSeer.PRTc().Stats()
 		r.PCTc = s.PageSeer.PCTc().Stats()
-		swaps = r.PS.TotalSwaps()
 	case s.PoM != nil:
 		r.RemapCache = s.PoM.SRC().Stats()
-		swaps = s.PoM.Stats().Swaps
 	case s.MemPod != nil:
 		r.RemapCache = s.MemPod.RemapCache().Stats()
-		swaps = s.MemPod.Stats().Migrations
 	case s.CAMEO != nil:
 		r.RemapCache = s.CAMEO.RemapCache().Stats()
-		swaps = s.CAMEO.Stats().Swaps
 	}
+	swaps := s.completedSwaps()
 	if r.Instructions > 0 {
 		r.SwapsPerKI = float64(swaps) / (float64(r.Instructions) / 1000)
 	}

@@ -17,6 +17,7 @@ import (
 	"pageseer/internal/mempod"
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
+	"pageseer/internal/obs"
 	"pageseer/internal/pom"
 	"pageseer/internal/workload"
 )
@@ -68,6 +69,13 @@ type Config struct {
 
 	CoreConfig cpu.CoreConfig
 
+	// Obs enables the optional observability sinks (epoch timeline,
+	// Chrome-trace event stream). Latency histograms are always collected:
+	// recording is allocation-free, schedules no events, and therefore
+	// cannot perturb Results — which stay byte-identical whether these
+	// sinks are on or off.
+	Obs ObsOptions
+
 	// pageSeerCfg overrides the scaled default PageSeer configuration
 	// (set via BuildWithPageSeerConfig).
 	pageSeerCfg *core.Config
@@ -75,6 +83,19 @@ type Config struct {
 	// customManager, when set (via BuildWithManager), installs a
 	// user-defined scheme instead of one of the named ones.
 	customManager ManagerFactory
+}
+
+// ObsOptions selects which observability sinks a run attaches. The zero
+// value disables everything optional.
+type ObsOptions struct {
+	// TimelineEvery samples the epoch timeline every N cycles (0 = off).
+	// Sampling rides the engine clock (engine.SetTick), so it fires no
+	// events and leaves Results.EventsFired untouched.
+	TimelineEvery uint64
+
+	// Trace records swap-lifecycle spans and MMU-hint causality arrows in
+	// Chrome Trace Event Format (System.Tracer, written via WriteJSON).
+	Trace bool
 }
 
 // ManagerFactory builds a user-defined management scheme on a controller.
@@ -114,6 +135,12 @@ type System struct {
 	PoM      *pom.PoM       // nil unless pom
 	MemPod   *mempod.MemPod // nil unless mempod
 	CAMEO    *cameo.CAMEO   // nil unless cameo
+
+	// Timeline and Tracer are the optional sinks selected by Config.Obs
+	// (nil when off). lat is always attached: see Config.Obs.
+	Timeline *obs.Timeline
+	Tracer   *obs.Tracer
+	lat      *obs.LatencySet
 
 	doneCores int
 }
@@ -162,6 +189,18 @@ func Build(cfg Config) (*System, error) {
 	ctl := hmc.NewController(sm, osm, memsim.DRAMConfig(), memsim.NVMConfig(), hmc.DefaultSwapEngineConfig())
 
 	sys := &System{Cfg: cfg, Sim: sm, OS: osm, Ctl: ctl}
+	sys.lat = &obs.LatencySet{}
+	ctl.SetLatencySink(sys.lat)
+	if cfg.Obs.Trace {
+		// Install before the manager so schemes may cache the tracer.
+		sys.Tracer = obs.NewTracer()
+		sys.Tracer.ProcessName(obs.TracePidCores, "cores (MMU hints)")
+		sys.Tracer.ProcessName(obs.TracePidSwap, "HMC swap engine")
+		ctl.SetTracer(sys.Tracer)
+	}
+	if cfg.Obs.TimelineEvery > 0 {
+		sys.Timeline = obs.NewTimeline(cfg.Obs.TimelineEvery, sys.timelineCounters)
+	}
 
 	switch {
 	case cfg.customManager != nil:
@@ -375,17 +414,64 @@ func (s *System) resetStats() {
 	}
 }
 
+// timelineCounters snapshots the cumulative counters the epoch timeline
+// differentiates into per-interval samples. Allocation-free.
+func (s *System) timelineCounters() obs.TimelineCounters {
+	var instr uint64
+	for _, c := range s.Cores {
+		instr += c.Stats().Instructions
+	}
+	cs := s.Ctl.Stats()
+	return obs.TimelineCounters{
+		Cycle:          s.Sim.Now(),
+		Instructions:   instr,
+		SwapsCompleted: s.completedSwaps(),
+		SwapsInFlight:  s.Ctl.Engine.Busy(),
+		ServedDRAM:     cs.ServedDRAM,
+		ServedNVM:      cs.ServedNVM,
+		ServedBuf:      cs.ServedBuf,
+		DRAMQueue:      s.Ctl.DRAM.QueueOccupancy(),
+		NVMQueue:       s.Ctl.NVM.QueueOccupancy(),
+	}
+}
+
+// completedSwaps returns the scheme's completed swap/migration count since
+// the last stats reset — the numerator of Results.SwapsPerKI and the
+// timeline's swap counter, so the two always agree.
+func (s *System) completedSwaps() uint64 {
+	switch {
+	case s.PageSeer != nil:
+		return s.PageSeer.Stats().TotalSwaps()
+	case s.PoM != nil:
+		return s.PoM.Stats().Swaps
+	case s.MemPod != nil:
+		return s.MemPod.Stats().Migrations
+	case s.CAMEO != nil:
+		return s.CAMEO.Stats().Swaps
+	}
+	return 0
+}
+
 // Run executes warm-up then measurement and returns the results.
 func (s *System) Run() (Results, error) {
 	if s.Cfg.Warmup > 0 {
 		s.runPhase(s.Cfg.Warmup)
 		s.resetStats()
 	}
+	if s.Timeline != nil {
+		// Arm after warm-up so samples cover exactly the measured epoch.
+		s.Timeline.Start()
+		s.Sim.SetTick(s.Timeline.Every, s.Timeline.Tick)
+	}
 	start := s.Sim.Now()
 	firedStart := s.Sim.Fired()
 	s.runPhase(s.Cfg.InstrPerCore)
 	if s.PageSeer != nil {
 		s.PageSeer.Finish()
+	}
+	if s.Timeline != nil {
+		s.Sim.SetTick(0, nil)
+		s.Timeline.Finish()
 	}
 	if err := s.Ctl.VerifyIntegrity(); err != nil {
 		return Results{}, fmt.Errorf("sim: integrity check failed after run: %w", err)

@@ -24,6 +24,7 @@ package pageseer
 import (
 	"pageseer/internal/core"
 	"pageseer/internal/figures"
+	"pageseer/internal/obs"
 	"pageseer/internal/sim"
 	"pageseer/internal/workload"
 )
@@ -60,6 +61,27 @@ type Results = sim.Results
 
 // PageSeerConfig carries the Table II hardware parameters.
 type PageSeerConfig = core.Config
+
+// ObsOptions selects the optional observability sinks of a run (epoch
+// timeline, Chrome-trace events); see sim.ObsOptions.
+type ObsOptions = sim.ObsOptions
+
+// Timeline is the epoch timeline sampler (System.Timeline when enabled);
+// write it out with WriteCSV / WriteJSON.
+type Timeline = obs.Timeline
+
+// Tracer is the Chrome-trace event recorder (System.Tracer when enabled);
+// write it out with WriteJSON and load the file in Perfetto or
+// chrome://tracing.
+type Tracer = obs.Tracer
+
+// LatencySummary is the per-source HMC service-latency digest in
+// Results.Latency.
+type LatencySummary = obs.LatencySummary
+
+// LatencyDist is one source's latency distribution (count, mean,
+// p50/p90/p99, max) within a LatencySummary.
+type LatencyDist = obs.Dist
 
 // DefaultConfig returns the laptop-scale default (1/128 of the paper's
 // memory system, 2M measured instructions per core after 1M warm-up).

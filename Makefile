@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard trace-demo
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard trace-demo
 
 ## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
-## one-shot figure-campaign smoke bench, and the zero-alloc guard for the
-## disabled observability sinks.
-tier1: vet build race benchsmoke allocguard
+## one-shot figure-campaign smoke bench, the alloc-budget guards, and the
+## campaign-throughput regression gate.
+tier1: vet build race benchsmoke allocguard benchguard
 
 vet:
 	$(GO) vet ./...
@@ -35,11 +35,21 @@ bench:
 campaign-bench:
 	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson BENCH_campaign.json
 
-## allocguard: testing.AllocsPerRun proof that the hot path pays zero
-## allocations per request with the observability sinks disabled. Run
-## without -race (race instrumentation allocates and would false-fail).
+## allocguard: testing.AllocsPerRun proofs that (a) the observability hot
+## path pays zero allocations with sinks disabled and (b) the full demand
+## path stays under its allocs-per-retired-instruction budget in steady
+## state. Run without -race (race instrumentation allocates and would
+## false-fail).
 allocguard:
-	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs
+	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs ./internal/sim
+
+## benchguard: re-run the quick campaign and fail if per-run
+## events_per_sec (geomean over the workload x scheme grid) regresses
+## more than 10% against the committed BENCH_campaign.json.
+benchguard:
+	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson .benchguard_head.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_campaign.json -head .benchguard_head.json -tolerance 0.10
+	@rm -f .benchguard_head.json
 
 ## trace-demo: produce a sample Perfetto trace + epoch timeline from a
 ## quick run (open trace-demo.json at https://ui.perfetto.dev).

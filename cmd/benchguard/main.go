@@ -1,0 +1,128 @@
+// Command benchguard compares two campaign bench records (the JSON written
+// by paper-figures -benchjson) and fails when simulator throughput has
+// regressed beyond a tolerance. It is the tier-1 perf gate:
+//
+//	go run ./cmd/paper-figures -quick -all -quiet -benchjson head.json
+//	go run ./cmd/benchguard -baseline BENCH_campaign.json -head head.json
+//
+// The headline metric is the geometric mean over matched (workload, scheme)
+// runs of head events_per_sec / baseline events_per_sec — per-run
+// throughput is what the engine work targets, and the geomean over the
+// whole grid damps single-run wall-clock noise. The aggregate campaign
+// throughput is reported alongside for context but does not gate (it folds
+// in scheduling overlap, which the -j flag and host load change freely).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+type runMetric struct {
+	Workload     string  `json:"workload"`
+	Scheme       string  `json:"scheme"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsFired  uint64  `json:"events_fired"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type campaignBench struct {
+	Generated    string      `json:"generated"`
+	Note         string      `json:"note"`
+	Runs         []runMetric `json:"runs"`
+	TotalEvents  uint64      `json:"total_events"`
+	EventsPerSec float64     `json:"events_per_sec"`
+}
+
+func load(path string) (campaignBench, error) {
+	var b campaignBench
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Runs) == 0 {
+		return b, fmt.Errorf("%s: no runs recorded", path)
+	}
+	return b, nil
+}
+
+func key(m runMetric) string { return m.Workload + "/" + m.Scheme }
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_campaign.json", "committed baseline bench record")
+		headPath     = flag.String("head", "", "freshly generated bench record to check (required)")
+		tolerance    = flag.Float64("tolerance", 0.10, "maximum allowed geomean events_per_sec regression (0.10 = 10%)")
+		verbose      = flag.Bool("v", false, "print every matched run, not just regressions")
+	)
+	flag.Parse()
+	if *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -head is required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	head, err := load(*headPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	base := make(map[string]runMetric, len(baseline.Runs))
+	for _, m := range baseline.Runs {
+		base[key(m)] = m
+	}
+
+	type row struct {
+		key   string
+		ratio float64
+	}
+	var rows []row
+	logSum, matched := 0.0, 0
+	for _, h := range head.Runs {
+		b, ok := base[key(h)]
+		if !ok || b.EventsPerSec <= 0 || h.EventsPerSec <= 0 {
+			continue
+		}
+		r := h.EventsPerSec / b.EventsPerSec
+		logSum += math.Log(r)
+		matched++
+		rows = append(rows, row{key(h), r})
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no (workload, scheme) runs in common between baseline and head")
+		os.Exit(2)
+	}
+	geomean := math.Exp(logSum / float64(matched))
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio < rows[j].ratio })
+	floor := 1.0 - *tolerance
+	for _, r := range rows {
+		if *verbose || r.ratio < floor {
+			fmt.Printf("  %-28s %6.2fx\n", r.key, r.ratio)
+		}
+	}
+	fmt.Printf("benchguard: %d runs matched, geomean events_per_sec ratio %.3fx (floor %.3fx)\n",
+		matched, geomean, floor)
+	if baseline.EventsPerSec > 0 && head.EventsPerSec > 0 {
+		fmt.Printf("benchguard: aggregate campaign throughput %.0f -> %.0f events/sec (%.2fx, informational)\n",
+			baseline.EventsPerSec, head.EventsPerSec, head.EventsPerSec/baseline.EventsPerSec)
+	}
+	if geomean < floor {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — throughput regressed %.1f%% (> %.0f%% tolerance) vs %s\n",
+			(1-geomean)*100, *tolerance*100, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: ok")
+}

@@ -67,9 +67,32 @@ type line struct {
 	lru   uint64 // larger = more recently used
 }
 
+// mshr tracks one outstanding miss. Records are pooled per cache with a
+// pre-bound fill closure, so a miss costs no allocation once the pool (and
+// each record's waiters array) has warmed to the cache's steady-state miss
+// concurrency.
 type mshr struct {
-	waiters []func()
+	c       *Cache
+	line    mem.Addr
+	meta    Meta
 	write   bool // any waiter is a write: line installs dirty
+	waiters []func()
+	fillFn  func()
+	next    *mshr
+}
+
+// cacheTxn carries one access across this level's tag-lookup latency: the
+// request payload plus a continuation closure pre-bound to the record.
+// Pooled like mshr, it replaces the per-access closure the Access ->
+// afterTagLookup hop used to allocate.
+type cacheTxn struct {
+	c     *Cache
+	line  mem.Addr
+	write bool
+	meta  Meta
+	done  func()
+	fn    func()
+	next  *cacheTxn
 }
 
 // Stats holds per-cache counters.
@@ -107,6 +130,9 @@ type Cache struct {
 	lruTick uint64
 	mshrs   map[mem.Addr]*mshr
 	stats   Stats
+
+	freeTxn  *cacheTxn
+	freeMSHR *mshr
 }
 
 // New builds a cache over the given backend.
@@ -155,6 +181,46 @@ func (c *Cache) lookup(l mem.Addr) *line {
 	return nil
 }
 
+func (c *Cache) getTxn() *cacheTxn {
+	t := c.freeTxn
+	if t == nil {
+		t = &cacheTxn{c: c}
+		t.fn = func() { t.c.afterTagLookup(t) }
+		return t
+	}
+	c.freeTxn = t.next
+	t.next = nil
+	return t
+}
+
+func (c *Cache) putTxn(t *cacheTxn) {
+	t.line, t.write, t.meta, t.done = 0, false, Meta{}, nil
+	t.next = c.freeTxn
+	c.freeTxn = t
+}
+
+func (c *Cache) getMSHR() *mshr {
+	m := c.freeMSHR
+	if m == nil {
+		m = &mshr{c: c}
+		m.fillFn = func() { m.c.fill(m) }
+		return m
+	}
+	c.freeMSHR = m.next
+	m.next = nil
+	return m
+}
+
+func (c *Cache) putMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = nil
+	}
+	m.waiters = m.waiters[:0]
+	m.line, m.meta, m.write = 0, Meta{}, false
+	m.next = c.freeMSHR
+	c.freeMSHR = m
+}
+
 // Access requests a line. done fires when the data is available at this
 // level (after this level's latency on a hit, or after the fill on a miss).
 func (c *Cache) Access(addr mem.Addr, write bool, meta Meta, done func()) {
@@ -166,12 +232,14 @@ func (c *Cache) Access(addr mem.Addr, write bool, meta Meta, done func()) {
 	if meta.IsPTE {
 		c.stats.PTEAccess++
 	}
-	c.sim.After(c.cfg.LatencyCycles, func() {
-		c.afterTagLookup(l, write, meta, done)
-	})
+	t := c.getTxn()
+	t.line, t.write, t.meta, t.done = l, write, meta, done
+	c.sim.After(c.cfg.LatencyCycles, t.fn)
 }
 
-func (c *Cache) afterTagLookup(l mem.Addr, write bool, meta Meta, done func()) {
+func (c *Cache) afterTagLookup(t *cacheTxn) {
+	l, write, meta, done := t.line, t.write, t.meta, t.done
+	c.putTxn(t)
 	if ln := c.lookup(l); ln != nil {
 		c.stats.Hits++
 		c.lruTick++
@@ -196,7 +264,8 @@ func (c *Cache) afterTagLookup(l mem.Addr, write bool, meta Meta, done func()) {
 		}
 		return
 	}
-	m := &mshr{write: write}
+	m := c.getMSHR()
+	m.line, m.meta, m.write = l, meta, write
 	if done != nil {
 		m.waiters = append(m.waiters, done)
 	}
@@ -204,21 +273,22 @@ func (c *Cache) afterTagLookup(l mem.Addr, write bool, meta Meta, done func()) {
 	// Fetch the line from below. The fill installs it and releases waiters.
 	fetchMeta := meta
 	fetchMeta.Writeback = false
-	c.next.Access(l, false, fetchMeta, func() {
-		c.fill(l, meta)
-	})
+	c.next.Access(l, false, fetchMeta, m.fillFn)
 }
 
-func (c *Cache) fill(l mem.Addr, meta Meta) {
-	m, ok := c.mshrs[l]
-	if !ok {
-		panic(fmt.Sprintf("cache %s: fill for %#x without MSHR", c.cfg.Name, uint64(l)))
+func (c *Cache) fill(m *mshr) {
+	if got, ok := c.mshrs[m.line]; !ok || got != m {
+		panic(fmt.Sprintf("cache %s: fill for %#x without MSHR", c.cfg.Name, uint64(m.line)))
 	}
-	delete(c.mshrs, l)
-	c.install(l, m.write, meta)
-	for _, w := range m.waiters {
-		w()
+	delete(c.mshrs, m.line)
+	c.install(m.line, m.write, m.meta)
+	// Index loop: a waiter that misses this cache again grabs a fresh MSHR
+	// (m is still checked out), so m.waiters cannot grow underneath us; the
+	// record returns to the pool only after the last waiter ran.
+	for i := 0; i < len(m.waiters); i++ {
+		m.waiters[i]()
 	}
+	c.putMSHR(m)
 }
 
 func (c *Cache) install(l mem.Addr, dirty bool, meta Meta) {

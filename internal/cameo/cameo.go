@@ -175,20 +175,7 @@ func (c *CAMEO) HandleRequest(r *hmc.Request) {
 	if !r.Meta.Writeback && !r.Meta.PageWalk && c.locate(b) >= c.fastBlocks {
 		c.trySwap(b)
 	}
-	c.remapCache.Access(uint64(c.group(b)), false, func() {
-		actual := c.TranslateLine(r.Line)
-		if r.Meta.Writeback {
-			if c.ctl.Engine.TryService(actual, func() {}) {
-				return
-			}
-			c.ctl.ServeMemory(r, actual)
-			return
-		}
-		if c.ctl.Engine.TryService(actual, func() { c.ctl.ServeBuffer(r) }) {
-			return
-		}
-		c.ctl.ServeMemory(r, actual)
-	})
+	c.remapCache.Access(uint64(c.group(b)), false, r.RouteFn())
 }
 
 // trySwap performs CAMEO's fast swap: block b exchanges with whatever

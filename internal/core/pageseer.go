@@ -110,6 +110,11 @@ type PageSeer struct {
 
 	prefTracks map[mem.PPN]*prefTrack
 
+	// freeCorr heads the pool of correlation-evaluation records (one live
+	// per in-flight PCTc lookup), keeping the per-invocation PCT check off
+	// the allocator.
+	freeCorr *corrTxn
+
 	// Tracing state (nil/empty when the controller has no tracer): hintSeq
 	// numbers MMU-hint causality arrows; hintFlow remembers where each
 	// hint fired so the arrow can be emitted retroactively — only when an
@@ -133,6 +138,36 @@ type pendingSwap struct {
 	page mem.PPN
 	kind SwapKind
 	at   uint64
+}
+
+// corrTxn carries one evaluateCorrelation across its PCTc lookup: the PCT
+// snapshot (taken at trigger time, before the lookup latency) plus the
+// continuation pre-bound to the record.
+type corrTxn struct {
+	p    *PageSeer
+	page mem.PPN
+	kind SwapKind
+	snap PCTEntry
+	fn   func()
+	next *corrTxn
+}
+
+func (p *PageSeer) getCorrTxn() *corrTxn {
+	t := p.freeCorr
+	if t == nil {
+		t = &corrTxn{p: p}
+		t.fn = func() { t.p.corrEvaluated(t) }
+		return t
+	}
+	p.freeCorr = t.next
+	t.next = nil
+	return t
+}
+
+func (p *PageSeer) putCorrTxn(t *corrTxn) {
+	t.page, t.kind, t.snap = 0, 0, PCTEntry{}
+	t.next = p.freeCorr
+	p.freeCorr = t
 }
 
 const maxPendingSwaps = 1024
@@ -266,20 +301,7 @@ func (p *PageSeer) HandleRequest(r *hmc.Request) {
 	}
 	// The PRTc stands on the critical path: the request cannot be routed
 	// until the remap entry is available.
-	p.prtc.Access(uint64(page), false, func() {
-		actual := p.TranslateLine(r.Line)
-		if r.Meta.Writeback {
-			if p.ctl.Engine.TryService(actual, func() {}) {
-				return
-			}
-			p.ctl.ServeMemory(r, actual)
-			return
-		}
-		if p.ctl.Engine.TryService(actual, func() { p.ctl.ServeBuffer(r) }) {
-			return
-		}
-		p.ctl.ServeMemory(r, actual)
-	})
+	p.prtc.Access(uint64(page), false, r.RouteFn())
 }
 
 // trackMiss updates the hot-page tables and the correlator, and evaluates
@@ -314,29 +336,35 @@ func (p *PageSeer) trackMiss(pid int, page mem.PPN) {
 // The MMU-triggered evaluation fetches at demand priority: the hint path's
 // entire value is lead time over the replayed access.
 func (p *PageSeer) evaluateCorrelation(page mem.PPN, kind SwapKind) {
-	snap := p.corr.Snapshot(page)
-	access := p.pctc.Access
+	t := p.getCorrTxn()
+	t.page, t.kind = page, kind
+	t.snap = p.corr.Snapshot(page)
 	if kind == SwapPrefetchMMU {
-		access = func(key uint64, _ bool, done func()) { p.pctc.AccessUrgent(key, done) }
+		p.pctc.AccessUrgent(uint64(page), t.fn)
+		return
 	}
-	access(uint64(page), false, func() {
-		if snap.Count >= p.cfg.PCTThreshold && !p.residentDRAM(page) {
-			p.requestSwap(page, kind)
+	p.pctc.Access(uint64(page), false, t.fn)
+}
+
+func (p *PageSeer) corrEvaluated(t *corrTxn) {
+	page, kind, snap := t.page, t.kind, t.snap
+	p.putCorrTxn(t)
+	if snap.Count >= p.cfg.PCTThreshold && !p.residentDRAM(page) {
+		p.requestSwap(page, kind)
+	}
+	if p.cfg.NoCorr || !snap.HasFollower {
+		return
+	}
+	if snap.FollowerCount >= p.cfg.PCTThreshold {
+		// The follower will be prefetched: start loading its metadata
+		// early (Section V-B factor three — the earlier the PRTc entry
+		// is fetched, the better).
+		p.prtc.Prefetch(uint64(snap.Follower))
+		p.pctc.Prefetch(uint64(snap.Follower))
+		if !p.residentDRAM(snap.Follower) {
+			p.requestSwap(snap.Follower, kind)
 		}
-		if p.cfg.NoCorr || !snap.HasFollower {
-			return
-		}
-		if snap.FollowerCount >= p.cfg.PCTThreshold {
-			// The follower will be prefetched: start loading its metadata
-			// early (Section V-B factor three — the earlier the PRTc entry
-			// is fetched, the better).
-			p.prtc.Prefetch(uint64(snap.Follower))
-			p.pctc.Prefetch(uint64(snap.Follower))
-			if !p.residentDRAM(snap.Follower) {
-				p.requestSwap(snap.Follower, kind)
-			}
-		}
-	})
+	}
 }
 
 // MMUHint implements hmc.Manager (Figure 3): obtain the PTE line, learn the

@@ -62,8 +62,30 @@ type Core struct {
 	frontTime   uint64 // frontend's instruction clock
 	pumping     bool
 
+	// freeTxn heads the pool of per-access transaction records. The pool
+	// never exceeds MaxOutstanding entries, and each entry binds its
+	// continuation closures exactly once, so the steady-state demand path
+	// issues memory operations without allocating.
+	freeTxn *memTxn
+	pumpFn  func()
+
 	stats  CoreStats
 	onDone func(*Core)
+}
+
+// memTxn is one in-flight memory operation's reusable continuation record:
+// the access payload plus the three stage closures (frontend issue, MMU
+// translation done, L1 access done) pre-bound to the record. Pooling these
+// replaces the three per-access closure allocations the pump/issue chain
+// used to pay.
+type memTxn struct {
+	c   *Core
+	acc workload.Access
+
+	issueFn func()
+	transFn func(mem.PPN)
+	doneFn  func()
+	next    *memTxn
 }
 
 // NewCore wires a core to its MMU, L1, and trace generator.
@@ -71,7 +93,31 @@ func NewCore(sim *engine.Sim, id, pid int, cfg CoreConfig, m *mmu.MMU, l1 *cache
 	if cfg.MaxOutstanding < 1 {
 		cfg.MaxOutstanding = 1
 	}
-	return &Core{sim: sim, id: id, pid: pid, cfg: cfg, mmu: m, l1: l1, gen: gen}
+	c := &Core{sim: sim, id: id, pid: pid, cfg: cfg, mmu: m, l1: l1, gen: gen}
+	c.pumpFn = c.pump
+	return c
+}
+
+// getTxn pops a transaction record from the pool, minting (and binding) a
+// new one only while the pool is still warming toward MaxOutstanding.
+func (c *Core) getTxn() *memTxn {
+	t := c.freeTxn
+	if t == nil {
+		t = &memTxn{c: c}
+		t.issueFn = func() { t.c.issue(t) }
+		t.transFn = func(ppn mem.PPN) { t.c.translated(t, ppn) }
+		t.doneFn = func() { t.c.accessDone(t) }
+		return t
+	}
+	c.freeTxn = t.next
+	t.next = nil
+	return t
+}
+
+func (c *Core) putTxn(t *memTxn) {
+	t.acc = workload.Access{}
+	t.next = c.freeTxn
+	c.freeTxn = t
 }
 
 // Stats returns a snapshot of the core's counters.
@@ -104,7 +150,7 @@ func (c *Core) RunTo(budget uint64, onDone func(*Core)) {
 		c.stats.StartCycle = c.sim.Now()
 	}
 	// Kick the pump from the event loop so RunTo composes with a running sim.
-	c.sim.After(0, c.pump)
+	c.sim.After(0, c.pumpFn)
 }
 
 // MarkEpoch resets the per-epoch accounting (start cycle and instruction
@@ -142,24 +188,30 @@ func (c *Core) pump() {
 		}
 		c.frontTime += uint64(a.Gap)
 		c.outstanding++
-		acc := a
-		c.sim.At(c.frontTime, func() { c.issue(acc) })
+		t := c.getTxn()
+		t.acc = a
+		c.sim.At(c.frontTime, t.issueFn)
 	}
 }
 
-func (c *Core) issue(a workload.Access) {
-	c.mmu.Translate(a.VA, func(ppn mem.PPN) {
-		pa := ppn.Addr() + mem.Addr(mem.PageOffset(a.VA))
-		meta := cache.Meta{Core: c.id, PID: c.pid}
-		c.l1.Access(pa, a.Write, meta, func() {
-			c.outstanding--
-			if c.stats.Instructions >= c.budget && c.outstanding == 0 && !c.stats.Done {
-				c.finish()
-				return
-			}
-			c.pump()
-		})
-	})
+func (c *Core) issue(t *memTxn) {
+	c.mmu.Translate(t.acc.VA, t.transFn)
+}
+
+func (c *Core) translated(t *memTxn, ppn mem.PPN) {
+	pa := ppn.Addr() + mem.Addr(mem.PageOffset(t.acc.VA))
+	meta := cache.Meta{Core: c.id, PID: c.pid}
+	c.l1.Access(pa, t.acc.Write, meta, t.doneFn)
+}
+
+func (c *Core) accessDone(t *memTxn) {
+	c.putTxn(t)
+	c.outstanding--
+	if c.stats.Instructions >= c.budget && c.outstanding == 0 && !c.stats.Done {
+		c.finish()
+		return
+	}
+	c.pump()
 }
 
 func (c *Core) finish() {

@@ -6,7 +6,10 @@
 // order) so runs are fully deterministic and repeatable.
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // event is a scheduled closure. seq breaks ties between events scheduled for
 // the same cycle, preserving insertion order.
@@ -24,21 +27,56 @@ func (e event) less(o event) bool {
 	return e.seq < o.seq
 }
 
+// WheelHorizon is the timing wheel's reach in cycles: an event whose delay
+// from the current cycle is below the horizon goes into an O(1)
+// cycle-indexed bucket; anything further overflows to the heap. 1024 cycles
+// covers every fixed latency the simulator schedules on its hot paths with
+// headroom — cache tag lookups (2/8/32 cycles, Table I), the MMU hint wire
+// (2), TLB probes, and the DRAM/NVM bank timings (the worst is NVM
+// tWR=180 memory cycles = 360 CPU cycles; swap aging re-evaluations sit at
+// 400) — so in practice only epoch marks, HPT decay ticks, and other
+// coarse-grained housekeeping ever touch the heap.
+const WheelHorizon = 1024
+
+const (
+	wheelMask  = WheelHorizon - 1
+	wheelWords = WheelHorizon / 64
+)
+
+// wheelSlot is one cycle bucket. Because every wheel event satisfies
+// now <= cycle < now+WheelHorizon, the slots a live window maps to are
+// distinct, so a slot only ever holds events for a single cycle at a time;
+// appends therefore arrive in seq order and the slot needs no sorting, just
+// a drain cursor. Drained slots keep their backing array (length reset to
+// zero), so a warmed wheel schedules without allocating.
+type wheelSlot struct {
+	events []event
+	head   int
+}
+
 // Sim is a discrete-event simulator clock and event queue.
 // The zero value is not ready to use; call New.
 //
-// The queue is a hand-rolled value-typed 4-ary min-heap rather than
-// container/heap: heap.Interface forces every Push/Pop through an
-// interface{}, boxing each event on the heap (one allocation per scheduled
-// event on the hottest path in the simulator). The 4-ary shape also halves
-// the sift-down depth versus binary, trading a few extra comparisons per
-// level for fewer cache-missing levels — the classic d-ary trade that wins
-// for pop-heavy workloads like an event loop that pops everything it pushes.
+// The queue is hierarchical: a timing wheel of WheelHorizon cycle-indexed
+// buckets gives O(1) insert and extract for near-future events — which is
+// nearly all of them, since the simulator's hot paths schedule short fixed
+// delays (cache latencies, bank timings) — while far-future events overflow
+// to a hand-rolled value-typed 4-ary min-heap. The 4-ary heap (rather than
+// container/heap) avoids boxing each event through an interface{}; the
+// wheel in front of it removes the O(log n) sift from the per-event
+// constant entirely. Step merges the two sources by (cycle, seq), so the
+// fire order is byte-identical to a pure heap (DisableWheel pins this via
+// the differential tests).
 type Sim struct {
 	pq   []event
 	now  uint64
 	seq  uint64
 	fire uint64 // events executed, for stats/debugging
+
+	slots    [WheelHorizon]wheelSlot
+	occ      [wheelWords]uint64 // bitmap of non-empty slots
+	wheelLen int
+	heapOnly bool // DisableWheel: reference mode for differential tests
 
 	// Cycle-tick hook (SetTick): fired from Step when the clock crosses a
 	// period boundary. Deliberately not a queued event — a self-scheduling
@@ -61,7 +99,61 @@ func (s *Sim) Now() uint64 { return s.now }
 func (s *Sim) Fired() uint64 { return s.fire }
 
 // Pending returns the number of events waiting in the queue.
-func (s *Sim) Pending() int { return len(s.pq) }
+func (s *Sim) Pending() int { return len(s.pq) + s.wheelLen }
+
+// Reserve pre-sizes the event queue for about n concurrently pending
+// events: the overflow heap gets capacity n up front and every wheel bucket
+// a small baseline, so a run sized by the caller (sim setup knows its core
+// count and memory-level parallelism) never pays append-growth
+// reallocations mid-run. Reserve never shrinks and is cheap to call again.
+func (s *Sim) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(s.pq) < n {
+		pq := make([]event, len(s.pq), n)
+		copy(pq, s.pq)
+		s.pq = pq
+	}
+	per := n / WheelHorizon
+	if per < 4 {
+		per = 4
+	}
+	for i := range s.slots {
+		sl := &s.slots[i]
+		if cap(sl.events) < per {
+			ev := make([]event, len(sl.events), per)
+			copy(ev, sl.events)
+			sl.events = ev
+		}
+	}
+}
+
+// DisableWheel forces every event through the overflow heap — the reference
+// mode the wheel-vs-heap differential tests compare against, and a
+// bisection aid if wheel ordering is ever in doubt. Events already bucketed
+// migrate to the heap; (cycle, seq) fire order is unaffected.
+func (s *Sim) DisableWheel() {
+	s.heapOnly = true
+	if s.wheelLen == 0 {
+		return
+	}
+	for i := range s.slots {
+		sl := &s.slots[i]
+		for j := sl.head; j < len(sl.events); j++ {
+			s.push(sl.events[j])
+			sl.events[j] = event{}
+		}
+		sl.events = sl.events[:0]
+		sl.head = 0
+	}
+	s.occ = [wheelWords]uint64{}
+	s.wheelLen = 0
+}
+
+// WheelEnabled reports whether near-future events use the wheel (false
+// after DisableWheel).
+func (s *Sim) WheelEnabled() bool { return !s.heapOnly }
 
 // push inserts e, sifting up from the tail. Parent of i is (i-1)/4.
 func (s *Sim) push(e event) {
@@ -116,15 +208,103 @@ func (s *Sim) pop() event {
 	return top
 }
 
+// nextWheelIdx returns the slot holding the earliest wheel event, or -1.
+// Because wheel cycles live in [now, now+WheelHorizon), circular slot order
+// starting at now's own slot is cycle order, so the first occupied slot in
+// that order is the minimum; the bitmap turns the scan into at most
+// wheelWords+1 word probes.
+func (s *Sim) nextWheelIdx() int {
+	if s.wheelLen == 0 {
+		return -1
+	}
+	start := int(s.now) & wheelMask
+	w := start >> 6
+	if rem := s.occ[w] >> uint(start&63); rem != 0 {
+		return start + bits.TrailingZeros64(rem)
+	}
+	for k := 1; k <= wheelWords; k++ {
+		i := (w + k) % wheelWords
+		if s.occ[i] != 0 {
+			// At k == wheelWords this is word w again; its bits at or above
+			// start were just checked empty, so anything found wrapped.
+			return i<<6 + bits.TrailingZeros64(s.occ[i])
+		}
+	}
+	panic("engine: wheel count positive but no occupied slot")
+}
+
+// wheelPop removes the head event of slot i, zeroing the vacated entry (the
+// same closure-release guarantee as the heap's pop). A fully drained slot
+// resets to its backing array for reuse.
+func (s *Sim) wheelPop(i int) event {
+	sl := &s.slots[i]
+	e := sl.events[sl.head]
+	sl.events[sl.head] = event{}
+	sl.head++
+	s.wheelLen--
+	if sl.head == len(sl.events) {
+		sl.events = sl.events[:0]
+		sl.head = 0
+		s.occ[i>>6] &^= 1 << uint(i&63)
+	}
+	return e
+}
+
+// next extracts the globally minimum (cycle, seq) event across the wheel
+// and the heap. Within one cycle, events can live in both structures (an
+// event scheduled from afar sits in the heap while a short-delay sibling
+// joined the wheel), so the merge compares seq as well as cycle.
+func (s *Sim) next() (event, bool) {
+	wi := s.nextWheelIdx()
+	if wi < 0 {
+		if len(s.pq) == 0 {
+			return event{}, false
+		}
+		return s.pop(), true
+	}
+	sl := &s.slots[wi]
+	if len(s.pq) > 0 && s.pq[0].less(sl.events[sl.head]) {
+		return s.pop(), true
+	}
+	return s.wheelPop(wi), true
+}
+
+// peekCycle returns the cycle of the next event without extracting it.
+func (s *Sim) peekCycle() (uint64, bool) {
+	wi := s.nextWheelIdx()
+	if wi < 0 {
+		if len(s.pq) == 0 {
+			return 0, false
+		}
+		return s.pq[0].cycle, true
+	}
+	sl := &s.slots[wi]
+	c := sl.events[sl.head].cycle
+	if len(s.pq) > 0 && s.pq[0].cycle < c {
+		c = s.pq[0].cycle
+	}
+	return c, true
+}
+
 // At schedules fn to run at the given absolute cycle. Scheduling in the past
 // panics: it always indicates a component bug, and silently reordering time
-// would corrupt every timing statistic downstream.
+// would corrupt every timing statistic downstream. Scheduling at the
+// current cycle is legal and fires after already-queued same-cycle events.
 func (s *Sim) At(cycle uint64, fn func()) {
 	if cycle < s.now {
 		panic(fmt.Sprintf("engine: scheduling at cycle %d before now %d", cycle, s.now))
 	}
 	s.seq++
-	s.push(event{cycle: cycle, seq: s.seq, fn: fn})
+	e := event{cycle: cycle, seq: s.seq, fn: fn}
+	if !s.heapOnly && cycle-s.now < WheelHorizon {
+		i := int(cycle) & wheelMask
+		sl := &s.slots[i]
+		sl.events = append(sl.events, e)
+		s.occ[i>>6] |= 1 << uint(i&63)
+		s.wheelLen++
+		return
+	}
+	s.push(e)
 }
 
 // After schedules fn to run delay cycles from now.
@@ -152,10 +332,10 @@ func (s *Sim) SetTick(every uint64, fn func()) {
 // Step executes the next event, advancing the clock to its cycle.
 // It reports whether an event was executed.
 func (s *Sim) Step() bool {
-	if len(s.pq) == 0 {
+	e, ok := s.next()
+	if !ok {
 		return false
 	}
-	e := s.pop()
 	s.now = e.cycle
 	if s.tickFn != nil && s.now >= s.tickNext {
 		s.tickFn()
@@ -172,7 +352,11 @@ func (s *Sim) Step() bool {
 // beyond the given cycle. The clock is left at the last executed event (or
 // moved to `cycle` if it drained early), never beyond cycle.
 func (s *Sim) RunUntil(cycle uint64) {
-	for len(s.pq) > 0 && s.pq[0].cycle <= cycle {
+	for {
+		c, ok := s.peekCycle()
+		if !ok || c > cycle {
+			break
+		}
 		s.Step()
 	}
 	if s.now < cycle {

@@ -93,6 +93,47 @@ func benchSchedulePopBoxed(b *testing.B, clustered bool) {
 func BenchmarkSchedulePopBoxedUniform(b *testing.B)   { benchSchedulePopBoxed(b, false) }
 func BenchmarkSchedulePopBoxedClustered(b *testing.B) { benchSchedulePopBoxed(b, true) }
 
+// benchWheelVsHeap drives a population of self-rescheduling events whose
+// delays are the simulator's actual hot-path latencies (cache tags, DRAM
+// row activates, NVM writes), all inside the wheel horizon — the
+// steady-state shape of a running simulation. The Wheel/Heap pair isolates
+// the wheel's O(1) insert/extract against the 4-ary heap's O(log n) sift on
+// an identical schedule.
+func benchWheelVsHeap(b *testing.B, wheel bool) {
+	delays := []uint64{2, 8, 32, 116, 360}
+	const population = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New()
+		if !wheel {
+			s.DisableWheel()
+		}
+		s.Reserve(WheelHorizon * 4) // as sim.Build does: no append-growth mid-run
+		fired := 0
+		hops := make([]func(), population)
+		for j := 0; j < population; j++ {
+			d := delays[j%len(delays)]
+			j := j
+			hops[j] = func() {
+				fired++
+				if fired < benchEvents {
+					s.After(d, hops[j])
+				}
+			}
+		}
+		for j, h := range hops {
+			s.At(uint64(j), h)
+		}
+		b.StartTimer()
+		s.Drain(0)
+	}
+}
+
+func BenchmarkWheelVsHeapWheel(b *testing.B) { benchWheelVsHeap(b, true) }
+func BenchmarkWheelVsHeapHeap(b *testing.B)  { benchWheelVsHeap(b, false) }
+
 // TestHeapMatchesBoxedReference fires the same randomized schedule through
 // the 4-ary value heap and the old container/heap implementation and
 // asserts an identical (cycle, seq) fire order — the determinism contract
@@ -140,9 +181,11 @@ func TestHeapMatchesBoxedReference(t *testing.T) {
 }
 
 // TestPopReleasesClosure asserts the satellite fix: after Pop, the vacated
-// backing-array slot no longer pins the popped closure.
+// backing-array slot no longer pins the popped closure — on the heap path
+// (forced via DisableWheel) and on the wheel path alike.
 func TestPopReleasesClosure(t *testing.T) {
 	s := New()
+	s.DisableWheel()
 	s.At(1, func() {})
 	s.At(2, func() {})
 	s.Step()
@@ -150,5 +193,16 @@ func TestPopReleasesClosure(t *testing.T) {
 	tail := s.pq[:2][1]
 	if tail.fn != nil || tail.cycle != 0 || tail.seq != 0 {
 		t.Fatalf("vacated heap slot still holds %+v; closure not released", tail)
+	}
+
+	w := New()
+	w.At(1, func() {})
+	w.At(1, func() {})
+	w.Step()
+	// The drained entry in the slot's backing array must be zeroed even
+	// while the slot still holds the second event.
+	sl := &w.slots[1]
+	if got := sl.events[:2][0]; got.fn != nil || got.cycle != 0 || got.seq != 0 {
+		t.Fatalf("drained wheel entry still holds %+v; closure not released", got)
 	}
 }

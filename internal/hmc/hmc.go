@@ -36,6 +36,12 @@ const (
 // Request is one LLC miss (or writeback) that reached the controller. Line
 // is the OS-visible physical address — remapping below the LLC means every
 // request must be translated by the manager before touching memory.
+//
+// Requests are pooled by the controller: a record returns to the free list
+// when it completes (or, for writebacks, when its write is issued), so the
+// per-request allocation the controller used to pay — the record itself
+// plus the memory-completion closure — disappears in steady state.
+// Managers must not retain a *Request past its completion.
 type Request struct {
 	Line    mem.Addr
 	Write   bool
@@ -45,7 +51,25 @@ type Request struct {
 	ctl     *Controller
 	served  bool
 	pteSrc  bool // served by the MMU Driver's PTE cache (latency split)
+
+	// Completion plumbing for the pooled record: src and issued are filled
+	// by ServeMemory/ServeDirect; memDoneFn and directFn are bound once
+	// when the record is minted.
+	src       Source
+	issued    uint64
+	memDoneFn func()
+	directFn  func()
+	routeFn   func()
+	bufFn     func()
+	next      *Request
 }
+
+// RouteFn returns the request's pre-bound routing continuation: it
+// translates r.Line through the manager's TranslateLine and finishes the
+// request (swap-buffer interception, writeback absorption, or memory).
+// Managers hand it to their metadata-cache lookup so the remap-entry wait
+// costs no per-request closure.
+func (r *Request) RouteFn() func() { return r.routeFn }
 
 // Manager is one hybrid-memory management scheme.
 type Manager interface {
@@ -106,8 +130,9 @@ type Controller struct {
 	Engine *SwapEngine
 	Oracle *Oracle
 
-	mgr   Manager
-	stats Stats
+	mgr     Manager
+	stats   Stats
+	freeReq *Request
 
 	// Observability sinks, both nil-guarded: a controller without them
 	// pays one branch per request and zero allocations (the obs package's
@@ -164,16 +189,46 @@ func (c *Controller) SetTracer(t *obs.Tracer) {
 // Tracer returns the attached tracer (nil when tracing is off).
 func (c *Controller) Tracer() *obs.Tracer { return c.trace }
 
+// getRequest pops a pooled record, minting (and binding its completion
+// closures) only while the pool warms. Fields are reset here, not at
+// release, so a freed record keeps served=true until reuse — a stale
+// double-completion in the window between free and reuse still panics.
+func (c *Controller) getRequest() *Request {
+	r := c.freeReq
+	if r == nil {
+		r = &Request{ctl: c}
+		r.memDoneFn = func() {
+			r.ctl.stats.MemLatencyTotal += r.ctl.Sim.Now() - r.issued
+			r.ctl.complete(r, r.src)
+		}
+		r.directFn = func() { r.ctl.complete(r, r.src) }
+		r.routeFn = func() { r.ctl.routeTranslated(r) }
+		r.bufFn = func() { r.ctl.ServeBuffer(r) }
+	} else {
+		c.freeReq = r.next
+		r.next = nil
+	}
+	r.served = false
+	r.pteSrc = false
+	r.src, r.issued = 0, 0
+	return r
+}
+
+func (c *Controller) putRequest(r *Request) {
+	r.Line, r.Write, r.Meta, r.Arrival = 0, false, cache.Meta{}, 0
+	r.done = nil
+	r.next = c.freeReq
+	c.freeReq = r
+}
+
 // Access implements cache.Backend: the LLC's next level.
 func (c *Controller) Access(line mem.Addr, write bool, meta cache.Meta, done func()) {
-	r := &Request{
-		Line:    mem.LineOf(line),
-		Write:   write,
-		Meta:    meta,
-		Arrival: c.Sim.Now(),
-		done:    done,
-		ctl:     c,
-	}
+	r := c.getRequest()
+	r.Line = mem.LineOf(line)
+	r.Write = write
+	r.Meta = meta
+	r.Arrival = c.Sim.Now()
+	r.done = done
 	if meta.Writeback {
 		c.stats.Writebacks++
 	} else {
@@ -227,15 +282,43 @@ func (c *Controller) ServeMemory(r *Request, actual mem.Addr) {
 		src = SrcDRAM
 	}
 	if r.Meta.Writeback {
-		// Writebacks contend for bandwidth but complete asynchronously.
+		// Writebacks contend for bandwidth but complete asynchronously; the
+		// record's job ends once the write is enqueued.
+		c.putRequest(r)
 		c.IssueLine(actual, true, PrioDemand, nil)
 		return
 	}
-	issued := c.Sim.Now()
-	c.IssueLine(actual, r.Write, PrioDemand, func() {
-		c.stats.MemLatencyTotal += c.Sim.Now() - issued
-		c.complete(r, src)
-	})
+	r.src = src
+	r.issued = c.Sim.Now()
+	c.IssueLine(actual, r.Write, PrioDemand, r.memDoneFn)
+}
+
+// Release returns a request the manager finished out-of-band — a writeback
+// absorbed by the swap buffers rather than routed to memory — to the pool.
+func (c *Controller) Release(r *Request) { c.putRequest(r) }
+
+// noopFn is the shared waiter for writebacks absorbed by an in-flight swap:
+// the buffered line is already newer than memory, so nothing runs on
+// service, and sharing one func avoids a per-writeback allocation.
+var noopFn = func() {}
+
+// routeTranslated is the tail every manager's HandleRequest reaches once
+// the remap entry is known (the body of Request.RouteFn): translate, try
+// the swap buffers, fall through to memory.
+func (c *Controller) routeTranslated(r *Request) {
+	actual := c.mgr.TranslateLine(r.Line)
+	if r.Meta.Writeback {
+		if c.Engine.TryService(actual, noopFn) {
+			c.putRequest(r)
+			return
+		}
+		c.ServeMemory(r, actual)
+		return
+	}
+	if c.Engine.TryService(actual, r.bufFn) {
+		return
+	}
+	c.ServeMemory(r, actual)
 }
 
 // ServeBuffer completes a request from the swap buffers; the manager must
@@ -247,7 +330,8 @@ func (c *Controller) ServeBuffer(r *Request) { c.complete(r, SrcSwapBuffer) }
 // managers that satisfied the data through their own structures or an
 // already-issued memory fetch.
 func (c *Controller) ServeDirect(r *Request, src Source, latency uint64) {
-	c.Sim.After(latency, func() { c.complete(r, src) })
+	r.src = src
+	c.Sim.After(latency, r.directFn)
 }
 
 // ServePTECache completes a PTE-line request from the MMU Driver's small
@@ -297,8 +381,12 @@ func (c *Controller) complete(r *Request, src Source) {
 			c.stats.Neutral++
 		}
 	}
-	if r.done != nil {
-		r.done()
+	// Release before the callback: done may re-enter Access and is then
+	// handed this same record, which is exactly the pooled steady state.
+	done := r.done
+	c.putRequest(r)
+	if done != nil {
+		done()
 	}
 }
 

@@ -77,11 +77,96 @@ type MetaCache struct {
 	region MetaRegion
 	issue  IssueFunc
 
-	epl     uint64
-	sets    [][]metaLine
-	tick    uint64
-	pending map[uint64][]func() // keyed by line index
-	stats   MetaCacheStats
+	epl       uint64
+	sets      [][]metaLine
+	tick      uint64
+	pending   map[uint64][]func() // keyed by line index
+	freeTxn   *metaTxn
+	freeFetch *fetchTxn
+	freeWs    [][]func()
+	stats     MetaCacheStats
+}
+
+// metaTxn carries one Access across the SRAM probe (and, on a miss, the
+// DRAM line fetch): the lookup payload plus the two stage closures pre-bound
+// to the record. Pooled per cache, so the PRTc probe every LLC miss pays —
+// the hottest metadata path in the controller — allocates nothing in steady
+// state.
+type metaTxn struct {
+	c      *MetaCache
+	key    uint64
+	dirty  bool
+	urgent bool
+	start  uint64
+	done   func()
+
+	lookFn func()
+	fillFn func()
+	next   *metaTxn
+}
+
+func (c *MetaCache) getTxn() *metaTxn {
+	t := c.freeTxn
+	if t == nil {
+		t = &metaTxn{c: c}
+		t.lookFn = func() { t.c.lookStage(t) }
+		t.fillFn = func() { t.c.fillStage(t) }
+		return t
+	}
+	c.freeTxn = t.next
+	t.next = nil
+	return t
+}
+
+func (c *MetaCache) putTxn(t *metaTxn) {
+	t.key, t.dirty, t.urgent, t.start, t.done = 0, false, false, 0, nil
+	t.next = c.freeTxn
+	c.freeTxn = t
+}
+
+// fetchTxn carries one in-flight DRAM line fetch with its pre-bound return
+// continuation, so miss fetches allocate nothing in steady state.
+type fetchTxn struct {
+	c    *MetaCache
+	lk   uint64
+	fn   func()
+	next *fetchTxn
+}
+
+func (c *MetaCache) getFetch() *fetchTxn {
+	t := c.freeFetch
+	if t == nil {
+		t = &fetchTxn{c: c}
+		t.fn = func() { t.c.fetchDone(t) }
+		return t
+	}
+	c.freeFetch = t.next
+	t.next = nil
+	return t
+}
+
+func (c *MetaCache) putFetch(t *fetchTxn) {
+	t.lk = 0
+	t.next = c.freeFetch
+	c.freeFetch = t
+}
+
+// getWs and putWs recycle pending-waiter slices (capacity persists across
+// miss episodes).
+func (c *MetaCache) getWs() []func() {
+	if n := len(c.freeWs); n > 0 {
+		ws := c.freeWs[n-1]
+		c.freeWs = c.freeWs[:n-1]
+		return ws
+	}
+	return make([]func(), 0, 4)
+}
+
+func (c *MetaCache) putWs(ws []func()) {
+	for i := range ws {
+		ws[i] = nil
+	}
+	c.freeWs = append(c.freeWs, ws[:0])
 }
 
 // NewMetaCache builds a metadata cache over a DRAM region.
@@ -141,27 +226,43 @@ func (c *MetaCache) Present(key uint64) bool { return c.find(key) != nil }
 // the entry modified (it will be written back to DRAM on eviction). The
 // cycles a missing access spends waiting are added to WaitCycles.
 func (c *MetaCache) Access(key uint64, dirty bool, done func()) {
-	c.sim.After(c.cfg.HitLatency, func() {
-		if l := c.find(key); l != nil {
-			c.stats.Hits++
-			c.touch(l, dirty)
-			if done != nil {
-				done()
-			}
-			return
+	t := c.getTxn()
+	t.key, t.dirty, t.done = key, dirty, done
+	c.sim.After(c.cfg.HitLatency, t.lookFn)
+}
+
+// lookStage resolves the SRAM probe. Hits release the record before the
+// callback; misses park it on the pending line fetch (fillStage releases).
+func (c *MetaCache) lookStage(t *metaTxn) {
+	if l := c.find(t.key); l != nil {
+		c.stats.Hits++
+		c.touch(l, t.dirty)
+		done := t.done
+		c.putTxn(t)
+		if done != nil {
+			done()
 		}
-		c.stats.Misses++
-		start := c.sim.Now()
-		c.fetch(key, false, func() {
-			c.stats.WaitCycles += c.sim.Now() - start
-			if l := c.find(key); l != nil {
-				c.touch(l, dirty)
-			}
-			if done != nil {
-				done()
-			}
-		})
-	})
+		return
+	}
+	c.stats.Misses++
+	t.start = c.sim.Now()
+	if t.urgent {
+		c.fetchUrgent(t.key, t.fillFn)
+	} else {
+		c.fetch(t.key, false, t.fillFn)
+	}
+}
+
+func (c *MetaCache) fillStage(t *metaTxn) {
+	c.stats.WaitCycles += c.sim.Now() - t.start
+	if l := c.find(t.key); l != nil {
+		c.touch(l, t.dirty)
+	}
+	done := t.done
+	c.putTxn(t)
+	if done != nil {
+		done()
+	}
 }
 
 // Prefetch fetches key into the cache without a waiter — the early PRTc/PCTc
@@ -178,27 +279,9 @@ func (c *MetaCache) Prefetch(key uint64) {
 // Background cache — for the MMU Driver's hint evaluation, whose entire
 // value is lead time over the replayed access (Section III-B).
 func (c *MetaCache) AccessUrgent(key uint64, done func()) {
-	c.sim.After(c.cfg.HitLatency, func() {
-		if l := c.find(key); l != nil {
-			c.stats.Hits++
-			c.touch(l, false)
-			if done != nil {
-				done()
-			}
-			return
-		}
-		c.stats.Misses++
-		start := c.sim.Now()
-		c.fetchUrgent(key, func() {
-			c.stats.WaitCycles += c.sim.Now() - start
-			if l := c.find(key); l != nil {
-				c.touch(l, false)
-			}
-			if done != nil {
-				done()
-			}
-		})
-	})
+	t := c.getTxn()
+	t.key, t.urgent, t.done = key, true, done
+	c.sim.After(c.cfg.HitLatency, t.lookFn)
 }
 
 func (c *MetaCache) fetchUrgent(key uint64, done func()) {
@@ -209,7 +292,7 @@ func (c *MetaCache) fetchUrgent(key uint64, done func()) {
 		}
 		return
 	}
-	var list []func()
+	list := c.getWs()
 	if done != nil {
 		list = append(list, done)
 	}
@@ -225,7 +308,7 @@ func (c *MetaCache) fetch(key uint64, prefetch bool, done func()) {
 		}
 		return
 	}
-	var list []func()
+	list := c.getWs()
 	if done != nil {
 		list = append(list, done)
 	}
@@ -238,17 +321,26 @@ func (c *MetaCache) fetch(key uint64, prefetch bool, done func()) {
 }
 
 func (c *MetaCache) issueFetch(key, lk uint64, prio Priority) {
-	c.issue(c.region.EntryAddr(key), false, prio, func() {
-		// The fetched line carries every entry sharing it; install them all.
-		for k := lk * c.epl; k < (lk+1)*c.epl; k++ {
-			c.install(k)
-		}
-		ws := c.pending[lk]
-		delete(c.pending, lk)
-		for _, w := range ws {
-			w()
-		}
-	})
+	t := c.getFetch()
+	t.lk = lk
+	c.issue(c.region.EntryAddr(key), false, prio, t.fn)
+}
+
+// fetchDone installs the fetched line and wakes the parked accesses. The
+// fetchTxn is released before the callbacks so they can start new fetches.
+func (c *MetaCache) fetchDone(t *fetchTxn) {
+	lk := t.lk
+	c.putFetch(t)
+	// The fetched line carries every entry sharing it; install them all.
+	for k := lk * c.epl; k < (lk+1)*c.epl; k++ {
+		c.install(k)
+	}
+	ws := c.pending[lk]
+	delete(c.pending, lk)
+	for _, w := range ws {
+		w()
+	}
+	c.putWs(ws)
 }
 
 func (c *MetaCache) install(key uint64) {

@@ -127,14 +127,25 @@ const (
 	lineBuffered
 )
 
+// opLine is one line of a running op. Records are pooled on the engine with
+// a pre-bound read-return continuation, so the per-line cost of a page swap
+// (64 lines each way at 4KB) stays off the allocator in steady state.
 type opLine struct {
+	e      *SwapEngine
+	r      *runningOp
 	status lineStatus
 	stage  int
 	src    mem.Addr
 	dst    mem.Addr // NoAddr if fill-only
+	readFn func()
+	next   *opLine
 }
 
+// runningOp is one in-flight swap operation. Pooled like opLine: the maps
+// and per-stage order slices keep their capacity across reuses, and the
+// single write-return continuation is shared by every line write of the op.
 type runningOp struct {
+	e          *SwapEngine
 	op         *Op
 	began      uint64
 	stageBegan uint64
@@ -147,6 +158,8 @@ type runningOp struct {
 	readsLeft  int // current stage
 	writesLeft int // current stage
 	waiters    map[mem.Addr][]func()
+	writeFn    func()
+	next       *runningOp
 }
 
 // SwapEngine executes swap operations against the memory modules and
@@ -161,6 +174,9 @@ type SwapEngine struct {
 	running map[*runningOp]struct{}
 	// lineOwner indexes running ops by src line for fast interception.
 	lineOwner map[mem.Addr]*runningOp
+	freeOp    *runningOp
+	freeLine  *opLine
+	freeWs    [][]func()
 	stats     SwapEngineStats
 
 	// tracer (nil when off) receives the transfer span of every op; opSeq
@@ -186,6 +202,73 @@ func NewSwapEngine(sim *engine.Sim, cfg SwapEngineConfig, issue IssueFunc, promo
 	}
 }
 
+func (e *SwapEngine) getOp() *runningOp {
+	r := e.freeOp
+	if r == nil {
+		r = &runningOp{
+			e:       e,
+			lines:   make(map[mem.Addr]*opLine),
+			waiters: make(map[mem.Addr][]func()),
+		}
+		r.writeFn = func() { r.e.writeDone(r) }
+		return r
+	}
+	e.freeOp = r.next
+	r.next = nil
+	return r
+}
+
+func (e *SwapEngine) putOp(r *runningOp) {
+	clear(r.lines)
+	for i := range r.order {
+		r.order[i] = r.order[i][:0]
+	}
+	r.op = nil
+	r.began, r.stageBegan = 0, 0
+	r.slot, r.stage = 0, 0
+	r.nextRead, r.inflight, r.readsLeft, r.writesLeft = 0, 0, 0, 0
+	r.next = e.freeOp
+	e.freeOp = r
+}
+
+func (e *SwapEngine) getLine() *opLine {
+	l := e.freeLine
+	if l == nil {
+		l = &opLine{e: e}
+		l.readFn = func() { l.e.readDone(l) }
+		return l
+	}
+	e.freeLine = l.next
+	l.next = nil
+	return l
+}
+
+// getWs and putWs recycle demand-waiter slices (capacity persists across
+// buffer-wait episodes).
+func (e *SwapEngine) getWs() []func() {
+	if n := len(e.freeWs); n > 0 {
+		ws := e.freeWs[n-1]
+		e.freeWs = e.freeWs[:n-1]
+		return ws
+	}
+	return make([]func(), 0, 4)
+}
+
+func (e *SwapEngine) putWs(ws []func()) {
+	for i := range ws {
+		ws[i] = nil
+	}
+	e.freeWs = append(e.freeWs, ws[:0])
+}
+
+func (e *SwapEngine) putLine(l *opLine) {
+	l.r = nil
+	l.status = lineUnissued
+	l.stage, l.src, l.dst = 0, 0, 0
+	l.next = e.freeLine
+	e.freeLine = l
+}
+
 // Stats returns a snapshot of the counters.
 func (e *SwapEngine) Stats() SwapEngineStats { return e.stats }
 
@@ -205,13 +288,14 @@ func (e *SwapEngine) Start(op *Op) bool {
 	if len(op.Stages) == 0 {
 		panic("hmc: swap op with no stages")
 	}
-	r := &runningOp{
-		op:         op,
-		began:      e.sim.Now(),
-		stageBegan: e.sim.Now(),
-		lines:      make(map[mem.Addr]*opLine),
-		order:      make([][]mem.Addr, len(op.Stages)),
-		waiters:    make(map[mem.Addr][]func()),
+	r := e.getOp()
+	r.op = op
+	r.began = e.sim.Now()
+	r.stageBegan = e.sim.Now()
+	if cap(r.order) < len(op.Stages) {
+		r.order = make([][]mem.Addr, len(op.Stages))
+	} else {
+		r.order = r.order[:len(op.Stages)]
 	}
 	if e.tracer != nil {
 		r.slot = int(e.opSeq % uint64(e.cfg.MaxOps))
@@ -238,7 +322,9 @@ func (e *SwapEngine) Start(op *Op) bool {
 				if tr.Dst != NoAddr {
 					dst = tr.Dst + mem.Addr(off)
 				}
-				l := &opLine{stage: si, src: src, dst: dst}
+				l := e.getLine()
+				l.r = r
+				l.stage, l.src, l.dst = si, src, dst
 				if _, dup := r.lines[src]; dup {
 					panic(fmt.Sprintf("hmc: line %#x read twice in one op", uint64(src)))
 				}
@@ -296,36 +382,45 @@ func (e *SwapEngine) issueRead(r *runningOp, l *opLine, prio Priority) {
 	l.status = lineIssued
 	r.inflight++
 	e.stats.LinesRead++
-	e.issue(l.src, false, prio, func() {
-		r.inflight--
-		l.status = lineBuffered
-		r.readsLeft--
-		// Release demand requests waiting on this line.
-		if ws := r.waiters[l.src]; len(ws) > 0 {
-			delete(r.waiters, l.src)
-			for _, w := range ws {
-				e.sim.After(e.cfg.BufferLatency, w)
-			}
+	e.issue(l.src, false, prio, l.readFn)
+}
+
+// readDone is the pre-bound continuation of every line read.
+func (e *SwapEngine) readDone(l *opLine) {
+	r := l.r
+	r.inflight--
+	l.status = lineBuffered
+	r.readsLeft--
+	// Release demand requests waiting on this line.
+	if ws, ok := r.waiters[l.src]; ok {
+		delete(r.waiters, l.src)
+		for _, w := range ws {
+			e.sim.After(e.cfg.BufferLatency, w)
 		}
-		if l.dst != NoAddr {
-			e.issueWrite(r, l.dst)
-		}
-		if r.readsLeft == 0 && r.writesLeft == 0 {
-			e.finishStage(r)
-		} else {
-			e.pump(r)
-		}
-	})
+		e.putWs(ws)
+	}
+	if l.dst != NoAddr {
+		e.issueWrite(r, l.dst)
+	}
+	if r.readsLeft == 0 && r.writesLeft == 0 {
+		e.finishStage(r)
+	} else {
+		e.pump(r)
+	}
 }
 
 func (e *SwapEngine) issueWrite(r *runningOp, dst mem.Addr) {
 	e.stats.LinesWritten++
-	e.issue(dst, true, PrioSwap, func() {
-		r.writesLeft--
-		if r.readsLeft == 0 && r.writesLeft == 0 {
-			e.finishStage(r)
-		}
-	})
+	e.issue(dst, true, PrioSwap, r.writeFn)
+}
+
+// writeDone is the pre-bound continuation shared by every line write of an
+// op (writes carry no per-line state).
+func (e *SwapEngine) writeDone(r *runningOp) {
+	r.writesLeft--
+	if r.readsLeft == 0 && r.writesLeft == 0 {
+		e.finishStage(r)
+	}
 }
 
 func (e *SwapEngine) finishStage(r *runningOp) {
@@ -342,10 +437,11 @@ func (e *SwapEngine) finishStage(r *runningOp) {
 	// Operation complete: expose the new mapping first (OnComplete updates
 	// the manager's remap state), then dismantle buffer interception.
 	delete(e.running, r)
-	for src := range r.lines {
+	for src, l := range r.lines {
 		if e.lineOwner[src] == r {
 			delete(e.lineOwner, src)
 		}
+		e.putLine(l)
 	}
 	e.stats.OpsCompleted++
 	e.stats.OpCycles += e.sim.Now() - r.began
@@ -362,8 +458,12 @@ func (e *SwapEngine) finishStage(r *runningOp) {
 		// stage's reads complete before the op does.
 		panic("hmc: swap op completed with demand waiters still pending")
 	}
-	if r.op.OnComplete != nil {
-		r.op.OnComplete()
+	// Release before OnComplete: the callback may start a new op that
+	// reuses this record.
+	op := r.op
+	e.putOp(r)
+	if op.OnComplete != nil {
+		op.OnComplete()
 	}
 }
 
@@ -385,14 +485,14 @@ func (e *SwapEngine) TryService(addr mem.Addr, done func()) bool {
 		e.sim.After(e.cfg.BufferLatency, done)
 	case lineIssued:
 		e.stats.BufWaits++
-		r.waiters[src] = append(r.waiters[src], done)
+		e.addWaiter(r, src, done)
 		// Requested-line-first: the read is already in a channel queue at
 		// background priority; promote it (Section III-D1).
 		e.stats.EscalatedRead++
 		e.promote(src)
 	case lineUnissued:
 		e.stats.BufWaits++
-		r.waiters[src] = append(r.waiters[src], done)
+		e.addWaiter(r, src, done)
 		if l.stage == r.stage {
 			// Requested-line-first: promote this read past the queue and
 			// issue it at demand priority (Section III-D1).
@@ -401,6 +501,14 @@ func (e *SwapEngine) TryService(addr mem.Addr, done func()) bool {
 		}
 	}
 	return true
+}
+
+func (e *SwapEngine) addWaiter(r *runningOp, src mem.Addr, done func()) {
+	ws, ok := r.waiters[src]
+	if !ok {
+		ws = e.getWs()
+	}
+	r.waiters[src] = append(ws, done)
 }
 
 // Involved reports whether addr's line belongs to a running swap (tests).

@@ -205,20 +205,7 @@ func (m *MemPod) HandleRequest(r *hmc.Request) {
 	if !r.Meta.Writeback && !r.Meta.PageWalk {
 		m.observe(s)
 	}
-	m.remapCache.Access(uint64(s), false, func() {
-		actual := m.TranslateLine(r.Line)
-		if r.Meta.Writeback {
-			if m.ctl.Engine.TryService(actual, func() {}) {
-				return
-			}
-			m.ctl.ServeMemory(r, actual)
-			return
-		}
-		if m.ctl.Engine.TryService(actual, func() { m.ctl.ServeBuffer(r) }) {
-			return
-		}
-		m.ctl.ServeMemory(r, actual)
-	})
+	m.remapCache.Access(uint64(s), false, r.RouteFn())
 }
 
 // observe feeds the MEA sketch and fires interval migrations lazily: the

@@ -105,7 +105,9 @@ const (
 	PrioSwap
 )
 
-// Request is one line-granularity access.
+// Request is one line-granularity access. Records are pooled per module
+// with a pre-bound completion closure (fireFn), so the enqueue -> issue ->
+// data-return lifecycle allocates nothing in steady state.
 type request struct {
 	addr    mem.Addr
 	write   bool
@@ -113,6 +115,8 @@ type request struct {
 	arrival uint64
 	bypass  int
 	done    func()
+	fireFn  func()
+	next    *request
 }
 
 type bank struct {
@@ -133,6 +137,9 @@ type channel struct {
 	wakeAt uint64
 	// commits counts issued requests, for the periodic classless slot.
 	commits uint64
+	// wakeFn is the scheduler-wakeup closure, bound once per channel so
+	// arming a wakeup does not allocate.
+	wakeFn func()
 }
 
 // Stats aggregates module-level counters.
@@ -169,8 +176,9 @@ type Module struct {
 	base mem.Addr
 	size uint64
 
-	chans []channel
-	stats Stats
+	chans   []channel
+	stats   Stats
+	freeReq *request
 
 	// derived, in CPU cycles
 	tCAS, tRCD, tRAS, tRP, tWR, burst uint64
@@ -202,12 +210,46 @@ func New(sim *engine.Sim, cfg Config, base mem.Addr, size uint64) *Module {
 	}
 	m.chans = make([]channel, cfg.Channels)
 	for i := range m.chans {
+		ch := i
 		m.chans[i].banks = make([]bank, m.banksPerChannel)
 		for b := range m.chans[i].banks {
 			m.chans[i].banks[b].openRow = -1
 		}
+		m.chans[i].wakeFn = func() {
+			m.chans[ch].wakeAt = 0
+			m.trySchedule(ch)
+		}
 	}
 	return m
+}
+
+func (m *Module) getReq() *request {
+	r := m.freeReq
+	if r == nil {
+		r = &request{}
+		r.fireFn = func() { m.completeReq(r) }
+		return r
+	}
+	m.freeReq = r.next
+	r.next = nil
+	return r
+}
+
+func (m *Module) putReq(r *request) {
+	r.addr, r.write, r.prio, r.arrival, r.bypass, r.done = 0, false, 0, 0, 0, nil
+	r.next = m.freeReq
+	m.freeReq = r
+}
+
+// completeReq fires at a request's data-return time: the record returns to
+// the pool before the callback runs, so the callback may immediately
+// enqueue a new access that reuses it.
+func (m *Module) completeReq(r *request) {
+	done := r.done
+	m.putReq(r)
+	if done != nil {
+		done()
+	}
 }
 
 // Config returns the module configuration.
@@ -287,13 +329,13 @@ func (m *Module) Backlog() (queued int, busAhead uint64) {
 func (m *Module) Access(addr mem.Addr, write bool, prio Priority, done func()) {
 	ch, _, _ := m.locate(mem.LineOf(addr))
 	c := &m.chans[ch]
-	c.queue = append(c.queue, &request{
-		addr:    mem.LineOf(addr),
-		write:   write,
-		prio:    prio,
-		arrival: m.sim.Now(),
-		done:    done,
-	})
+	r := m.getReq()
+	r.addr = mem.LineOf(addr)
+	r.write = write
+	r.prio = prio
+	r.arrival = m.sim.Now()
+	r.done = done
+	c.queue = append(c.queue, r)
 	if write {
 		m.stats.Writes++
 	} else {
@@ -413,7 +455,10 @@ func (m *Module) trySchedule(ch int) {
 	}
 	i, start := m.pick(c, now)
 	r := c.queue[i]
-	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	n := len(c.queue)
+	copy(c.queue[i:], c.queue[i+1:])
+	c.queue[n-1] = nil // release the duplicated tail pointer
+	c.queue = c.queue[:n-1]
 	c.commits++
 	m.issue(ch, r, start)
 	if len(c.queue) > 0 {
@@ -426,10 +471,7 @@ func (m *Module) armWake(c *channel, ch int, at uint64) {
 		return
 	}
 	c.wakeAt = at
-	m.sim.At(at, func() {
-		c.wakeAt = 0
-		m.trySchedule(ch)
-	})
+	m.sim.At(at, c.wakeFn)
 }
 
 // issue commits one request at its data-burst start time.
@@ -467,12 +509,7 @@ func (m *Module) issue(ch int, r *request, dataStart uint64) {
 	}
 
 	m.stats.TotalWait += dataEnd - r.arrival
-	done := r.done
-	m.sim.At(dataEnd, func() {
-		if done != nil {
-			done()
-		}
-	})
+	m.sim.At(dataEnd, r.fireFn)
 }
 
 // Promote raises a queued request for the given line to demand priority —

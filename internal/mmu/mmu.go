@@ -75,6 +75,11 @@ func (s *Stats) Add(o Stats) {
 // MMU is one core's translation machinery. Walk reads go through walkPort
 // (the core's L2 cache — page-table lines are not kept in L1, per the
 // paper), so they populate L2/L3 and can reach the memory controller.
+//
+// Translations run on pooled transaction records (transTxn) whose stage
+// closures are bound once, and the single page walker per core reuses one
+// walk-state record with pre-bound continuations — so the TLB-hit fast path
+// and the walk ladder both run allocation-free in steady state.
 type MMU struct {
 	sim      *engine.Sim
 	os       *mem.OS
@@ -87,20 +92,37 @@ type MMU struct {
 	walkPort cache.Backend
 	hinter   Hinter
 
-	walking bool
-	walkQ   []pendingWalk
-	stats   Stats
+	freeTxn *transTxn
+
+	// Single-walker state: the paper's cores have one page walker, so walks
+	// serialise and one reusable record suffices.
+	walking   bool
+	walkQ     []*transTxn
+	wkTxn     *transTxn
+	wkWalk    mem.Walk
+	wkLevel   mem.Level
+	wkStartFn func() // fires after the PWC probe latency
+	wkStepFn  func() // fires when a walk read returns from walkPort
+
+	stats Stats
 }
 
-type pendingWalk struct {
+// transTxn is one in-flight translation: the lookup payload plus the two
+// TLB-stage closures pre-bound to the record.
+type transTxn struct {
+	m    *MMU
 	va   mem.VAddr
 	done func(mem.PPN)
+
+	l1Fn func()
+	l2Fn func()
+	next *transTxn
 }
 
 // New builds an MMU for (core, pid) whose walker reads page tables through
 // walkPort. hinter may be nil (no MMU->HMC signal, as in the baselines).
 func New(sim *engine.Sim, osm *mem.OS, core, pid int, cfg Config, walkPort cache.Backend, hinter Hinter) *MMU {
-	return &MMU{
+	m := &MMU{
 		sim:      sim,
 		os:       osm,
 		core:     core,
@@ -112,6 +134,28 @@ func New(sim *engine.Sim, osm *mem.OS, core, pid int, cfg Config, walkPort cache
 		walkPort: walkPort,
 		hinter:   hinter,
 	}
+	m.wkStartFn = m.walkStart
+	m.wkStepFn = m.walkStep
+	return m
+}
+
+func (m *MMU) getTxn() *transTxn {
+	t := m.freeTxn
+	if t == nil {
+		t = &transTxn{m: m}
+		t.l1Fn = func() { t.m.l1Stage(t) }
+		t.l2Fn = func() { t.m.l2Stage(t) }
+		return t
+	}
+	m.freeTxn = t.next
+	t.next = nil
+	return t
+}
+
+func (m *MMU) putTxn(t *transTxn) {
+	t.va, t.done = 0, nil
+	t.next = m.freeTxn
+	m.freeTxn = t
 }
 
 // Stats returns a snapshot of the counters.
@@ -123,95 +167,119 @@ func (m *MMU) PID() int { return m.pid }
 // Translate resolves va to the OS-visible physical page, modelling TLB and
 // page-walk timing. done receives the PPN when the translation is ready.
 func (m *MMU) Translate(va mem.VAddr, done func(mem.PPN)) {
-	vpn := mem.VPageOf(va)
-	m.sim.After(m.cfg.L1TLB.Latency, func() {
-		if ppn, ok := m.l1.Lookup(m.pid, vpn); ok {
-			m.stats.L1Hits++
-			done(ppn)
-			return
-		}
-		m.stats.L1Misses++
-		m.sim.After(m.cfg.L2TLB.Latency, func() {
-			if ppn, ok := m.l2.Lookup(m.pid, vpn); ok {
-				m.stats.L2Hits++
-				m.l1.Insert(m.pid, vpn, ppn)
-				done(ppn)
-				return
-			}
-			m.stats.L2Misses++
-			m.enqueueWalk(va, done)
-		})
-	})
+	t := m.getTxn()
+	t.va, t.done = va, done
+	m.sim.After(m.cfg.L1TLB.Latency, t.l1Fn)
+}
+
+func (m *MMU) l1Stage(t *transTxn) {
+	vpn := mem.VPageOf(t.va)
+	if ppn, ok := m.l1.Lookup(m.pid, vpn); ok {
+		m.stats.L1Hits++
+		done := t.done
+		m.putTxn(t)
+		done(ppn)
+		return
+	}
+	m.stats.L1Misses++
+	m.sim.After(m.cfg.L2TLB.Latency, t.l2Fn)
+}
+
+func (m *MMU) l2Stage(t *transTxn) {
+	vpn := mem.VPageOf(t.va)
+	if ppn, ok := m.l2.Lookup(m.pid, vpn); ok {
+		m.stats.L2Hits++
+		m.l1.Insert(m.pid, vpn, ppn)
+		done := t.done
+		m.putTxn(t)
+		done(ppn)
+		return
+	}
+	m.stats.L2Misses++
+	m.enqueueWalk(t)
 }
 
 // enqueueWalk serialises page walks: each core has a single page walker.
-func (m *MMU) enqueueWalk(va mem.VAddr, done func(mem.PPN)) {
-	m.walkQ = append(m.walkQ, pendingWalk{va: va, done: done})
+func (m *MMU) enqueueWalk(t *transTxn) {
+	m.walkQ = append(m.walkQ, t)
 	if !m.walking {
 		m.startNextWalk()
 	}
 }
 
+// startNextWalk pops the next queued translation and begins its walk. The
+// OS maps the page on first touch (zero-cost fault; see mem.OS); the
+// hardware cost modelled here is the PWC probe plus one cached memory read
+// per remaining level.
 func (m *MMU) startNextWalk() {
 	if len(m.walkQ) == 0 {
 		m.walking = false
 		return
 	}
 	m.walking = true
-	pw := m.walkQ[0]
-	m.walkQ = m.walkQ[1:]
-	m.walk(pw.va, func(ppn mem.PPN) {
-		pw.done(ppn)
-		m.startNextWalk()
-	})
-}
+	t := m.walkQ[0]
+	n := copy(m.walkQ, m.walkQ[1:])
+	m.walkQ[n] = nil
+	m.walkQ = m.walkQ[:n]
 
-// walk performs the 4-level page walk for va. The OS maps the page on first
-// touch (zero-cost fault; see mem.OS); the hardware cost modelled here is
-// the PWC probe plus one cached memory read per remaining level.
-func (m *MMU) walk(va mem.VAddr, done func(mem.PPN)) {
+	m.wkTxn = t
 	m.stats.Walks++
-	w := m.os.WalkVA(m.pid, va)
-
-	m.sim.After(m.cfg.PWC.Latency, func() {
-		start := mem.PGD
-		if lvl, _, ok := m.pwc.Lookup(m.pid, va); ok {
-			start = lvl + 1
-		}
-		m.walkLevel(va, w, start, done)
-	})
+	m.wkWalk = m.os.WalkVA(m.pid, t.va)
+	m.sim.After(m.cfg.PWC.Latency, m.wkStartFn)
 }
 
-func (m *MMU) walkLevel(va mem.VAddr, w mem.Walk, l mem.Level, done func(mem.PPN)) {
+func (m *MMU) walkStart() {
+	start := mem.PGD
+	if lvl, _, ok := m.pwc.Lookup(m.pid, m.wkTxn.va); ok {
+		start = lvl + 1
+	}
+	m.wkLevel = start
+	m.walkLevel()
+}
+
+func (m *MMU) walkLevel() {
+	va, l := m.wkTxn.va, m.wkLevel
 	if l == mem.PTE && m.hinter != nil {
 		// The address of the PTE line is now known: signal the HMC in
-		// parallel with the L2 request (Figure 3, action 1).
+		// parallel with the L2 request (Figure 3, action 1). The hint is
+		// captured by value: its 2-cycle wire delay may still be in flight
+		// when the walker state moves on, so it cannot live on the reusable
+		// walk record.
 		m.stats.Hints++
 		h := Hint{
 			Core:    m.core,
 			PID:     m.pid,
 			VPN:     mem.VPageOf(va),
-			PTELine: mem.LineOf(w.Steps[mem.PTE].EntryAddr),
-			LeafPPN: w.Leaf,
+			PTELine: mem.LineOf(m.wkWalk.Steps[mem.PTE].EntryAddr),
+			LeafPPN: m.wkWalk.Leaf,
 		}
 		m.sim.After(m.cfg.HintLatency, func() { m.hinter.MMUHint(h) })
 	}
 	m.stats.WalkReads++
 	meta := cache.Meta{Core: m.core, PID: m.pid, PageWalk: true, IsPTE: l == mem.PTE}
-	m.walkPort.Access(w.Steps[l].EntryAddr, false, meta, func() {
-		if l < mem.PTE {
-			// Cache the discovered next-table frame in the PWC. The frame
-			// is the page holding the next level's entry.
-			next := mem.PageOf(w.Steps[l+1].EntryAddr)
-			m.pwc.Insert(m.pid, va, l, next)
-			m.walkLevel(va, w, l+1, done)
-			return
-		}
-		vpn := mem.VPageOf(va)
-		m.l1.Insert(m.pid, vpn, w.Leaf)
-		m.l2.Insert(m.pid, vpn, w.Leaf)
-		done(w.Leaf)
-	})
+	m.walkPort.Access(m.wkWalk.Steps[l].EntryAddr, false, meta, m.wkStepFn)
+}
+
+func (m *MMU) walkStep() {
+	if m.wkLevel < mem.PTE {
+		// Cache the discovered next-table frame in the PWC. The frame
+		// is the page holding the next level's entry.
+		next := mem.PageOf(m.wkWalk.Steps[m.wkLevel+1].EntryAddr)
+		m.pwc.Insert(m.pid, m.wkTxn.va, m.wkLevel, next)
+		m.wkLevel++
+		m.walkLevel()
+		return
+	}
+	t := m.wkTxn
+	m.wkTxn = nil
+	vpn := mem.VPageOf(t.va)
+	leaf := m.wkWalk.Leaf
+	m.l1.Insert(m.pid, vpn, leaf)
+	m.l2.Insert(m.pid, vpn, leaf)
+	done := t.done
+	m.putTxn(t)
+	done(leaf)
+	m.startNextWalk()
 }
 
 // ResetStats zeroes the MMU counters (e.g. after warm-up), keeping TLB and

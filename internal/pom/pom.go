@@ -196,20 +196,7 @@ func (p *PoM) HandleRequest(r *hmc.Request) {
 	if !r.Meta.Writeback && !r.Meta.PageWalk {
 		p.track(s)
 	}
-	p.src.Access(uint64(p.group(s)), false, func() {
-		actual := p.TranslateLine(r.Line)
-		if r.Meta.Writeback {
-			if p.ctl.Engine.TryService(actual, func() {}) {
-				return
-			}
-			p.ctl.ServeMemory(r, actual)
-			return
-		}
-		if p.ctl.Engine.TryService(actual, func() { p.ctl.ServeBuffer(r) }) {
-			return
-		}
-		p.ctl.ServeMemory(r, actual)
-	})
+	p.src.Access(uint64(p.group(s)), false, r.RouteFn())
 }
 
 func (p *PoM) maybeDecay() {

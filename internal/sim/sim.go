@@ -67,6 +67,12 @@ type Config struct {
 	// (Figure 11's ablation). Defaults to on for scheme "pageseer".
 	DisableBWOpt bool
 
+	// ForceHeapQueue routes every engine event through the overflow heap,
+	// bypassing the timing wheel. Scheduling-policy control for differential
+	// tests and the BenchmarkWheelVsHeap baseline: Results must be
+	// byte-identical with the knob on or off.
+	ForceHeapQueue bool
+
 	CoreConfig cpu.CoreConfig
 
 	// Obs enables the optional observability sinks (epoch timeline,
@@ -186,6 +192,14 @@ func Build(cfg Config) (*System, error) {
 	osm := mem.NewOS(layout, reserve)
 
 	sm := engine.New()
+	if cfg.ForceHeapQueue {
+		sm.DisableWheel()
+	}
+	// Steady-state event concurrency: each in-flight memory op holds one
+	// event across its pipeline stages, plus per-channel wakeups and swap
+	// engine traffic. Reserving up front keeps append-growth out of the
+	// measured epoch.
+	sm.Reserve(nCores*cfg.CoreConfig.MaxOutstanding*4 + 256)
 	ctl := hmc.NewController(sm, osm, memsim.DRAMConfig(), memsim.NVMConfig(), hmc.DefaultSwapEngineConfig())
 
 	sys := &System{Cfg: cfg, Sim: sm, OS: osm, Ctl: ctl}

@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard trace-demo
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard invariants chaos-smoke chaos fuzz-validate trace-demo
 
 ## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
-## one-shot figure-campaign smoke bench, the alloc-budget guards, and the
-## campaign-throughput regression gate.
-tier1: vet build race benchsmoke allocguard benchguard
+## one-shot figure-campaign smoke bench, the alloc-budget guards, the
+## campaign-throughput regression gate, the invariant-audit gate, and a
+## fault-injection smoke run.
+tier1: vet build race benchsmoke allocguard benchguard invariants chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +51,27 @@ benchguard:
 	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson .benchguard_head.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_campaign.json -head .benchguard_head.json -tolerance 0.10
 	@rm -f .benchguard_head.json
+
+## invariants: the quick campaign's workloads with end-of-run audits and
+## the liveness watchdog armed, asserting Results stay byte-identical to
+## audits-off (the audit observes, never perturbs).
+invariants:
+	PAGESEER_INVARIANTS_FULL=1 $(GO) test -run TestAuditPassesAndMatchesBaseline -count=1 ./internal/sim
+
+## chaos-smoke: one deterministic fault-injection run with audits on —
+## the cheap always-on slice of the chaos matrix.
+chaos-smoke:
+	$(GO) test -run 'TestChaosSmoke|TestChaosDeterministic' -count=1 ./internal/sim
+
+## chaos: the full fault matrix (every injectable fault x scheme x seed,
+## audits on) under the race detector.
+chaos:
+	PAGESEER_CHAOS=1 $(GO) test -race -run 'TestChaosMatrix|TestChaosSmoke' -count=1 ./internal/sim
+
+## fuzz-validate: fuzz Config.Validate — it must never panic and never
+## disagree with Build.
+fuzz-validate:
+	$(GO) test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 20s ./internal/sim
 
 ## trace-demo: produce a sample Perfetto trace + epoch timeline from a
 ## quick run (open trace-demo.json at https://ui.perfetto.dev).

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +50,12 @@ func main() {
 		nobw   = flag.Bool("nobw", false, "disable the Swap Driver bandwidth heuristic")
 		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel runs when multiple workloads are given")
 		list   = flag.Bool("list", false, "list workloads and exit")
+
+		audit     = flag.Bool("audit", false, "run end-of-run invariant audits and the liveness watchdog")
+		fault     = flag.String("fault", "none", "deterministic fault injection: none | swap-exhaustion | meta-thrash | queue-saturation | demand-storm")
+		faultRate = flag.Float64("fault-rate", 0, "fault trigger probability per decision point (0 = kind default)")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
+		dumpDir   = flag.String("crashdump-dir", ".", "directory for per-run crashdump files on failure")
 
 		tracePath  = flag.String("trace", "", "write a Chrome/Perfetto trace of swap lifecycles and MMU hints to this file")
 		tlPath     = flag.String("timeline", "", "write the epoch timeline to this file (.json = JSON, otherwise CSV)")
@@ -98,6 +105,13 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MaxCores = *cores
 	cfg.DisableBWOpt = *nobw
+	cfg.Audit = *audit
+	fk, err := pageseer.ParseFault(*fault)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	cfg.Faults = pageseer.FaultPlan{Kind: fk, Rate: *faultRate, Seed: *faultSeed}
 	cfg.Obs.Trace = *tracePath != ""
 	if *tlPath != "" {
 		cfg.Obs.TimelineEvery = *tlEvery
@@ -135,15 +149,32 @@ func main() {
 	close(work)
 	wg.Wait()
 
+	// Report every run — successes in argument order, failures to stderr
+	// with a crashdump file each — and only then decide the exit code, so
+	// one bad run never hides the others' results.
+	failed := false
 	for i := range wls {
 		if errs[i] != nil {
+			failed = true
 			fmt.Fprintln(os.Stderr, "error:", errs[i])
-			os.Exit(1)
+			var re *pageseer.RunError
+			if errors.As(errs[i], &re) {
+				path := filepath.Join(*dumpDir, fmt.Sprintf("crashdump-%s-%s.txt", re.Workload, re.Scheme))
+				if werr := os.WriteFile(path, []byte(re.Crashdump), 0o644); werr != nil {
+					fmt.Fprintln(os.Stderr, "crashdump:", werr)
+				} else {
+					fmt.Fprintln(os.Stderr, "crashdump written to", path)
+				}
+			}
+			continue
 		}
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Print(reports[i])
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

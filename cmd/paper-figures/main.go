@@ -17,11 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"pageseer/internal/check"
 	"pageseer/internal/figures"
 )
 
@@ -54,6 +56,13 @@ func main() {
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation runs (campaign-level; each run stays single-threaded)")
 		benchJSON = flag.String("benchjson", "", "write per-run wall-clock/throughput records to this JSON file")
 		benchNote = flag.String("benchnote", "", "free-form note recorded in the -benchjson output (e.g. serial-vs-parallel comparison)")
+
+		audit     = flag.Bool("audit", false, "run end-of-run invariant audits and the liveness watchdog on every run")
+		fault     = flag.String("fault", "none", "deterministic fault injection: none | swap-exhaustion | meta-thrash | queue-saturation | demand-storm")
+		faultRate = flag.Float64("fault-rate", 0, "fault trigger probability per decision point (0 = kind default)")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
+		retry     = flag.Bool("retry", false, "retry each failed run once before reporting it as a gap")
+		dumpDir   = flag.String("crashdump-dir", ".", "directory for per-run crashdump files on failure")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -98,6 +107,16 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 	opts.Parallelism = *jobs
+	opts.Audit = *audit
+	opts.Retry = *retry
+	fk, err := check.ParseFault(*fault)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	opts.Faults.Kind = fk
+	opts.Faults.Rate = *faultRate
+	opts.Faults.Seed = *faultSeed
 
 	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl || *lat
 	anyTable := *table1 || *table2 || *table3
@@ -220,6 +239,23 @@ func main() {
 		if err := writeBenchJSON(*benchJSON, r, opts, *jobs, *quick, campaignWall, *benchNote); err != nil {
 			fail(err)
 		}
+	}
+
+	// Failed runs were absorbed as gaps so the rest of the campaign could
+	// finish; report them — with a crashdump file each — and fail the exit
+	// code only now, after every figure and table has printed.
+	if fails := r.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d run(s) failed (their figures show gaps):\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", f.Workload, f.Scheme, f.Err.Cause)
+			path := filepath.Join(*dumpDir, fmt.Sprintf("crashdump-%s-%s.txt", f.Workload, f.Scheme))
+			if err := os.WriteFile(path, []byte(f.Err.Crashdump), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "  crashdump:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "  crashdump written to", path)
+			}
+		}
+		os.Exit(1)
 	}
 }
 

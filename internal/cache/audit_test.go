@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"pageseer/internal/check"
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+)
+
+// blackhole is a Backend that accepts accesses and never completes them —
+// the downstream failure mode the audit has to catch.
+type blackhole struct{}
+
+func (blackhole) Access(l mem.Addr, write bool, meta Meta, done func()) {}
+
+func TestAuditCleanCache(t *testing.T) {
+	sim := engine.New()
+	fm := &fakeMem{sim: sim, latency: 10}
+	c := smallCache(sim, fm)
+	c.Access(0x80, false, Meta{}, nil)
+	c.Access(0x1080, true, Meta{}, nil)
+	sim.Drain(0)
+
+	a := &check.Audit{}
+	c.Audit(a)
+	if !a.OK() {
+		t.Fatalf("clean cache fails audit: %q", a.Violations())
+	}
+}
+
+// TestAuditCatchesLeakedMSHR wedges a miss by never completing it
+// downstream: the MSHR stays allocated, and the audit must say so.
+func TestAuditCatchesLeakedMSHR(t *testing.T) {
+	sim := engine.New()
+	c := smallCache(sim, blackhole{})
+	c.Access(0x80, false, Meta{}, nil)
+	sim.Drain(0)
+
+	a := &check.Audit{}
+	c.Audit(a)
+	if a.OK() {
+		t.Fatal("audit missed a leaked MSHR")
+	}
+	joined := strings.Join(a.Violations(), "\n")
+	if !strings.Contains(joined, "MSHR") {
+		t.Fatalf("violations never mention the MSHR: %q", joined)
+	}
+}

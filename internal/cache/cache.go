@@ -12,6 +12,7 @@ package cache
 import (
 	"fmt"
 
+	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 )
@@ -43,6 +44,29 @@ type Config struct {
 	// lines in L2/L3 only. A PTE access to such a cache is a configuration
 	// error, caught at Access time.
 	AllowPTE bool
+}
+
+// Validate reports whether the geometry describes a buildable cache: a
+// positive size that divides evenly into a power-of-two number of sets.
+// New panics on the same conditions (misconfigured construction inside the
+// simulator is a bug); Validate lets sim.Config.Validate surface the
+// diagnosis as an error before anything is built.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 {
+		return fmt.Errorf("cache %s: size %d bytes is not positive", c.Name, c.SizeBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: %d ways is not positive", c.Name, c.Ways)
+	}
+	nLines := c.SizeBytes / mem.LineSize
+	if nLines%c.Ways != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible into %d ways", c.Name, c.SizeBytes, c.Ways)
+	}
+	nSets := nLines / c.Ways
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets is not a power of two", c.Name, nSets)
+	}
+	return nil
 }
 
 // L1Config, L2Config, L3Config return the paper's Table I cache parameters.
@@ -133,18 +157,18 @@ type Cache struct {
 
 	freeTxn  *cacheTxn
 	freeMSHR *mshr
+	// liveTxn/liveMSHR count pooled records currently checked out. Plain
+	// integer bumps, so the leak audit costs the demand path nothing.
+	liveTxn  int
+	liveMSHR int
 }
 
 // New builds a cache over the given backend.
 func New(sim *engine.Sim, cfg Config, next Backend) *Cache {
-	nLines := cfg.SizeBytes / mem.LineSize
-	if cfg.Ways <= 0 || nLines%cfg.Ways != 0 {
-		panic(fmt.Sprintf("cache %s: size %d not divisible into %d ways", cfg.Name, cfg.SizeBytes, cfg.Ways))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
-	nSets := nLines / cfg.Ways
-	if nSets&(nSets-1) != 0 {
-		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, nSets))
-	}
+	nSets := cfg.SizeBytes / mem.LineSize / cfg.Ways
 	c := &Cache{
 		sim:   sim,
 		cfg:   cfg,
@@ -182,6 +206,7 @@ func (c *Cache) lookup(l mem.Addr) *line {
 }
 
 func (c *Cache) getTxn() *cacheTxn {
+	c.liveTxn++
 	t := c.freeTxn
 	if t == nil {
 		t = &cacheTxn{c: c}
@@ -194,12 +219,14 @@ func (c *Cache) getTxn() *cacheTxn {
 }
 
 func (c *Cache) putTxn(t *cacheTxn) {
+	c.liveTxn--
 	t.line, t.write, t.meta, t.done = 0, false, Meta{}, nil
 	t.next = c.freeTxn
 	c.freeTxn = t
 }
 
 func (c *Cache) getMSHR() *mshr {
+	c.liveMSHR++
 	m := c.freeMSHR
 	if m == nil {
 		m = &mshr{c: c}
@@ -212,6 +239,7 @@ func (c *Cache) getMSHR() *mshr {
 }
 
 func (c *Cache) putMSHR(m *mshr) {
+	c.liveMSHR--
 	for i := range m.waiters {
 		m.waiters[i] = nil
 	}
@@ -321,6 +349,17 @@ func (c *Cache) Contains(addr mem.Addr) bool {
 
 // OutstandingMisses returns the number of live MSHRs (for tests).
 func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
+
+// Audit reports end-of-run invariant violations: a quiesced cache has no
+// outstanding MSHRs and every pooled record back on its free list.
+func (c *Cache) Audit(a *check.Audit) {
+	a.Checkf(len(c.mshrs) == 0,
+		"cache %s: %d MSHR(s) still outstanding at quiescence (leaked miss)", c.cfg.Name, len(c.mshrs))
+	a.Checkf(c.liveMSHR == 0,
+		"cache %s: %d pooled MSHR record(s) never returned", c.cfg.Name, c.liveMSHR)
+	a.Checkf(c.liveTxn == 0,
+		"cache %s: %d pooled access record(s) never returned", c.cfg.Name, c.liveTxn)
+}
 
 // ResetStats zeroes all counters (e.g. after warm-up) without touching
 // cache contents.

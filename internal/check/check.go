@@ -1,0 +1,55 @@
+// Package check provides the simulator's robustness primitives: an
+// invariant-audit collector components report violations into, a
+// deterministic fault injector that forces rare backpressure conditions on
+// purpose, and a liveness watchdog that turns a silently spinning run into
+// a forensic abort.
+//
+// The package is a leaf — it imports only the standard library — so every
+// simulated component (caches, controller, swap engine, managers) can
+// depend on it without cycles.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Audit collects invariant violations from a quiesced system. Components
+// expose an `Audit(*check.Audit)` method that appends one violation per
+// broken rule; the harness flattens them with Err. An Audit is cheap to
+// build and is only ever used off the hot path (end of run, tests).
+type Audit struct {
+	violations []string
+}
+
+// Checkf records a violation (formatted) when ok is false.
+func (a *Audit) Checkf(ok bool, format string, args ...any) {
+	if !ok {
+		a.violations = append(a.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Violationf unconditionally records a violation.
+func (a *Audit) Violationf(format string, args ...any) {
+	a.violations = append(a.violations, fmt.Sprintf(format, args...))
+}
+
+// OK reports whether no violation has been recorded.
+func (a *Audit) OK() bool { return len(a.violations) == 0 }
+
+// Violations returns the recorded violations in insertion order.
+func (a *Audit) Violations() []string { return a.violations }
+
+// Err returns nil when the audit passed, or one error enumerating every
+// violation. The error matches ErrAuditFailed under errors.Is.
+func (a *Audit) Err() error {
+	if len(a.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %d violation(s):\n  %s",
+		ErrAuditFailed, len(a.violations), strings.Join(a.violations, "\n  "))
+}
+
+// ErrAuditFailed is the sentinel wrapped by every failing Audit.Err.
+var ErrAuditFailed = errors.New("invariant audit failed")

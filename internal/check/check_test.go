@@ -1,0 +1,168 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAuditCleanIsOK(t *testing.T) {
+	a := &Audit{}
+	a.Checkf(true, "never recorded")
+	if !a.OK() {
+		t.Fatal("audit with only passing checks is not OK")
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("Err() = %v on a clean audit", err)
+	}
+}
+
+func TestAuditRecordsEveryViolation(t *testing.T) {
+	a := &Audit{}
+	a.Checkf(false, "first %d", 1)
+	a.Violationf("second %s", "two")
+	a.Checkf(true, "not this one")
+	if a.OK() {
+		t.Fatal("audit with violations reports OK")
+	}
+	vs := a.Violations()
+	if len(vs) != 2 || vs[0] != "first 1" || vs[1] != "second two" {
+		t.Fatalf("violations = %q", vs)
+	}
+	err := a.Err()
+	if !errors.Is(err, ErrAuditFailed) {
+		t.Fatalf("Err() = %v, want ErrAuditFailed under errors.Is", err)
+	}
+	if !strings.Contains(err.Error(), "first 1") || !strings.Contains(err.Error(), "second two") {
+		t.Fatalf("Err() drops violations: %v", err)
+	}
+}
+
+func TestParseFaultRoundTrip(t *testing.T) {
+	for _, k := range append(FaultKinds(), FaultNone) {
+		got, err := ParseFault(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseFault(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseFault("meteor-strike"); err == nil {
+		t.Fatal("ParseFault accepted an unknown fault name")
+	}
+}
+
+func TestNewInjectorNilForNone(t *testing.T) {
+	if inj := NewInjector(FaultPlan{}); inj != nil {
+		t.Fatal("NewInjector built an injector for the zero plan")
+	}
+	if inj := NewInjector(FaultPlan{Kind: FaultSwapExhaustion, Seed: 7}); inj == nil {
+		t.Fatal("NewInjector returned nil for an injectable kind")
+	}
+}
+
+// drawAll samples every predicate once, returning a fingerprint of the
+// decisions.
+func drawAll(i *Injector) [4]uint64 {
+	var f [4]uint64
+	if i.SwapStartBlocked() {
+		f[0] = 1
+	}
+	if i.ForceMetaMiss() {
+		f[1] = 1
+	}
+	f[2] = i.IssueStallCycles()
+	f[3] = uint64(i.StormTouches())
+	return f
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	for _, k := range FaultKinds() {
+		plan := FaultPlan{Kind: k, Rate: 0.5, Seed: 42}
+		a, b := NewInjector(plan), NewInjector(plan)
+		for n := 0; n < 1000; n++ {
+			if da, db := drawAll(a), drawAll(b); da != db {
+				t.Fatalf("%s: decision %d diverged: %v vs %v", k, n, da, db)
+			}
+		}
+		if a.Stats() != b.Stats() {
+			t.Fatalf("%s: stats diverged: %+v vs %+v", k, a.Stats(), b.Stats())
+		}
+	}
+}
+
+// TestInjectorKindGating proves two properties at once: predicates of other
+// kinds never fire, and calling them does not advance the RNG — so enabling
+// one fault can never perturb another's decision stream.
+func TestInjectorKindGating(t *testing.T) {
+	plan := FaultPlan{Kind: FaultDemandStorm, Rate: 1, Seed: 9}
+	noisy := NewInjector(plan)
+	quiet := NewInjector(plan)
+	for n := 0; n < 500; n++ {
+		// Foreign predicates on the noisy injector must be inert.
+		if noisy.SwapStartBlocked() || noisy.ForceMetaMiss() || noisy.IssueStallCycles() != 0 {
+			t.Fatal("predicate of a non-selected kind fired")
+		}
+		a, b := noisy.StormTouches(), quiet.StormTouches()
+		if a != b {
+			t.Fatalf("draw %d: foreign predicates perturbed the stream: %d vs %d", n, a, b)
+		}
+		if a < 4 || a > 16 {
+			t.Fatalf("storm touches %d outside [4,16]", a)
+		}
+	}
+	st := noisy.Stats()
+	if st.SwapStartsBlocked != 0 || st.MetaMissesForced != 0 || st.IssueStalls != 0 {
+		t.Fatalf("foreign-fault counters moved: %+v", st)
+	}
+	if st.StormTouches == 0 {
+		t.Fatal("selected fault never counted")
+	}
+}
+
+func TestInjectorRateExtremes(t *testing.T) {
+	always := NewInjector(FaultPlan{Kind: FaultSwapExhaustion, Rate: 1, Seed: 3})
+	for n := 0; n < 100; n++ {
+		if !always.SwapStartBlocked() {
+			t.Fatal("rate 1.0 let a swap start")
+		}
+	}
+	// A non-positive rate means "use the kind's default", never zero.
+	def := NewInjector(FaultPlan{Kind: FaultSwapExhaustion, Seed: 3})
+	if r := def.Plan().Rate; r <= 0 || r > 1 {
+		t.Fatalf("defaulted rate = %g, want (0,1]", r)
+	}
+}
+
+func TestWatchdogAbortsOnStall(t *testing.T) {
+	var progress, now uint64
+	w := NewWatchdog(100, 3, func() uint64 { return progress }, func() uint64 { return now })
+	if w.Window() != 100 {
+		t.Fatalf("Window() = %d", w.Window())
+	}
+
+	w.Tick() // priming sample
+	progress++
+	w.Tick() // progress: strikes reset
+	w.Tick() // strike 1
+	w.Tick() // strike 2
+	progress++
+	w.Tick() // progress again: strikes reset
+	w.Tick() // strike 1
+	w.Tick() // strike 2
+
+	now = 700
+	defer func() {
+		p := recover()
+		se, ok := p.(*StallError)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *StallError", p, p)
+		}
+		if se.Window != 100 || se.Strikes != 3 || se.Progress != 2 || se.Cycle != 700 {
+			t.Fatalf("StallError = %+v", se)
+		}
+		if !strings.Contains(se.Error(), "no forward progress") {
+			t.Fatalf("unhelpful message: %v", se)
+		}
+	}()
+	w.Tick() // strike 3: must panic
+	t.Fatal("watchdog never fired")
+}

@@ -1,0 +1,65 @@
+package check
+
+import "fmt"
+
+// StallError is the panic value the liveness watchdog aborts with: the run
+// kept firing events but made no forward progress for Strikes consecutive
+// windows of Window cycles. The sim layer recovers it into a RunError with
+// full forensics instead of letting the run spin to its event bound.
+type StallError struct {
+	Window   uint64 // cycles per progress check
+	Strikes  int    // consecutive checks without progress
+	Progress uint64 // the progress counter's stuck value
+	Cycle    uint64 // cycle of the aborting check
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("check: no forward progress for %d windows of %d cycles (progress counter stuck at %d, cycle %d)",
+		e.Strikes, e.Window, e.Progress, e.Cycle)
+}
+
+// Watchdog is a cycle-sampled liveness monitor. It rides the engine's
+// watchdog hook: every `window` cycles Tick samples a monotone progress
+// counter (retired instructions plus memory traffic — the drain phase
+// retires nothing but still moves data); `limit` consecutive samples
+// without change abort the run with a *StallError panic. The thresholds
+// must dwarf any legitimate quiet stretch: a swap-heavy drain moves lines
+// every few hundred cycles, so the defaults in sim (hundreds of thousands
+// of cycles per window, tens of strikes) leave orders of magnitude of
+// headroom while still aborting a genuinely wedged run millions of events
+// before maxRunEvents would.
+type Watchdog struct {
+	window   uint64
+	limit    int
+	progress func() uint64
+	now      func() uint64
+
+	last    uint64
+	strikes int
+	primed  bool
+}
+
+// NewWatchdog builds a watchdog sampling progress() every window cycles and
+// aborting after limit unchanged samples. now() supplies the current cycle
+// for the forensic record.
+func NewWatchdog(window uint64, limit int, progress, now func() uint64) *Watchdog {
+	return &Watchdog{window: window, limit: limit, progress: progress, now: now}
+}
+
+// Window returns the sampling period in cycles (for engine hook arming).
+func (w *Watchdog) Window() uint64 { return w.window }
+
+// Tick is the periodic check. It panics with *StallError on a stall.
+func (w *Watchdog) Tick() {
+	cur := w.progress()
+	if !w.primed || cur != w.last {
+		w.primed = true
+		w.last = cur
+		w.strikes = 0
+		return
+	}
+	w.strikes++
+	if w.strikes >= w.limit {
+		panic(&StallError{Window: w.window, Strikes: w.strikes, Progress: cur, Cycle: w.now()})
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pageseer/internal/check"
+	"pageseer/internal/mem"
+)
+
+func TestAuditCleanManager(t *testing.T) {
+	sim, ctl, ps := testRig(testConfig())
+	miss(sim, ctl, 0, nvmPage(ctl, 0))
+	sim.Drain(0)
+	a := &check.Audit{}
+	ps.Audit(a)
+	if !a.OK() {
+		t.Fatalf("clean manager fails audit: %q", a.Violations())
+	}
+}
+
+// TestAuditCatchesRemapDesync plants a one-directional remap entry — the
+// corruption a dropped commit or double-delete would leave behind.
+func TestAuditCatchesRemapDesync(t *testing.T) {
+	_, ctl, ps := testRig(testConfig())
+	ps.remap[nvmPage(ctl, 0)] = mem.PPN(0) // no back-pointer
+
+	a := &check.Audit{}
+	ps.Audit(a)
+	if a.OK() {
+		t.Fatal("audit missed an asymmetric remap entry")
+	}
+	joined := strings.Join(a.Violations(), "\n")
+	if !strings.Contains(joined, "asymmetric") {
+		t.Fatalf("violations never mention the asymmetry: %q", joined)
+	}
+}
+
+// TestAuditCatchesNonCrossingPair plants a symmetric pair that stays on one
+// side of the DRAM/NVM boundary — never legal for a hot/cold exchange.
+func TestAuditCatchesNonCrossingPair(t *testing.T) {
+	_, ctl, ps := testRig(testConfig())
+	n0, n1 := nvmPage(ctl, 0), nvmPage(ctl, 1)
+	ps.remap[n0] = n1
+	ps.remap[n1] = n0
+
+	a := &check.Audit{}
+	ps.Audit(a)
+	if a.OK() {
+		t.Fatal("audit missed an NVM<->NVM remap pair")
+	}
+	joined := strings.Join(a.Violations(), "\n")
+	if !strings.Contains(joined, "cross") {
+		t.Fatalf("violations never mention the boundary: %q", joined)
+	}
+}
+
+// TestAuditCatchesDanglingPending plants a pendingKind index entry with no
+// backing queue record — the leak a mispaired popPending would leave.
+func TestAuditCatchesDanglingPending(t *testing.T) {
+	_, ctl, ps := testRig(testConfig())
+	ps.pendingKind[nvmPage(ctl, 3)] = SwapRegular
+
+	a := &check.Audit{}
+	ps.Audit(a)
+	if a.OK() {
+		t.Fatal("audit missed a dangling pending-swap index entry")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/hmc"
 	"pageseer/internal/mem"
@@ -839,6 +840,56 @@ func (p *PageSeer) SwappedPages() int { return len(p.remap) / 2 }
 func (p *PageSeer) DumpState() string {
 	return fmt.Sprintf("%s: %d pairs swapped, %d in flight, %d pending, swaps=%v",
 		p.Name(), p.SwappedPages(), len(p.inflight), len(p.pendingKind), p.stats.SwapsCompleted)
+}
+
+// Audit reports end-of-run invariant violations against the manager's
+// architectural state. It assumes quiescence after Finish: no swap jobs in
+// flight, every remap entry a symmetric DRAM<->NVM pair over frames the OS
+// actually owns, the Swap Driver's queue index consistent with its queues,
+// and all prefetch-accuracy windows closed.
+func (p *PageSeer) Audit(a *check.Audit) {
+	a.Checkf(len(p.inflight) == 0,
+		"pageseer: %d swap job(s) still in flight at quiescence", len(p.inflight))
+	a.Checkf(len(p.prefTracks) == 0,
+		"pageseer: %d prefetch-accuracy window(s) still open after Finish", len(p.prefTracks))
+	layout := p.ctl.Layout
+	for page, frame := range p.remap {
+		if back, ok := p.remap[frame]; !ok || back != page {
+			a.Violationf("pageseer: remap asymmetric: remap[%#x]=%#x but remap[%#x]=%#x",
+				uint64(page), uint64(frame), uint64(frame), uint64(back))
+			continue // the pair checks below would double-report
+		}
+		if page == frame {
+			a.Violationf("pageseer: page %#x remapped to itself", uint64(page))
+		}
+		if layout.IsDRAM(page.Addr()) == layout.IsDRAM(frame.Addr()) {
+			a.Violationf("pageseer: remap pair %#x<->%#x does not cross the DRAM/NVM boundary",
+				uint64(page), uint64(frame))
+		}
+		if !layout.Contains(page.Addr()) || !layout.Contains(frame.Addr()) {
+			a.Violationf("pageseer: remap pair %#x<->%#x outside physical memory",
+				uint64(page), uint64(frame))
+		}
+		if p.ctl.OS.IsPageTable(page) || p.ctl.OS.IsPageTable(frame) {
+			a.Violationf("pageseer: remap pair %#x<->%#x involves a pinned page-table frame",
+				uint64(page), uint64(frame))
+		}
+	}
+	// The queues may carry stale entries (upgrades append duplicates and
+	// popPending skips them lazily), so the invariant is one-directional:
+	// every indexed request must have a live queue record of its kind.
+	for page, kind := range p.pendingKind {
+		found := false
+		for _, q := range [2][]pendingSwap{p.pendingPref, p.pendingReg} {
+			for _, e := range q {
+				if e.page == page && e.kind == kind {
+					found = true
+				}
+			}
+		}
+		a.Checkf(found,
+			"pageseer: pending request for page %#x (kind %d) has no queue record", uint64(page), kind)
+	}
 }
 
 // ResetStats zeroes the PageSeer counters (e.g. after warm-up). Trained

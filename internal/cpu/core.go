@@ -126,6 +126,10 @@ func (c *Core) Stats() CoreStats { return c.stats }
 // ID returns the core number.
 func (c *Core) ID() int { return c.id }
 
+// Outstanding returns the number of in-flight memory operations (the run
+// auditor asserts it is zero at quiescence).
+func (c *Core) Outstanding() int { return c.outstanding }
+
 // PID returns the process the core runs.
 func (c *Core) PID() int { return c.pid }
 

@@ -9,6 +9,7 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // event is a scheduled closure. seq breaks ties between events scheduled for
@@ -85,6 +86,14 @@ type Sim struct {
 	tickFn    func()
 	tickEvery uint64
 	tickNext  uint64
+
+	// Watchdog hook (SetWatchdog): a second, independent cycle-tick slot so
+	// a liveness monitor can ride the clock even while an observability
+	// sampler owns SetTick. Unlike the tick hook, the watchdog fn may panic
+	// (that is its job); it must not schedule events.
+	wdFn    func()
+	wdEvery uint64
+	wdNext  uint64
 }
 
 // New returns an empty simulator positioned at cycle 0.
@@ -329,6 +338,56 @@ func (s *Sim) SetTick(every uint64, fn func()) {
 	s.tickFn = fn
 }
 
+// SetWatchdog installs fn on the watchdog tick slot with the same firing
+// semantics as SetTick: fn runs at the first executed event on or after
+// each multiple of `every` cycles from now. The slot is separate from
+// SetTick so liveness monitoring composes with the timeline sampler.
+// SetWatchdog(0, nil) disarms.
+func (s *Sim) SetWatchdog(every uint64, fn func()) {
+	if every == 0 || fn == nil {
+		s.wdEvery, s.wdNext, s.wdFn = 0, 0, nil
+		return
+	}
+	s.wdEvery = every
+	s.wdNext = s.now + every
+	s.wdFn = fn
+}
+
+// PendingEvent identifies one queued event for diagnostics.
+type PendingEvent struct {
+	Cycle uint64
+	Seq   uint64
+}
+
+// SnapshotPending returns up to max queued events in (cycle, seq) fire
+// order without disturbing the queue — crashdump forensics for a run that
+// died with work still scheduled.
+func (s *Sim) SnapshotPending(max int) []PendingEvent {
+	if max <= 0 {
+		return nil
+	}
+	evs := make([]PendingEvent, 0, s.Pending())
+	for i := range s.slots {
+		sl := &s.slots[i]
+		for j := sl.head; j < len(sl.events); j++ {
+			evs = append(evs, PendingEvent{Cycle: sl.events[j].cycle, Seq: sl.events[j].seq})
+		}
+	}
+	for _, e := range s.pq {
+		evs = append(evs, PendingEvent{Cycle: e.cycle, Seq: e.seq})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Cycle != evs[j].Cycle {
+			return evs[i].Cycle < evs[j].Cycle
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+	if len(evs) > max {
+		evs = evs[:max]
+	}
+	return evs
+}
+
 // Step executes the next event, advancing the clock to its cycle.
 // It reports whether an event was executed.
 func (s *Sim) Step() bool {
@@ -342,6 +401,12 @@ func (s *Sim) Step() bool {
 		for s.tickNext <= s.now {
 			s.tickNext += s.tickEvery
 		}
+	}
+	if s.wdFn != nil && s.now >= s.wdNext {
+		for s.wdNext <= s.now {
+			s.wdNext += s.wdEvery
+		}
+		s.wdFn()
 	}
 	s.fire++
 	e.fn()

@@ -35,12 +35,18 @@ func Figure7(r *Runner) ([]Figure7Row, error) {
 			for _, wl := range wls {
 				res, err := r.Run(wl, sch)
 				if err != nil {
+					if isGap(err) {
+						continue // failed run: drop it from the suite mean
+					}
 					return nil, err
 				}
 				dd, nn, bb := res.ServiceBreakdown()
 				d = append(d, dd)
 				n = append(n, nn)
 				b = append(b, bb)
+			}
+			if len(d) == 0 {
+				continue // every run of the bar failed: leave a gap
 			}
 			rows = append(rows, Figure7Row{
 				Group: suite, Scheme: sch,
@@ -74,12 +80,18 @@ func Figure8(r *Runner) ([]Figure8Row, error) {
 			for _, wl := range wls {
 				res, err := r.Run(wl, sch)
 				if err != nil {
+					if isGap(err) {
+						continue
+					}
 					return nil, err
 				}
 				pp, nn, uu := res.Effectiveness()
 				p = append(p, pp)
 				n = append(n, nn)
 				u = append(u, uu)
+			}
+			if len(p) == 0 {
+				continue
 			}
 			rows = append(rows, Figure8Row{
 				Group: suite, Scheme: sch,
@@ -103,6 +115,9 @@ func Figure9(r *Runner) ([]Figure9Row, error) {
 	for _, wl := range r.opts.Workloads {
 		res, err := r.Run(wl, sim.SchemePageSeer)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return nil, err
 		}
 		rows = append(rows, Figure9Row{
@@ -129,6 +144,9 @@ func Figure10(r *Runner) ([]Figure10Row, error) {
 	for _, wl := range r.opts.Workloads {
 		res, err := r.Run(wl, sim.SchemePageSeer)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return nil, err
 		}
 		tot := res.PS.TotalSwaps()
@@ -164,14 +182,23 @@ func Figure11(r *Runner) ([]Figure11Row, error) {
 		for _, wl := range wls {
 			a, err := r.Run(wl, sim.SchemePageSeer)
 			if err != nil {
+				if isGap(err) {
+					continue
+				}
 				return nil, err
 			}
 			b, err := r.RunNoBWOpt(wl)
 			if err != nil {
+				if isGap(err) {
+					continue // keep the pair together: drop the workload
+				}
 				return nil, err
 			}
 			with = append(with, a.SwapsPerKI)
 			without = append(without, b.SwapsPerKI)
+		}
+		if len(with) == 0 {
+			continue
 		}
 		rows = append(rows, Figure11Row{Group: suite, WithBW: stats.Mean(with), WithoutBW: stats.Mean(without)})
 	}
@@ -192,6 +219,9 @@ func Figure12(r *Runner) ([]Figure12Row, error) {
 	for _, wl := range r.opts.Workloads {
 		res, err := r.Run(wl, sim.SchemePageSeer)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return nil, err
 		}
 		rows = append(rows, Figure12Row{
@@ -218,10 +248,16 @@ func Figure13(r *Runner) ([]Figure13Row, error) {
 	for _, wl := range r.opts.Workloads {
 		ps, err := r.Run(wl, sim.SchemePageSeer)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return nil, err
 		}
 		pom, err := r.Run(wl, sim.SchemePoM)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return nil, err
 		}
 		red := 0.0
@@ -266,14 +302,23 @@ func Figure14(r *Runner) (Figure14Summary, error) {
 	for _, wl := range r.opts.Workloads {
 		mp, err := r.Run(wl, sim.SchemeMemPod)
 		if err != nil {
+			if isGap(err) {
+				continue // normalisation needs the full triple: drop the workload
+			}
 			return out, err
 		}
 		pom, err := r.Run(wl, sim.SchemePoM)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return out, err
 		}
 		ps, err := r.Run(wl, sim.SchemePageSeer)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return out, err
 		}
 		row := Figure14Row{Workload: wl}
@@ -319,10 +364,16 @@ func Ablation(r *Runner) ([]AblationRow, error) {
 	for _, wl := range r.opts.Workloads {
 		full, err := r.Run(wl, sim.SchemePageSeer)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return nil, err
 		}
 		nc, err := r.Run(wl, sim.SchemePageSeerNoCorr)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return nil, err
 		}
 		sp := 0.0

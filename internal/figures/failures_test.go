@@ -1,0 +1,127 @@
+package figures
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pageseer/internal/sim"
+)
+
+func isolationOptions() Options {
+	return Options{
+		Scale:        128,
+		InstrPerCore: 120_000,
+		Warmup:       60_000,
+		Seed:         1,
+		MaxCores:     2,
+		Workloads:    []string{"lbm", "GemsFDTD"},
+		Parallelism:  2,
+	}
+}
+
+// TestCampaignSurvivesRunPanic is the acceptance test for run isolation: a
+// deliberately injected panic in one (workload, scheme) run must leave a
+// completed campaign — that run reported failed with a crashdump, every
+// other run byte-identical to a clean campaign, and the affected figure
+// showing a gap rather than aborting.
+func TestCampaignSurvivesRunPanic(t *testing.T) {
+	opts := isolationOptions()
+
+	clean := NewRunner(opts)
+	if err := clean.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	simulateHook = func(cfg sim.Config) {
+		if cfg.Workload == "GemsFDTD" && cfg.Scheme == sim.SchemePageSeer && !cfg.DisableBWOpt {
+			panic("figures: injected mid-campaign panic")
+		}
+	}
+	defer func() { simulateHook = nil }()
+
+	faulty := NewRunner(opts)
+	if err := faulty.RunAll(); err != nil {
+		t.Fatalf("one bad run aborted the campaign: %v", err)
+	}
+
+	fails := faulty.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("Failures() = %d entries, want exactly the injected one", len(fails))
+	}
+	f := fails[0]
+	if f.Workload != "GemsFDTD" || f.Scheme != string(sim.SchemePageSeer) {
+		t.Fatalf("failure identity = %s/%s", f.Workload, f.Scheme)
+	}
+	if f.Err == nil || !strings.Contains(f.Err.Cause.Error(), "injected") {
+		t.Fatalf("failure cause = %v", f.Err)
+	}
+	if f.Err.Crashdump == "" {
+		t.Fatal("failure carries no crashdump")
+	}
+
+	// Every unaffected run must be byte-identical to the clean campaign.
+	for _, wl := range opts.Workloads {
+		for _, sch := range []sim.Scheme{sim.SchemePoM, sim.SchemeMemPod, sim.SchemePageSeer, sim.SchemePageSeerNoCorr} {
+			if wl == "GemsFDTD" && sch == sim.SchemePageSeer {
+				continue
+			}
+			want, err1 := clean.Run(wl, sch)
+			got, err2 := faulty.Run(wl, sch)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s/%s: unexpected errors %v / %v", wl, sch, err1, err2)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: results diverged from the clean campaign", wl, sch)
+			}
+		}
+		want, err1 := clean.RunNoBWOpt(wl)
+		got, err2 := faulty.RunNoBWOpt(wl)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s nobw: unexpected errors %v / %v", wl, err1, err2)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s nobw: results diverged from the clean campaign", wl)
+		}
+	}
+
+	// The per-workload PageSeer figure shows a gap, not an abort.
+	rows, err := Figure9(faulty)
+	if err != nil {
+		t.Fatalf("Figure9 refused the gapped campaign: %v", err)
+	}
+	for _, row := range rows {
+		if row.Workload == "GemsFDTD" {
+			t.Fatal("Figure9 fabricated a row for the failed run")
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("Figure9 dropped the surviving workloads too")
+	}
+}
+
+// TestRetryRecoversTransientFailure: with Options.Retry, a run that panics
+// once and then succeeds must land in the campaign as a success.
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	opts := isolationOptions()
+	opts.Workloads = []string{"lbm"}
+	opts.Retry = true
+
+	armed := true
+	simulateHook = func(cfg sim.Config) {
+		if armed && cfg.Workload == "lbm" && cfg.Scheme == sim.SchemePageSeer && !cfg.DisableBWOpt {
+			armed = false
+			panic("figures: transient fault")
+		}
+	}
+	defer func() { simulateHook = nil }()
+
+	r := NewRunner(opts)
+	r.opts.Parallelism = 1 // keep the hook race-free
+	if _, err := r.Run("lbm", sim.SchemePageSeer); err != nil {
+		t.Fatalf("retry did not recover the transient failure: %v", err)
+	}
+	if fails := r.Failures(); len(fails) != 0 {
+		t.Fatalf("recovered run still reported failed: %+v", fails)
+	}
+}

@@ -15,12 +15,15 @@
 package figures
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"pageseer/internal/check"
 	"pageseer/internal/sim"
 	"pageseer/internal/workload"
 )
@@ -44,6 +47,17 @@ type Options struct {
 	// (0 = runtime.GOMAXPROCS(0)). Individual runs are always
 	// single-threaded; parallelism lives strictly between runs.
 	Parallelism int
+
+	// Audit mirrors sim.Config.Audit: every campaign run carries the
+	// liveness watchdog and the end-of-run invariant audit.
+	Audit bool
+	// Faults mirrors sim.Config.Faults: every campaign run executes under
+	// the given deterministic fault-injection plan.
+	Faults check.FaultPlan
+	// Retry re-executes a run once when it fails with a *sim.RunError
+	// before recording it as a campaign gap (for flaky-host triage; a
+	// deterministic failure fails both attempts identically).
+	Retry bool
 }
 
 // DefaultOptions runs the full 26-workload campaign at the default scale.
@@ -146,15 +160,35 @@ func (r *Runner) run(wl string, scheme sim.Scheme, disableBW bool) (sim.Results,
 
 	start := time.Now()
 	e.res, e.err = r.simulate(k)
+	if e.err != nil && r.opts.Retry && isGap(e.err) {
+		e.res, e.err = r.simulate(k)
+	}
 	e.wall = time.Since(start)
 	close(e.done)
 	r.emitProgress(k, e)
 	return e.res, e.err
 }
 
+// simulateHook, when set (tests only), observes every run configuration
+// before the system is built — and may panic, standing in for a mid-campaign
+// crash. It runs inside simulate's recovery scope, so the worker boundary
+// converts the panic into that run's *sim.RunError.
+var simulateHook func(sim.Config)
+
+// isGap reports whether err is one run's structured failure (*sim.RunError),
+// which campaigns absorb as a gap. Anything else — unknown workload, invalid
+// configuration — is a campaign-level error and still aborts.
+func isGap(err error) bool {
+	var re *sim.RunError
+	return errors.As(err, &re)
+}
+
 // simulate executes one run; it holds no Runner locks, so independent keys
-// proceed in parallel.
-func (r *Runner) simulate(k runKey) (sim.Results, error) {
+// proceed in parallel. It is the campaign's isolation boundary: sim.Run
+// already converts in-run panics to *sim.RunError, and the recover here
+// catches anything outside that net (construction, the test hook), so one
+// dying run can never unwind a Prefetch worker and abort the campaign.
+func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
 	cfg := sim.Config{
 		Scheme:       k.scheme,
 		Workload:     k.workload,
@@ -164,12 +198,36 @@ func (r *Runner) simulate(k runKey) (sim.Results, error) {
 		Seed:         r.opts.Seed,
 		MaxCores:     r.opts.MaxCores,
 		DisableBWOpt: k.disableBW,
+		Audit:        r.opts.Audit,
+		Faults:       r.opts.Faults,
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			cause, ok := p.(error)
+			if !ok {
+				cause = fmt.Errorf("panic: %v", p)
+			}
+			stack := debug.Stack()
+			res, err = sim.Results{}, &sim.RunError{
+				Scheme:   k.scheme,
+				Workload: k.workload,
+				Seed:     cfg.Seed,
+				Cause:    cause,
+				Stack:    string(stack),
+				Crashdump: fmt.Sprintf(
+					"pageseer crashdump\nrun: workload=%s scheme=%s seed=%d scale=%d\ncause: %v\n(run died outside the event loop; no system state to dump)\n\nstack:\n%s",
+					k.workload, schemeLabel(k.scheme, k.disableBW), cfg.Seed, cfg.Scale, cause, stack),
+			}
+		}
+	}()
+	if simulateHook != nil {
+		simulateHook(cfg)
 	}
 	sys, err := sim.Build(cfg)
 	if err != nil {
 		return sim.Results{}, err
 	}
-	res, err := sys.Run()
+	res, err = sys.Run()
 	if err != nil {
 		return sim.Results{}, fmt.Errorf("figures: %s/%s: %w", k.workload, k.scheme, err)
 	}
@@ -188,6 +246,9 @@ func (r *Runner) emitProgress(k runKey, e *runEntry) {
 		d, n, b := e.res.ServiceBreakdown()
 		line = fmt.Sprintf("ran %-12s %-16s ipc=%.3f ammat=%.0f dram/nvm/buf=%.2f/%.2f/%.3f\n",
 			k.workload, schemeLabel(k.scheme, k.disableBW), e.res.IPC, e.res.AMMAT, d, n, b)
+	} else {
+		line = fmt.Sprintf("FAIL %-12s %-16s %v\n",
+			k.workload, schemeLabel(k.scheme, k.disableBW), e.err)
 	}
 	r.progressMu.Lock()
 	defer r.progressMu.Unlock()
@@ -251,8 +312,11 @@ func (r *Runner) keys(n Needs) []runKey {
 func (r *Runner) RunAll() error { return r.Prefetch(AllNeeds()) }
 
 // Prefetch fans the selected run families across Parallelism workers.
-// Results land in the cache; the first error (in campaign order) is
-// returned after every worker finishes. Runs already cached are reused.
+// Results land in the cache; every worker finishes regardless of failures.
+// Per-run failures (*sim.RunError) are absorbed — they surface as gaps in
+// the figures and through Failures() — so one crashed run cannot abort the
+// campaign. The first campaign-level error (unknown workload, invalid
+// configuration) in campaign order is returned.
 func (r *Runner) Prefetch(n Needs) error {
 	keys := r.keys(n)
 	if len(keys) == 0 {
@@ -310,11 +374,47 @@ func (r *Runner) Prefetch(n Needs) error {
 	close(jobs)
 	wg.Wait()
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !isGap(err) {
 			return err
 		}
 	}
 	return nil
+}
+
+// RunFailure is one failed campaign run, for end-of-campaign reporting.
+type RunFailure struct {
+	Workload string
+	Scheme   string // display label (includes the -nobw variant)
+	Err      *sim.RunError
+}
+
+// Failures returns every completed campaign run that failed with a
+// *sim.RunError, in canonical campaign order. CLIs render these after the
+// figures and use the embedded crashdumps for triage files.
+func (r *Runner) Failures() []RunFailure {
+	var fs []RunFailure
+	for _, k := range r.keys(AllNeeds()) {
+		r.mu.Lock()
+		e, ok := r.cache[k]
+		r.mu.Unlock()
+		if !ok {
+			continue
+		}
+		select {
+		case <-e.done:
+		default:
+			continue // still in flight
+		}
+		var re *sim.RunError
+		if e.err != nil && errors.As(e.err, &re) {
+			fs = append(fs, RunFailure{
+				Workload: k.workload,
+				Scheme:   schemeLabel(k.scheme, k.disableBW),
+				Err:      re,
+			})
+		}
+	}
+	return fs
 }
 
 // RunMetric is one run's perf record for the campaign bench trajectory

@@ -23,6 +23,9 @@ func LatencyTable(r *Runner) ([]LatencyRow, error) {
 	for _, wl := range r.opts.Workloads {
 		res, err := r.Run(wl, sim.SchemePageSeer)
 		if err != nil {
+			if isGap(err) {
+				continue
+			}
 			return nil, err
 		}
 		rows = append(rows, LatencyRow{Workload: wl, Latency: res.Latency})

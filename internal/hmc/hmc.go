@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"pageseer/internal/cache"
+	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 	"pageseer/internal/memsim"
@@ -133,6 +134,11 @@ type Controller struct {
 	mgr     Manager
 	stats   Stats
 	freeReq *Request
+	liveReq int // pooled request records currently checked out
+
+	// inj (nil when no fault plan is active) forces rare conditions at the
+	// controller's decision points; see check.Injector.
+	inj *check.Injector
 
 	// Observability sinks, both nil-guarded: a controller without them
 	// pays one branch per request and zero allocations (the obs package's
@@ -189,11 +195,24 @@ func (c *Controller) SetTracer(t *obs.Tracer) {
 // Tracer returns the attached tracer (nil when tracing is off).
 func (c *Controller) Tracer() *obs.Tracer { return c.trace }
 
+// SetInjector attaches a fault injector to the controller and its swap
+// engine (nil detaches). Installed by sim.Build when a fault plan is
+// active; the metadata caches are wired separately, since the managers own
+// them.
+func (c *Controller) SetInjector(i *check.Injector) {
+	c.inj = i
+	c.Engine.inj = i
+}
+
+// Injector returns the attached fault injector (nil when injection is off).
+func (c *Controller) Injector() *check.Injector { return c.inj }
+
 // getRequest pops a pooled record, minting (and binding its completion
 // closures) only while the pool warms. Fields are reset here, not at
 // release, so a freed record keeps served=true until reuse — a stale
 // double-completion in the window between free and reuse still panics.
 func (c *Controller) getRequest() *Request {
+	c.liveReq++
 	r := c.freeReq
 	if r == nil {
 		r = &Request{ctl: c}
@@ -215,6 +234,7 @@ func (c *Controller) getRequest() *Request {
 }
 
 func (c *Controller) putRequest(r *Request) {
+	c.liveReq--
 	r.Line, r.Write, r.Meta, r.Arrival = 0, false, cache.Meta{}, 0
 	r.done = nil
 	r.next = c.freeReq
@@ -251,8 +271,19 @@ func (c *Controller) MMUHint(h mmu.Hint) { c.mgr.MMUHint(h) }
 
 // IssueLine routes one line access to the owning memory module, adapting
 // priorities. It is the only path to the timing models, so swap traffic,
-// metadata fills, and demand misses all contend on the same channels.
+// metadata fills, and demand misses all contend on the same channels — and
+// the single place a queue-saturation fault can delay everything at once.
 func (c *Controller) IssueLine(addr mem.Addr, write bool, prio Priority, done func()) {
+	if c.inj != nil {
+		if d := c.inj.IssueStallCycles(); d > 0 {
+			c.Sim.After(d, func() { c.issueLine(addr, write, prio, done) })
+			return
+		}
+	}
+	c.issueLine(addr, write, prio, done)
+}
+
+func (c *Controller) issueLine(addr mem.Addr, write bool, prio Priority, done func()) {
 	mprio := memsim.PrioDemand
 	if prio == PrioSwap {
 		mprio = memsim.PrioSwap
@@ -439,6 +470,25 @@ func (c *Controller) FrozenByDMA(p mem.PPN) bool { return c.frozen[p] }
 // VerifyIntegrity checks the manager's translation state against the
 // oracle. It is cheap enough for tests but is not called on hot paths.
 func (c *Controller) VerifyIntegrity() error { return c.mgr.CheckIntegrity() }
+
+// Audit reports end-of-run invariant violations: every request completed
+// and its pooled record returned, no page left frozen, and service-source
+// conservation — each data-demand request was served by exactly one of
+// DRAM, NVM, or the swap buffers.
+func (c *Controller) Audit(a *check.Audit) {
+	a.Checkf(c.liveReq == 0,
+		"hmc: %d pooled request record(s) never completed", c.liveReq)
+	a.Checkf(len(c.frozen) == 0,
+		"hmc: %d page(s) still frozen by DMA at quiescence", len(c.frozen))
+	served := c.stats.ServedDRAM + c.stats.ServedNVM + c.stats.ServedBuf
+	a.Checkf(served == c.stats.DataDemand,
+		"hmc: service conservation broken: DRAM+NVM+buf = %d served of %d data-demand requests",
+		served, c.stats.DataDemand)
+	eff := c.stats.Positive + c.stats.Negative + c.stats.Neutral
+	a.Checkf(eff == c.stats.DataDemand,
+		"hmc: effectiveness conservation broken: pos+neg+neu = %d of %d data-demand requests",
+		eff, c.stats.DataDemand)
+}
 
 // ResetStats zeroes the controller counters and the attached latency
 // histograms (e.g. after warm-up).

@@ -3,6 +3,7 @@ package hmc
 import (
 	"fmt"
 
+	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 )
@@ -47,6 +48,26 @@ type MetaCacheConfig struct {
 	Background bool
 }
 
+// Validate reports whether the geometry describes a buildable metadata
+// cache. NewMetaCache panics on the same conditions; Validate lets
+// sim.Config.Validate surface the diagnosis as an error before anything is
+// built.
+func (c MetaCacheConfig) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("hmc: meta cache %s: %d entries is not positive", c.Name, c.Entries)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("hmc: meta cache %s: %d ways is not positive", c.Name, c.Ways)
+	}
+	if c.Entries/c.Ways < 1 {
+		return fmt.Errorf("hmc: meta cache %s has %d entries < %d ways", c.Name, c.Entries, c.Ways)
+	}
+	if c.EntriesPerLine < 0 {
+		return fmt.Errorf("hmc: meta cache %s: %d entries per line is negative", c.Name, c.EntriesPerLine)
+	}
+	return nil
+}
+
 // MetaCacheStats counts cache activity. WaitCycles accumulates, over all
 // Access calls that missed, the cycles between the access and the fill —
 // the quantity Figure 13 reports for the PRTc.
@@ -84,7 +105,13 @@ type MetaCache struct {
 	freeTxn   *metaTxn
 	freeFetch *fetchTxn
 	freeWs    [][]func()
+	liveTxn   int // pooled access records checked out
+	liveFetch int // pooled fetch records checked out
 	stats     MetaCacheStats
+
+	// inj (nil when off) forces resident entries to refetch (thrash); set
+	// through Controller.SetInjector or SetInjector directly.
+	inj *check.Injector
 }
 
 // metaTxn carries one Access across the SRAM probe (and, on a miss, the
@@ -106,6 +133,7 @@ type metaTxn struct {
 }
 
 func (c *MetaCache) getTxn() *metaTxn {
+	c.liveTxn++
 	t := c.freeTxn
 	if t == nil {
 		t = &metaTxn{c: c}
@@ -119,6 +147,7 @@ func (c *MetaCache) getTxn() *metaTxn {
 }
 
 func (c *MetaCache) putTxn(t *metaTxn) {
+	c.liveTxn--
 	t.key, t.dirty, t.urgent, t.start, t.done = 0, false, false, 0, nil
 	t.next = c.freeTxn
 	c.freeTxn = t
@@ -134,6 +163,7 @@ type fetchTxn struct {
 }
 
 func (c *MetaCache) getFetch() *fetchTxn {
+	c.liveFetch++
 	t := c.freeFetch
 	if t == nil {
 		t = &fetchTxn{c: c}
@@ -146,6 +176,7 @@ func (c *MetaCache) getFetch() *fetchTxn {
 }
 
 func (c *MetaCache) putFetch(t *fetchTxn) {
+	c.liveFetch--
 	t.lk = 0
 	t.next = c.freeFetch
 	c.freeFetch = t
@@ -171,13 +202,13 @@ func (c *MetaCache) putWs(ws []func()) {
 
 // NewMetaCache builds a metadata cache over a DRAM region.
 func NewMetaCache(sim *engine.Sim, cfg MetaCacheConfig, region MetaRegion, issue IssueFunc) *MetaCache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if cfg.EntriesPerLine < 1 {
 		cfg.EntriesPerLine = 1
 	}
 	nSets := cfg.Entries / cfg.Ways
-	if nSets < 1 {
-		panic(fmt.Sprintf("hmc: meta cache %s has %d entries < %d ways", cfg.Name, cfg.Entries, cfg.Ways))
-	}
 	c := &MetaCache{
 		sim:     sim,
 		cfg:     cfg,
@@ -235,14 +266,20 @@ func (c *MetaCache) Access(key uint64, dirty bool, done func()) {
 // callback; misses park it on the pending line fetch (fillStage releases).
 func (c *MetaCache) lookStage(t *metaTxn) {
 	if l := c.find(t.key); l != nil {
-		c.stats.Hits++
-		c.touch(l, t.dirty)
-		done := t.done
-		c.putTxn(t)
-		if done != nil {
-			done()
+		// Thrash injection treats the hit as a miss WITHOUT invalidating the
+		// line (dropping a dirty line here would silently lose its
+		// writeback): the access takes the full fetch path and fillStage
+		// finds the entry already resident.
+		if c.inj == nil || !c.inj.ForceMetaMiss() {
+			c.stats.Hits++
+			c.touch(l, t.dirty)
+			done := t.done
+			c.putTxn(t)
+			if done != nil {
+				done()
+			}
+			return
 		}
-		return
 	}
 	c.stats.Misses++
 	t.start = c.sim.Now()
@@ -381,6 +418,20 @@ func (c *MetaCache) touch(l *metaLine, dirty bool) {
 	if dirty {
 		l.dirty = true
 	}
+}
+
+// SetInjector wires a fault injector (nil disables).
+func (c *MetaCache) SetInjector(i *check.Injector) { c.inj = i }
+
+// Audit reports end-of-run invariant violations: a quiesced metadata cache
+// has no pending line fetches and every pooled record back on its free list.
+func (c *MetaCache) Audit(a *check.Audit) {
+	a.Checkf(len(c.pending) == 0,
+		"meta cache %s: %d line fetch(es) still pending at quiescence", c.cfg.Name, len(c.pending))
+	a.Checkf(c.liveTxn == 0,
+		"meta cache %s: %d pooled access record(s) never returned", c.cfg.Name, c.liveTxn)
+	a.Checkf(c.liveFetch == 0,
+		"meta cache %s: %d pooled fetch record(s) never returned", c.cfg.Name, c.liveFetch)
 }
 
 // ResetStats zeroes the cache counters (e.g. after warm-up) without

@@ -2,7 +2,9 @@ package hmc
 
 import (
 	"fmt"
+	"sort"
 
+	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 	"pageseer/internal/obs"
@@ -177,7 +179,13 @@ type SwapEngine struct {
 	freeOp    *runningOp
 	freeLine  *opLine
 	freeWs    [][]func()
+	liveOp    int // pooled op records checked out
+	liveLine  int // pooled line records checked out
 	stats     SwapEngineStats
+
+	// inj (nil when off) forces buffer exhaustion and demand storms; set
+	// through Controller.SetInjector.
+	inj *check.Injector
 
 	// tracer (nil when off) receives the transfer span of every op; opSeq
 	// spreads concurrent ops across MaxOps trace tracks.
@@ -203,6 +211,7 @@ func NewSwapEngine(sim *engine.Sim, cfg SwapEngineConfig, issue IssueFunc, promo
 }
 
 func (e *SwapEngine) getOp() *runningOp {
+	e.liveOp++
 	r := e.freeOp
 	if r == nil {
 		r = &runningOp{
@@ -219,6 +228,7 @@ func (e *SwapEngine) getOp() *runningOp {
 }
 
 func (e *SwapEngine) putOp(r *runningOp) {
+	e.liveOp--
 	clear(r.lines)
 	for i := range r.order {
 		r.order[i] = r.order[i][:0]
@@ -232,6 +242,7 @@ func (e *SwapEngine) putOp(r *runningOp) {
 }
 
 func (e *SwapEngine) getLine() *opLine {
+	e.liveLine++
 	l := e.freeLine
 	if l == nil {
 		l = &opLine{e: e}
@@ -262,6 +273,7 @@ func (e *SwapEngine) putWs(ws []func()) {
 }
 
 func (e *SwapEngine) putLine(l *opLine) {
+	e.liveLine--
 	l.r = nil
 	l.status = lineUnissued
 	l.stage, l.src, l.dst = 0, 0, 0
@@ -281,7 +293,7 @@ func (e *SwapEngine) CanStart() bool { return len(e.running) < e.cfg.MaxOps }
 // Start begins executing op. It returns false (and counts a rejection) when
 // all swap buffers are busy; the caller decides whether to queue or drop.
 func (e *SwapEngine) Start(op *Op) bool {
-	if !e.CanStart() {
+	if !e.CanStart() || (e.inj != nil && e.inj.SwapStartBlocked()) {
 		e.stats.OpsRejected++
 		return false
 	}
@@ -337,8 +349,34 @@ func (e *SwapEngine) Start(op *Op) bool {
 	e.running[r] = struct{}{}
 	e.stats.OpsStarted++
 	e.startStage(r)
+	if e.inj != nil {
+		e.injectStorm(r)
+	}
 	return true
 }
+
+// injectStorm schedules a burst of synthetic demand interceptions at the
+// first-stage source lines of a just-started op, staggered a cycle apart so
+// they land across the buffered/issued/unissued states. Each touch goes
+// through TryService like a real post-translation demand access; a touch
+// that arrives after the op completed simply misses lineOwner and is a no-op.
+func (e *SwapEngine) injectStorm(r *runningOp) {
+	n := e.inj.StormTouches()
+	if n == 0 || len(r.order) == 0 {
+		return
+	}
+	order := r.order[0]
+	if n > len(order) {
+		n = len(order)
+	}
+	for j := 0; j < n; j++ {
+		src := order[j]
+		e.sim.After(uint64(j)+1, func() { e.TryService(src, stormSink) })
+	}
+}
+
+// stormSink swallows the completion of an injected storm touch.
+func stormSink() {}
 
 func (e *SwapEngine) startStage(r *runningOp) {
 	st := r.op.Stages[r.stage]
@@ -515,6 +553,45 @@ func (e *SwapEngine) addWaiter(r *runningOp, src mem.Addr, done func()) {
 func (e *SwapEngine) Involved(addr mem.Addr) bool {
 	_, ok := e.lineOwner[mem.LineOf(addr)]
 	return ok
+}
+
+// Audit reports end-of-run invariant violations: a quiesced engine has no
+// running ops, no intercepted lines, every pooled record back on its free
+// list, and as many completions as starts (stats reset only at quiescence,
+// so the two counters cover the same set of ops).
+func (e *SwapEngine) Audit(a *check.Audit) {
+	a.Checkf(len(e.running) == 0,
+		"swap engine: %d op(s) still running at quiescence", len(e.running))
+	a.Checkf(len(e.lineOwner) == 0,
+		"swap engine: %d line(s) still intercepted with no running op", len(e.lineOwner))
+	a.Checkf(e.liveOp == 0,
+		"swap engine: %d pooled op record(s) never returned", e.liveOp)
+	a.Checkf(e.liveLine == 0,
+		"swap engine: %d pooled line record(s) never returned", e.liveLine)
+	a.Checkf(e.stats.OpsStarted == e.stats.OpsCompleted,
+		"swap engine: %d op(s) started but %d completed", e.stats.OpsStarted, e.stats.OpsCompleted)
+}
+
+// DescribeRunning renders every in-flight op for a crashdump, sorted so the
+// output is deterministic despite map iteration.
+func (e *SwapEngine) DescribeRunning() []string {
+	out := make([]string, 0, len(e.running))
+	for r := range e.running {
+		waiters := 0
+		for _, ws := range r.waiters {
+			waiters += len(ws)
+		}
+		label := r.op.Label
+		if label == "" {
+			label = "swap"
+		}
+		out = append(out, fmt.Sprintf(
+			"op %q tag=%d began=%d stage=%d/%d readsLeft=%d writesLeft=%d inflight=%d waiters=%d",
+			label, r.op.Tag, r.began, r.stage+1, len(r.op.Stages),
+			r.readsLeft, r.writesLeft, r.inflight, waiters))
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ResetStats zeroes the engine counters (e.g. after warm-up); running

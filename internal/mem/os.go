@@ -72,17 +72,37 @@ func (o *OS) IsPageTable(p PPN) bool {
 	return ok
 }
 
+// WalkError is the panic value WalkVA aborts with when a translation cannot
+// be completed: it carries the faulting (pid, va) so the run-isolation layer
+// can report which access died instead of a bare allocator error. Unwrap
+// exposes the underlying cause (e.g. out-of-memory from the allocator).
+type WalkError struct {
+	PID int
+	VA  VAddr
+	Err error
+}
+
+func (e *WalkError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("mem: walk for unknown pid %d (va %#x)", e.PID, uint64(e.VA))
+	}
+	return fmt.Sprintf("mem: walk failed for pid %d va %#x: %v", e.PID, uint64(e.VA), e.Err)
+}
+
+func (e *WalkError) Unwrap() error { return e.Err }
+
 // WalkVA performs a software-visible translation for pid/va, mapping the
 // page (and any missing table levels) on first touch. The returned Walk
 // carries the physical entry addresses the hardware walker will read.
+// Failure panics with *WalkError; the sim layer recovers it into a RunError.
 func (o *OS) WalkVA(pid int, va VAddr) Walk {
 	as, ok := o.procs[pid]
 	if !ok {
-		panic(fmt.Sprintf("mem: walk for unknown pid %d", pid))
+		panic(&WalkError{PID: pid, VA: va})
 	}
 	w, _, err := as.Touch(va)
 	if err != nil {
-		panic(err)
+		panic(&WalkError{PID: pid, VA: va, Err: err})
 	}
 	return w
 }

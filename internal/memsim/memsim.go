@@ -20,6 +20,7 @@ package memsim
 import (
 	"fmt"
 
+	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 )
@@ -179,6 +180,7 @@ type Module struct {
 	chans   []channel
 	stats   Stats
 	freeReq *request
+	liveReq int // pooled request records checked out
 
 	// derived, in CPU cycles
 	tCAS, tRCD, tRAS, tRP, tWR, burst uint64
@@ -224,6 +226,7 @@ func New(sim *engine.Sim, cfg Config, base mem.Addr, size uint64) *Module {
 }
 
 func (m *Module) getReq() *request {
+	m.liveReq++
 	r := m.freeReq
 	if r == nil {
 		r = &request{}
@@ -236,6 +239,7 @@ func (m *Module) getReq() *request {
 }
 
 func (m *Module) putReq(r *request) {
+	m.liveReq--
 	r.addr, r.write, r.prio, r.arrival, r.bypass, r.done = 0, false, 0, 0, 0, nil
 	r.next = m.freeReq
 	m.freeReq = r
@@ -323,6 +327,15 @@ func (m *Module) Backlog() (queued int, busAhead uint64) {
 		}
 	}
 	return queued, busAhead
+}
+
+// Audit reports end-of-run invariant violations: a quiesced module has empty
+// channel queues and every pooled request record back on its free list.
+func (m *Module) Audit(a *check.Audit) {
+	a.Checkf(m.QueueOccupancy() == 0,
+		"memsim %s: %d request(s) still queued at quiescence", m.cfg.Name, m.QueueOccupancy())
+	a.Checkf(m.liveReq == 0,
+		"memsim %s: %d pooled request record(s) never completed", m.cfg.Name, m.liveReq)
 }
 
 // Access enqueues a line access. done runs at completion time (may be nil).

@@ -2,6 +2,7 @@ package mmu
 
 import (
 	"pageseer/internal/cache"
+	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 )
@@ -93,6 +94,7 @@ type MMU struct {
 	hinter   Hinter
 
 	freeTxn *transTxn
+	liveTxn int // pooled translation records checked out
 
 	// Single-walker state: the paper's cores have one page walker, so walks
 	// serialise and one reusable record suffices.
@@ -140,6 +142,7 @@ func New(sim *engine.Sim, osm *mem.OS, core, pid int, cfg Config, walkPort cache
 }
 
 func (m *MMU) getTxn() *transTxn {
+	m.liveTxn++
 	t := m.freeTxn
 	if t == nil {
 		t = &transTxn{m: m}
@@ -153,6 +156,7 @@ func (m *MMU) getTxn() *transTxn {
 }
 
 func (m *MMU) putTxn(t *transTxn) {
+	m.liveTxn--
 	t.va, t.done = 0, nil
 	t.next = m.freeTxn
 	m.freeTxn = t
@@ -280,6 +284,20 @@ func (m *MMU) walkStep() {
 	m.putTxn(t)
 	done(leaf)
 	m.startNextWalk()
+}
+
+// Audit reports end-of-run invariant violations: a quiesced MMU has an idle
+// walker, an empty walk queue, and every pooled translation record back on
+// its free list.
+func (m *MMU) Audit(a *check.Audit) {
+	a.Checkf(!m.walking,
+		"mmu core %d: page walker still busy at quiescence", m.core)
+	a.Checkf(len(m.walkQ) == 0,
+		"mmu core %d: %d translation(s) still queued for the walker", m.core, len(m.walkQ))
+	a.Checkf(m.wkTxn == nil,
+		"mmu core %d: walk record still checked out", m.core)
+	a.Checkf(m.liveTxn == 0,
+		"mmu core %d: %d pooled translation record(s) never returned", m.core, m.liveTxn)
 }
 
 // ResetStats zeroes the MMU counters (e.g. after warm-up), keeping TLB and

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"pageseer/internal/check"
+	"pageseer/internal/hmc"
+)
+
+// auditable is the shape every component with end-of-run invariants exposes.
+type auditable interface {
+	Audit(a *check.Audit)
+}
+
+// CheckInvariants audits the quiesced system after a run: the event queue is
+// empty, every core retired its budget and drained its window, no cache or
+// controller structure leaked a pooled record or an outstanding miss, the
+// swap engine completed every op it started, the memory queues are empty,
+// the manager's architectural state is self-consistent, and the demand
+// counters balance (every data-demand request served exactly once, every
+// core memory op turned into exactly one L1 access). It returns nil on a
+// clean system or one error listing every violation (matching
+// check.ErrAuditFailed under errors.Is).
+//
+// The audit reads state; it never mutates, schedules, or allocates on any
+// simulated path — with Config.Audit off, none of this code runs at all.
+func (s *System) CheckInvariants() error {
+	a := &check.Audit{}
+	a.Checkf(s.Sim.Pending() == 0,
+		"engine: %d event(s) still queued after drain", s.Sim.Pending())
+
+	var memOps, l1Accesses uint64
+	for i, c := range s.Cores {
+		st := c.Stats()
+		a.Checkf(st.Done, "core %d: budget not retired at end of run", i)
+		a.Checkf(c.Outstanding() == 0,
+			"core %d: %d memory op(s) still in flight at quiescence", i, c.Outstanding())
+		memOps += st.MemOps
+		l1Accesses += c.L1().Stats().Accesses
+		c.MMU().Audit(a)
+		c.L1().Audit(a)
+		s.L2s[i].Audit(a)
+	}
+	a.Checkf(memOps == l1Accesses,
+		"cores: %d memory op(s) retired but %d L1 accesses recorded", memOps, l1Accesses)
+
+	s.L3.Audit(a)
+	s.Ctl.Audit(a)
+	s.Ctl.Engine.Audit(a)
+	s.Ctl.DRAM.Audit(a)
+	s.Ctl.NVM.Audit(a)
+	for _, mc := range s.metaCaches() {
+		mc.Audit(a)
+	}
+	if m, ok := s.Ctl.Manager().(auditable); ok {
+		m.Audit(a)
+	}
+	return a.Err()
+}
+
+// metaCaches returns the installed scheme's on-controller metadata caches
+// (for injector wiring and auditing).
+func (s *System) metaCaches() []*hmc.MetaCache {
+	switch {
+	case s.PageSeer != nil:
+		return []*hmc.MetaCache{s.PageSeer.PRTc(), s.PageSeer.PCTc()}
+	case s.PoM != nil:
+		return []*hmc.MetaCache{s.PoM.SRC()}
+	case s.MemPod != nil:
+		return []*hmc.MetaCache{s.MemPod.RemapCache()}
+	case s.CAMEO != nil:
+		return []*hmc.MetaCache{s.CAMEO.RemapCache()}
+	}
+	return nil
+}

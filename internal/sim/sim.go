@@ -6,8 +6,10 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"pageseer/internal/cache"
+	"pageseer/internal/check"
 	"pageseer/internal/cameo"
 	"pageseer/internal/core"
 	"pageseer/internal/cpu"
@@ -81,6 +83,22 @@ type Config struct {
 	// cannot perturb Results — which stay byte-identical whether these
 	// sinks are on or off.
 	Obs ObsOptions
+
+	// Audit arms the robustness instrumentation: a liveness watchdog during
+	// the run (a stretch of cycles with no retired instructions and no
+	// memory traffic aborts with forensics instead of spinning to the event
+	// bound) and a full invariant audit at the end (see CheckInvariants).
+	// Auditing reads counters that are maintained unconditionally as plain
+	// integer updates, so Results are byte-identical with it on or off and
+	// the demand path allocates nothing either way.
+	Audit bool
+
+	// Faults selects a deterministic fault-injection campaign (the zero
+	// value injects nothing). Injection *does* change behaviour — that is
+	// its purpose — but deterministically: decisions depend only on
+	// (Faults.Seed, decision index), so a faulted run is exactly as
+	// repeatable as a clean one.
+	Faults check.FaultPlan
 
 	// pageSeerCfg overrides the scaled default PageSeer configuration
 	// (set via BuildWithPageSeerConfig).
@@ -170,6 +188,9 @@ func BuildWithPageSeerConfig(cfg Config, pcfg core.Config) (*System, error) {
 
 // Build assembles a system for cfg.
 func Build(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Scale < 1 {
 		cfg.Scale = 1
 	}
@@ -224,6 +245,13 @@ func Build(cfg Config) (*System, error) {
 	default:
 		if err := installScheme(cfg, sys, ctl); err != nil {
 			return nil, err
+		}
+	}
+	if inj := check.NewInjector(cfg.Faults); inj != nil {
+		// Wire after the manager so the scheme's metadata caches exist.
+		ctl.SetInjector(inj)
+		for _, mc := range sys.metaCaches() {
+			mc.SetInjector(inj)
 		}
 	}
 
@@ -466,8 +494,48 @@ func (s *System) completedSwaps() uint64 {
 	return 0
 }
 
+// Watchdog thresholds: with the default timing parameters a run that is
+// alive moves data at least every few hundred cycles, so 25 consecutive
+// silent windows of 200k cycles (5M cycles total) leave orders of magnitude
+// of headroom over any legitimate quiet stretch while aborting a wedged run
+// long before maxRunEvents would.
+const (
+	watchdogWindow  = 200_000
+	watchdogStrikes = 25
+)
+
+// progress is the watchdog's monotone liveness counter: retired instructions
+// plus memory-module traffic. The drain phase retires no instructions but
+// still moves swap and writeback data, so either term advancing counts.
+func (s *System) progress() uint64 {
+	var p uint64
+	for _, c := range s.Cores {
+		p += c.Stats().Instructions
+	}
+	ds, ns := s.Ctl.DRAM.Stats(), s.Ctl.NVM.Stats()
+	return p + ds.Reads + ds.Writes + ns.Reads + ns.Writes
+}
+
 // Run executes warm-up then measurement and returns the results.
-func (s *System) Run() (Results, error) {
+//
+// Run never panics: any panic from the event loop (a component invariant, a
+// walk failure, a watchdog stall) is recovered into a *RunError carrying the
+// run's identity, the cycle and queue state at death, the stack, and a
+// rendered crashdump — so a campaign harness can report the run as failed
+// and keep going. With Cfg.Audit set, a liveness watchdog rides the engine
+// clock during the run and CheckInvariants audits the quiesced system after
+// it; audit violations also surface as a *RunError.
+func (s *System) Run() (res Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = Results{}, s.recoverRunError(p, debug.Stack())
+		}
+	}()
+	if s.Cfg.Audit {
+		wd := check.NewWatchdog(watchdogWindow, watchdogStrikes, s.progress, s.Sim.Now)
+		s.Sim.SetWatchdog(wd.Window(), wd.Tick)
+		defer s.Sim.SetWatchdog(0, nil)
+	}
 	if s.Cfg.Warmup > 0 {
 		s.runPhase(s.Cfg.Warmup)
 		s.resetStats()
@@ -488,7 +556,12 @@ func (s *System) Run() (Results, error) {
 		s.Timeline.Finish()
 	}
 	if err := s.Ctl.VerifyIntegrity(); err != nil {
-		return Results{}, fmt.Errorf("sim: integrity check failed after run: %w", err)
+		return Results{}, s.failRun(fmt.Errorf("sim: integrity check failed after run: %w", err), nil)
+	}
+	if s.Cfg.Audit {
+		if err := s.CheckInvariants(); err != nil {
+			return Results{}, s.failRun(err, nil)
+		}
 	}
 	r := s.collect(start)
 	r.EventsFired = s.Sim.Fired() - firedStart

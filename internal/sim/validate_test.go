@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // "" = valid
+	}{
+		{"default", func(c *Config) {}, ""},
+		{"every scheme", func(c *Config) { c.Scheme = SchemeCAMEO }, ""},
+		{"scale normalised", func(c *Config) { c.Scale = 0 }, ""},
+		{"unknown workload", func(c *Config) { c.Workload = "nope" }, "workload"},
+		{"unknown scheme", func(c *Config) { c.Scheme = "quantum" }, "scheme"},
+		{"negative cores", func(c *Config) { c.MaxCores = -1 }, "cores"},
+		{"negative window", func(c *Config) { c.CoreConfig.MaxOutstanding = -2 }, "window"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		cfg.Workload = "lbm"
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Validate() accepted a bad config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "invalid config") || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: Validate() = %q, want wrapped %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestBuildSurfacesValidateError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload = "lbm"
+	cfg.Scheme = "quantum"
+	if _, err := Build(cfg); err == nil || !strings.Contains(err.Error(), "invalid config") {
+		t.Fatalf("Build() = %v, want the Validate diagnosis", err)
+	}
+}
+
+// FuzzConfigValidate drives Validate with arbitrary flag combinations: it
+// must never panic, always wrap its diagnosis, and never reject a config
+// that Build would accept (nor accept one Build refuses for config reasons).
+func FuzzConfigValidate(f *testing.F) {
+	f.Add("lbm", "pageseer", 128, 0, 0)
+	f.Add("mix6", "pom", 1, 4, 16)
+	f.Add("nope", "mempod", 64, -1, -1)
+	f.Add("GemsFDTD", "quantum", 0, 2, 8)
+	f.Fuzz(func(t *testing.T, wl, scheme string, scale, maxCores, window int) {
+		cfg := DefaultConfig()
+		cfg.Workload = wl
+		cfg.Scheme = Scheme(scheme)
+		cfg.Scale = scale
+		cfg.MaxCores = maxCores
+		cfg.CoreConfig.MaxOutstanding = window
+
+		err := cfg.Validate() // must not panic on any input
+		if err != nil && !strings.Contains(err.Error(), "invalid config") {
+			t.Fatalf("unwrapped diagnosis: %v", err)
+		}
+		// Cross-check against construction on sane scales only (extreme
+		// scales make Build allocate absurd structures, not fail).
+		if err == nil && scale >= 0 && scale <= 1<<12 && maxCores <= 64 && window <= 1024 {
+			if _, berr := Build(cfg); berr != nil {
+				t.Fatalf("Validate passed but Build failed: %v", berr)
+			}
+		}
+	})
+}

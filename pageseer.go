@@ -22,6 +22,7 @@
 package pageseer
 
 import (
+	"pageseer/internal/check"
 	"pageseer/internal/core"
 	"pageseer/internal/figures"
 	"pageseer/internal/obs"
@@ -82,6 +83,33 @@ type LatencySummary = obs.LatencySummary
 // LatencyDist is one source's latency distribution (count, mean,
 // p50/p90/p99, max) within a LatencySummary.
 type LatencyDist = obs.Dist
+
+// RunError is the structured failure of one run: identity (workload, scheme,
+// seed), where the event loop stood, the cause, and a rendered crashdump.
+// System.Run returns it instead of panicking; unwrap with errors.As.
+type RunError = sim.RunError
+
+// FaultPlan selects a deterministic fault-injection campaign for a run
+// (Config.Faults); the zero value injects nothing.
+type FaultPlan = check.FaultPlan
+
+// FaultKind names one injectable fault family.
+type FaultKind = check.FaultKind
+
+// The injectable faults.
+const (
+	FaultNone            = check.FaultNone
+	FaultSwapExhaustion  = check.FaultSwapExhaustion
+	FaultMetaThrash      = check.FaultMetaThrash
+	FaultQueueSaturation = check.FaultQueueSaturation
+	FaultDemandStorm     = check.FaultDemandStorm
+)
+
+// ParseFault maps a CLI fault name ("swap-exhaustion", ...) to its kind.
+func ParseFault(name string) (FaultKind, error) { return check.ParseFault(name) }
+
+// FaultKinds lists the injectable fault kinds (excluding FaultNone).
+func FaultKinds() []FaultKind { return check.FaultKinds() }
 
 // DefaultConfig returns the laptop-scale default (1/128 of the paper's
 // memory system, 2M measured instructions per core after 1M warm-up).

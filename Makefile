@@ -3,13 +3,13 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard invariants chaos-smoke chaos fuzz-validate trace-demo
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard effectiveness-smoke ledger-overhead invariants chaos-smoke chaos fuzz-validate trace-demo
 
 ## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
 ## one-shot figure-campaign smoke bench, the alloc-budget guards, the
-## campaign-throughput regression gate, the invariant-audit gate, and a
-## fault-injection smoke run.
-tier1: vet build race benchsmoke allocguard benchguard invariants chaos-smoke
+## campaign-throughput regression gate, the swap-provenance effectiveness
+## smoke, the invariant-audit gate, and a fault-injection smoke run.
+tier1: vet build race benchsmoke allocguard benchguard effectiveness-smoke invariants chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,20 +37,33 @@ campaign-bench:
 	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson BENCH_campaign.json
 
 ## allocguard: testing.AllocsPerRun proofs that (a) the observability hot
-## path pays zero allocations with sinks disabled and (b) the full demand
+## path pays zero allocations with sinks disabled, (b) a disabled
+## swap-provenance ledger is free on every hook, and (c) the full demand
 ## path stays under its allocs-per-retired-instruction budget in steady
 ## state. Run without -race (race instrumentation allocates and would
 ## false-fail).
 allocguard:
-	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs ./internal/sim
+	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs ./internal/obs/ledger ./internal/sim
 
 ## benchguard: re-run the quick campaign and fail if per-run
 ## events_per_sec (geomean over the workload x scheme grid) regresses
-## more than 10% against the committed BENCH_campaign.json.
+## more than 10% against the committed BENCH_campaign.json. A second,
+## ledger-on quick campaign is then compared against the fresh ledger-off
+## record with -warnonly: the swap-provenance ledger's overhead (5%
+## target) is reported but never gates, since the sink is opt-in.
 benchguard:
 	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson .benchguard_head.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_campaign.json -head .benchguard_head.json -tolerance 0.10
-	@rm -f .benchguard_head.json
+	$(GO) run ./cmd/paper-figures -quick -all -effectiveness -quiet -benchjson .benchguard_ledger.json
+	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_ledger.json -tolerance 0.05 -warnonly -label "ledger-on overhead"
+	@rm -f .benchguard_head.json .benchguard_ledger.json
+
+## effectiveness-smoke: run one PageSeer quick workload with the
+## swap-provenance ledger armed and assert the acceptance bar: all three
+## hardware trigger classes fire, accuracy/coverage stay in [0,1], and
+## the conservation audit (useful + unused + open == started) holds.
+effectiveness-smoke:
+	$(GO) test -run TestEffectivenessSmoke -count=1 ./internal/sim
 
 ## invariants: the quick campaign's workloads with end-of-run audits and
 ## the liveness watchdog armed, asserting Results stay byte-identical to

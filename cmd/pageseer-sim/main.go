@@ -6,10 +6,13 @@
 // than one workload the runs fan out across -j workers (each run stays
 // single-threaded and deterministic) and reports print in argument order.
 //
-// Observability: -trace writes swap-lifecycle spans and MMU-hint causality
-// arrows in Chrome Trace Event Format (open in Perfetto or chrome://tracing);
-// -timeline samples IPC, swap activity, and queue occupancy every
-// -timeline-every cycles into CSV (or JSON when the path ends in .json).
+// Observability: -effectiveness attaches the swap-provenance ledger and
+// prints the per-trigger swap mix, accuracy/coverage, wasted transfer
+// bytes, and MMU-hint lead times; -trace writes swap-lifecycle spans and
+// MMU-hint causality arrows in Chrome Trace Event Format (open in Perfetto
+// or chrome://tracing); -timeline samples IPC, swap activity, and queue
+// occupancy every -timeline-every cycles into CSV (or JSON when the path
+// ends in .json).
 // With multiple workloads each run writes its own file, the workload name
 // inserted before the extension (trace.json -> trace-lbm.json).
 //
@@ -57,6 +60,7 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
 		dumpDir   = flag.String("crashdump-dir", ".", "directory for per-run crashdump files on failure")
 
+		effect     = flag.Bool("effectiveness", false, "attach the swap-provenance ledger and print per-trigger swap effectiveness")
 		tracePath  = flag.String("trace", "", "write a Chrome/Perfetto trace of swap lifecycles and MMU hints to this file")
 		tlPath     = flag.String("timeline", "", "write the epoch timeline to this file (.json = JSON, otherwise CSV)")
 		tlEvery    = flag.Uint64("timeline-every", 50_000, "timeline sampling interval in cycles")
@@ -113,6 +117,7 @@ func main() {
 	}
 	cfg.Faults = pageseer.FaultPlan{Kind: fk, Rate: *faultRate, Seed: *faultSeed}
 	cfg.Obs.Trace = *tracePath != ""
+	cfg.Obs.Ledger = *effect
 	if *tlPath != "" {
 		cfg.Obs.TimelineEvery = *tlEvery
 	}
@@ -246,7 +251,7 @@ func writeMemProfile(path string) {
 func report(cfg pageseer.Config, res pageseer.Results) string {
 	var b strings.Builder
 	d, n, bf := res.ServiceBreakdown()
-	pos, neg, neu := res.Effectiveness()
+	pos, neg, neu := res.AccessEffectiveness()
 	fmt.Fprintf(&b, "workload %s  scheme %s  cores %d  scale 1/%d\n", res.Workload, res.Scheme, res.Cores, cfg.Scale)
 	fmt.Fprintf(&b, "performance:   IPC %.3f   AMMAT %.1f cycles   (%d instructions, %d cycles)\n",
 		res.IPC, res.AMMAT, res.Instructions, res.Cycles)
@@ -267,6 +272,19 @@ func report(cfg pageseer.Config, res pageseer.Results) string {
 		fmt.Fprintf(&b, "\nenergy:        %s", stats.Energy(res.RemapCache, res.PCTc, res.Ctl.DataDemand))
 	}
 	fmt.Fprintln(&b)
+	if eff := res.Effectiveness; eff.DemandTotal > 0 {
+		fmt.Fprintf(&b, "provenance:    started regular %d / pct %d / mmu %d / follower %d  (useful %d, unused %d, open %d, late %d)\n",
+			eff.Started[pageseer.TrigRegular], eff.Started[pageseer.TrigPCT],
+			eff.Started[pageseer.TrigMMU], eff.Started[pageseer.TrigFollower],
+			eff.TotalUseful(), eff.TotalUnused(), eff.TotalOpen(), eff.Late)
+		fmt.Fprintf(&b, "               accuracy %.1f%%  coverage %.1f%%  wasted DRAM/NVM %d/%d KiB",
+			eff.Accuracy*100, eff.Coverage*100, eff.WastedDRAMBytes>>10, eff.WastedNVMBytes>>10)
+		if eff.LeadTime.Count > 0 {
+			fmt.Fprintf(&b, "  hint lead p50/p99 %d/%d cycles (%d hinted-useful)",
+				eff.LeadTime.P50, eff.LeadTime.P99, eff.LeadTime.Count)
+		}
+		fmt.Fprintln(&b)
+	}
 	fmt.Fprintf(&b, "memory:        DRAM %d reads %d writes (row hit %.1f%%) | NVM %d reads %d writes (row hit %.1f%%)\n",
 		res.DRAM.Reads, res.DRAM.Writes, rowHitPct(res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts),
 		res.NVM.Reads, res.NVM.Writes, rowHitPct(res.NVM.RowHits, res.NVM.RowMisses, res.NVM.RowConflicts))

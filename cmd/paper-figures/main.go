@@ -10,12 +10,17 @@
 //	paper-figures -fig14              # just the headline IPC/AMMAT figure
 //	paper-figures -fig7 -fig8 -scale 64 -instr 4000000 -warmup 2000000
 //	paper-figures -workloads lbm,miniFE,mix6 -fig14
+//	paper-figures -quick -effectiveness -effectiveness-csv eff.csv
+//	paper-figures -all -serve :8090   # live campaign introspection server
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -45,6 +50,11 @@ func main() {
 		fig14  = flag.Bool("fig14", false, "Figure 14: IPC and AMMAT normalised to MemPod")
 		abl    = flag.Bool("ablation", false, "Section V-C: PageSeer vs PageSeer-NoCorr")
 		lat    = flag.Bool("latency", false, "per-source HMC service-latency percentiles (PageSeer)")
+
+		effect     = flag.Bool("effectiveness", false, "swap-provenance effectiveness table (attaches the ledger to every run; not part of -all)")
+		effectCSV  = flag.String("effectiveness-csv", "", "write the effectiveness table to this CSV file (implies -effectiveness)")
+		effectJSON = flag.String("effectiveness-json", "", "write the effectiveness table (with lead-time histograms) to this JSON file (implies -effectiveness)")
+		serveAddr  = flag.String("serve", "", "serve live campaign introspection on this address (e.g. :8090): progress on /, per-run JSON on /runs, Prometheus on /metrics, pprof under /debug/pprof/")
 
 		scale     = flag.Int("scale", 0, "memory scale denominator (default from profile)")
 		instr     = flag.Uint64("instr", 0, "measured instructions per core")
@@ -117,14 +127,22 @@ func main() {
 	opts.Faults.Kind = fk
 	opts.Faults.Rate = *faultRate
 	opts.Faults.Seed = *faultSeed
+	if *effectCSV != "" || *effectJSON != "" {
+		*effect = true
+	}
+	// The ledger rides every campaign run when effectiveness output or the
+	// introspection server asks for it. It is deliberately NOT part of
+	// -all: -all regenerates the paper's figures, whose runs stay
+	// ledger-free (and byte-identical to earlier releases).
+	opts.Ledger = *effect || *serveAddr != ""
 
-	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl || *lat
+	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl || *lat || *effect
 	anyTable := *table1 || *table2 || *table3
 	if *all {
 		*table1, *table2, *table3 = true, true, true
 		*fig7, *fig8, *fig9, *fig10, *fig11, *fig12, *fig13, *fig14, *abl, *lat =
 			true, true, true, true, true, true, true, true, true, true
-	} else if !anyFigure && !anyTable {
+	} else if !anyFigure && !anyTable && *serveAddr == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -145,12 +163,27 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The introspection server watches the campaign live: it reads the
+	// Runner's memoisation cache, so it sees runs the moment they begin.
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s/ (also /runs, /metrics, /debug/pprof/)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, figures.NewIntrospectionHandler(r)); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+			}
+		}()
+	}
+
 	// Prefetch fans the needed (workload, scheme, disableBW) runs across
 	// the -j worker pool before any figure is assembled; the figure
 	// builders then drain the cache serially, so their output is
 	// byte-identical to a fully serial campaign.
 	needs := figures.Needs{
-		Baselines: *fig7 || *fig8 || *fig13 || *fig14,
+		Baselines: *fig7 || *fig8 || *fig13 || *fig14 || *effect,
 		NoCorr:    *abl,
 		NoBW:      *fig11,
 	}
@@ -235,6 +268,26 @@ func main() {
 		fmt.Println(figures.RenderLatencyTable(rows))
 	}
 
+	// Effectiveness prints after everything -all emits, so adding it to an
+	// invocation never shifts the byte positions of the paper's figures.
+	if *effect {
+		rows, err := figures.EffectivenessTable(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderEffectiveness(rows))
+		if *effectCSV != "" {
+			if err := writeFile(*effectCSV, rows, figures.WriteEffectivenessCSV); err != nil {
+				fail(err)
+			}
+		}
+		if *effectJSON != "" {
+			if err := writeFile(*effectJSON, rows, figures.WriteEffectivenessJSON); err != nil {
+				fail(err)
+			}
+		}
+	}
+
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, r, opts, *jobs, *quick, campaignWall, *benchNote); err != nil {
 			fail(err)
@@ -257,6 +310,26 @@ func main() {
 		}
 		os.Exit(1)
 	}
+
+	// With -serve the process keeps the introspection endpoints alive after
+	// the campaign so its results stay inspectable; interrupt to exit.
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "campaign complete; introspection server still running (Ctrl-C to exit)")
+		select {}
+	}
+}
+
+// writeFile writes rows to path with one of the effectiveness encoders.
+func writeFile(path string, rows []figures.EffectivenessRow, write func(io.Writer, []figures.EffectivenessRow) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // campaignBench is the machine-readable perf record (BENCH_campaign.json):

@@ -42,7 +42,7 @@ func main() {
 			log.Fatal(err)
 		}
 		d, n, _ := res.ServiceBreakdown()
-		pos, _, _ := res.Effectiveness()
+		pos, _, _ := res.AccessEffectiveness()
 		fmt.Printf("%-16s %8.3f %10.1f %7.1f%% %7.1f%% %7.1f%%\n",
 			scheme, res.IPC, res.AMMAT, d*100, n*100, pos*100)
 		outcomes = append(outcomes, outcome{scheme, res.IPC})

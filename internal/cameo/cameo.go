@@ -19,6 +19,7 @@ import (
 	"pageseer/internal/hmc"
 	"pageseer/internal/mem"
 	"pageseer/internal/mmu"
+	"pageseer/internal/obs/ledger"
 )
 
 // BlockBytes is CAMEO's migration granularity: one cache line.
@@ -95,7 +96,10 @@ type CAMEO struct {
 	stats Stats
 }
 
-type job struct{ waiters []func() }
+type job struct {
+	waiters []func()
+	lid     uint64 // swap-provenance record ID (0 when the ledger is off)
+}
 
 // New installs a CAMEO manager on the controller.
 func New(ctl *hmc.Controller, cfg Config) *CAMEO {
@@ -207,6 +211,11 @@ func (c *CAMEO) trySwap(b blk) {
 		c.setOccupant(slowSlot, displaced)
 		c.ctl.Oracle.Exchange(uint64(fastSlot), uint64(slowSlot))
 		c.ctl.IssueLine(c.region.EntryAddr(uint64(fastSlot)), true, hmc.PrioSwap, nil)
+		if led := c.ctl.Ledger(); led != nil {
+			now := c.sim.Now()
+			led.RemapCommitted(j.lid, now)
+			led.Evicted(uint64(displaced.base()), now)
+		}
 		c.stats.Swaps++
 		delete(c.inflight, fastSlot)
 		delete(c.inflight, slowSlot)
@@ -214,9 +223,18 @@ func (c *CAMEO) trySwap(b blk) {
 			w()
 		}
 	}
+	led := c.ctl.Ledger()
+	if led != nil {
+		now := c.sim.Now()
+		dramB, nvmB := c.ctl.OpBytes(op)
+		j.lid = led.SwapStarted(uint64(b.base()), uint64(displaced.base()), true,
+			ledger.TrigRegular, now, now, dramB, nvmB)
+		op.LedgerID = j.lid
+	}
 	if !c.ctl.Engine.Start(op) {
 		// Swap-on-every-access floods the buffers; CAMEO just retries on
 		// the next access (the block stays slow meanwhile).
+		led.Abort(j.lid)
 		c.stats.SwapsDropped++
 		return
 	}

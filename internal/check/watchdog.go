@@ -37,6 +37,16 @@ type Watchdog struct {
 	last    uint64
 	strikes int
 	primed  bool
+	stats   WatchdogStats
+}
+
+// WatchdogStats is the watchdog's own activity record, surfaced in Results
+// and the campaign introspection server so a run that *survived* still shows
+// how close it came to a stall verdict.
+type WatchdogStats struct {
+	Checks     uint64 // progress samples taken
+	Strikes    uint64 // consecutive no-progress samples at the last check
+	MaxStrikes uint64 // worst consecutive no-progress run observed
 }
 
 // NewWatchdog builds a watchdog sampling progress() every window cycles and
@@ -51,15 +61,24 @@ func (w *Watchdog) Window() uint64 { return w.window }
 
 // Tick is the periodic check. It panics with *StallError on a stall.
 func (w *Watchdog) Tick() {
+	w.stats.Checks++
 	cur := w.progress()
 	if !w.primed || cur != w.last {
 		w.primed = true
 		w.last = cur
 		w.strikes = 0
+		w.stats.Strikes = 0
 		return
 	}
 	w.strikes++
+	w.stats.Strikes = uint64(w.strikes)
+	if uint64(w.strikes) > w.stats.MaxStrikes {
+		w.stats.MaxStrikes = uint64(w.strikes)
+	}
 	if w.strikes >= w.limit {
 		panic(&StallError{Window: w.window, Strikes: w.strikes, Progress: cur, Cycle: w.now()})
 	}
 }
+
+// Stats returns a snapshot of the watchdog's activity counters.
+func (w *Watchdog) Stats() WatchdogStats { return w.stats }

@@ -34,6 +34,16 @@ type Config struct {
 	HPTEntries int
 	// FilterEntries sizes the Filter table (2.2KB of 17.25B entries).
 	FilterEntries int
+	// LeaderDebounce is how many misses from a non-leader page the
+	// Correlator must see (without the current leader reasserting itself)
+	// before it treats them as a new invocation. Out-of-order cores jumble
+	// the LLC-miss stream where one page flurry hands over to the next;
+	// with a debounce of 1 every straggler miss ends the invocation, so
+	// per-invocation counts collapse to a few misses and the PCT never
+	// trains. 2 absorbs the jumble while still switching within a couple
+	// of misses of a genuine handover. 1 disables the debounce (the raw
+	// single-leader semantics the unit tests pin).
+	LeaderDebounce uint32
 	// MMUDriverLines is the PTE-line cache in the MMU Driver (16).
 	MMUDriverLines int
 	// PTEServeLatency is the cost of serving an intercepted PTE request
@@ -81,6 +91,7 @@ func DefaultConfig() Config {
 		PCTcHitLatency:  2,
 		HPTEntries:      1024, // 5.3KB / 5.25B
 		FilterEntries:   128,  // 2.2KB / 17.25B
+		LeaderDebounce:  2,
 		MMUDriverLines:  16,
 		PTEServeLatency: 4,
 

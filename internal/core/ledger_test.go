@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"pageseer/internal/cache"
+	"pageseer/internal/mem"
+	"pageseer/internal/obs/ledger"
+)
+
+// TestLedgerVictimReRequestMidSwap is the eviction-accounting regression
+// test on the real machinery: a two-page workload where page one (NVM-hot)
+// triggers a swap and page two is the victim the swap is pushing out of
+// DRAM. Re-requesting the victim while the exchange is still in flight must
+// classify the swap Late — not count as its payoff.
+func TestLedgerVictimReRequestMidSwap(t *testing.T) {
+	cfg := testConfig()
+	sim, ctl, ps := testRig(cfg)
+	led := ledger.New(mem.PageShift)
+	ctl.SetLedger(led)
+
+	p := nvmPage(ctl, 3)
+	for i := 0; i < int(cfg.HPTThreshold)-1; i++ {
+		miss(sim, ctl, 1, p)
+	}
+	// Page one's final miss crosses the HPT threshold and starts the swap.
+	// Don't drain: catch the exchange in flight.
+	ctl.Access(p.Addr(), false, cache.Meta{PID: 1}, nil)
+	for len(led.Records()) == 0 {
+		if !sim.Step() {
+			t.Fatalf("event queue drained before a swap started (%s)", ps.DumpState())
+		}
+	}
+	rec := led.Records()[0]
+	if rec.Committed {
+		t.Fatal("swap already committed; cannot exercise the in-flight window")
+	}
+	// Page two: the victim the swap is displacing, re-requested mid-swap.
+	victim := mem.Addr(rec.Victim << mem.PageShift)
+	ctl.Access(victim, false, cache.Meta{PID: 1}, nil)
+	sim.Drain(0)
+
+	if n := ps.Stats().SwapsCompleted[SwapRegular]; n != 1 {
+		t.Fatalf("regular swaps completed = %d, want 1", n)
+	}
+	s := led.Summary()
+	if len(led.Records()) != 1 {
+		t.Fatalf("%d ledger records, want 1", len(led.Records()))
+	}
+	if !led.Records()[0].Late {
+		t.Fatal("victim re-request mid-swap did not mark the swap late")
+	}
+	if s.Late != 1 {
+		t.Fatalf("late = %d, want 1", s.Late)
+	}
+	// The only payoff that may be counted is the incoming page's own demand
+	// (the triggering miss, which raced the transfer); the victim's
+	// re-request must not add one.
+	if s.TotalUseful() > 1 {
+		t.Fatalf("victim re-request counted as swap payoff: %+v", s)
+	}
+}

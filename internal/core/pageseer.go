@@ -9,6 +9,7 @@ import (
 	"pageseer/internal/mem"
 	"pageseer/internal/mmu"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/ledger"
 )
 
 // SwapKind distinguishes the three swap triggers of Section III-A.
@@ -65,6 +66,23 @@ type swapJob struct {
 	kind    SwapKind
 	pages   []mem.PPN // every page identity participating
 	waiters []func()  // DMA freeze waiting for completion
+	lid     uint64    // swap-provenance record ID (0 when the ledger is off)
+}
+
+// swapTrigger maps the paper's SwapKind (plus the follower flag, which the
+// kind accounting deliberately folds into the leader's kind) onto the
+// ledger's trigger taxonomy.
+func swapTrigger(kind SwapKind, follower bool) ledger.Trigger {
+	if follower {
+		return ledger.TrigFollower
+	}
+	switch kind {
+	case SwapPrefetchPCT:
+		return ledger.TrigPCT
+	case SwapPrefetchMMU:
+		return ledger.TrigMMU
+	}
+	return ledger.TrigRegular
 }
 
 type prefTrack struct {
@@ -113,8 +131,12 @@ type PageSeer struct {
 
 	// freeCorr heads the pool of correlation-evaluation records (one live
 	// per in-flight PCTc lookup), keeping the per-invocation PCT check off
-	// the allocator.
-	freeCorr *corrTxn
+	// the allocator. freeHint and freeServe pool the MMU-hint evaluation
+	// and PTE-serve continuations the same way: both ride the page-walk
+	// path, which is per-burst in steady state, not per-warmup.
+	freeCorr  *corrTxn
+	freeHint  *hintEval
+	freeServe *pteServe
 
 	// Tracing state (nil/empty when the controller has no tracer): hintSeq
 	// numbers MMU-hint causality arrows; hintFlow remembers where each
@@ -136,9 +158,10 @@ type hintOrigin struct {
 }
 
 type pendingSwap struct {
-	page mem.PPN
-	kind SwapKind
-	at   uint64
+	page     mem.PPN
+	kind     SwapKind
+	follower bool
+	at       uint64
 }
 
 // corrTxn carries one evaluateCorrelation across its PCTc lookup: the PCT
@@ -169,6 +192,98 @@ func (p *PageSeer) putCorrTxn(t *corrTxn) {
 	t.page, t.kind, t.snap = 0, 0, PCTEntry{}
 	t.next = p.freeCorr
 	p.freeCorr = t
+}
+
+// hintEval carries one MMU hint through the PTE-line obtain: the fetch and
+// ready continuations are pre-bound to a pooled record. fetchFn runs
+// synchronously inside Obtain (line still valid); readyFn runs when the
+// line is available and recycles the record before acting on the page.
+type hintEval struct {
+	p       *PageSeer
+	line    mem.Addr
+	page    mem.PPN
+	fetchFn func(done func())
+	readyFn func()
+	next    *hintEval
+}
+
+func (p *PageSeer) getHintEval() *hintEval {
+	e := p.freeHint
+	if e == nil {
+		e = &hintEval{p: p}
+		e.fetchFn = func(done func()) {
+			// The PTE line lives in a page-table frame, which is pinned, so
+			// no translation is needed; fetch it from DRAM (action 2,
+			// Figure 3).
+			e.p.issueLineDemand(e.line, done)
+		}
+		e.readyFn = func() {
+			page := e.page
+			pp := e.p
+			pp.putHintEval(e)
+			pp.prtc.Prefetch(uint64(page))
+			pp.evaluateCorrelation(page, SwapPrefetchMMU)
+		}
+		return e
+	}
+	p.freeHint = e.next
+	e.next = nil
+	return e
+}
+
+func (p *PageSeer) putHintEval(e *hintEval) {
+	e.line, e.page = 0, 0
+	e.next = p.freeHint
+	p.freeHint = e
+}
+
+// pteServe carries one intercepted PTE-line LLC miss (handlePTERequest)
+// through the obtain, on the same pooled-record pattern as hintEval.
+type pteServe struct {
+	p         *PageSeer
+	line      mem.Addr
+	r         *hmc.Request
+	driverHad bool
+	fetchFn   func(done func())
+	readyFn   func()
+	next      *pteServe
+}
+
+func (p *PageSeer) getPTEServe() *pteServe {
+	s := p.freeServe
+	if s == nil {
+		s = &pteServe{p: p}
+		s.fetchFn = func(done func()) {
+			s.p.issueLineDemand(s.line, done)
+		}
+		s.readyFn = func() {
+			r, driverHad := s.r, s.driverHad
+			pp := s.p
+			pp.putPTEServe(s)
+			if driverHad {
+				pp.ctl.ServePTECache(r, pp.cfg.PTEServeLatency)
+			} else {
+				// The fetch we just issued was the memory access itself.
+				pp.ctl.ServeDirect(r, hmc.SrcDRAM, pp.cfg.PTEServeLatency)
+			}
+		}
+		return s
+	}
+	p.freeServe = s.next
+	s.next = nil
+	return s
+}
+
+func (p *PageSeer) putPTEServe(s *pteServe) {
+	s.line, s.r, s.driverHad = 0, nil, false
+	s.next = p.freeServe
+	p.freeServe = s
+}
+
+// issueLineDemand is the shared demand-priority line fetch the pooled
+// continuations bind to.
+func (p *PageSeer) issueLineDemand(line mem.Addr, done func()) {
+	p.ctl.IssueLine(line, false, hmc.PrioDemand, done)
 }
 
 const maxPendingSwaps = 1024
@@ -363,7 +478,7 @@ func (p *PageSeer) corrEvaluated(t *corrTxn) {
 		p.prtc.Prefetch(uint64(snap.Follower))
 		p.pctc.Prefetch(uint64(snap.Follower))
 		if !p.residentDRAM(snap.Follower) {
-			p.requestSwap(snap.Follower, kind)
+			p.requestSwapFrom(snap.Follower, kind, true)
 		}
 	}
 }
@@ -372,6 +487,9 @@ func (p *PageSeer) corrEvaluated(t *corrTxn) {
 // page, prefetch its metadata, and possibly start MMU-triggered swaps.
 func (p *PageSeer) MMUHint(h mmu.Hint) {
 	p.stats.HintsReceived++
+	// Ledger hint capture is tracer-independent: the causal chain starts at
+	// the walker's final-PTE computation (h.Cycle), not at hint delivery.
+	p.ctl.Ledger().Hint(uint64(h.LeafPPN.Addr()), h.Cycle)
 	if t := p.ctl.Tracer(); t != nil {
 		// Remember where the hint fired; if it ends up starting an
 		// MMU-triggered prefetch swap, bindHintFlow opens the causality
@@ -385,16 +503,9 @@ func (p *PageSeer) MMUHint(h mmu.Hint) {
 		}
 		p.hintFlow[h.LeafPPN] = hintOrigin{id: p.hintSeq, ts: now, core: h.Core}
 	}
-	fetch := func(done func()) {
-		// The PTE line lives in a page-table frame, which is pinned, so no
-		// translation is needed; fetch it from DRAM (action 2, Figure 3).
-		p.ctl.IssueLine(h.PTELine, false, hmc.PrioDemand, done)
-	}
-	p.pte.Obtain(h.PTELine, fetch, func() {
-		page := h.LeafPPN
-		p.prtc.Prefetch(uint64(page))
-		p.evaluateCorrelation(page, SwapPrefetchMMU)
-	})
+	e := p.getHintEval()
+	e.line, e.page = h.PTELine, h.LeafPPN
+	p.pte.Obtain(h.PTELine, e.fetchFn, e.readyFn)
 }
 
 // handlePTERequest intercepts LLC misses for PTE lines (Section III-D2).
@@ -402,18 +513,10 @@ func (p *PageSeer) MMUHint(h mmu.Hint) {
 // the MMU Driver; a true miss pays a memory access and fills the cache.
 func (p *PageSeer) handlePTERequest(r *hmc.Request) {
 	line := mem.LineOf(r.Line)
-	driverHad := p.pte.Contains(line) || p.pte.Pending(line)
-	fetch := func(done func()) {
-		p.ctl.IssueLine(line, false, hmc.PrioDemand, done)
-	}
-	p.pte.Obtain(line, fetch, func() {
-		if driverHad {
-			p.ctl.ServePTECache(r, p.cfg.PTEServeLatency)
-		} else {
-			// The fetch we just issued was the memory access itself.
-			p.ctl.ServeDirect(r, hmc.SrcDRAM, p.cfg.PTEServeLatency)
-		}
-	})
+	s := p.getPTEServe()
+	s.line, s.r = line, r
+	s.driverHad = p.pte.Contains(line) || p.pte.Pending(line)
+	p.pte.Obtain(line, s.fetchFn, s.readyFn)
 }
 
 // requestSwap asks the Swap Driver to move page (an NVM-resident page) to
@@ -423,6 +526,12 @@ func (p *PageSeer) handlePTERequest(r *hmc.Request) {
 // reports whether the request was accepted (false: declined by the
 // bandwidth heuristic or the queue bound — the trigger may re-arm).
 func (p *PageSeer) requestSwap(page mem.PPN, kind SwapKind) bool {
+	return p.requestSwapFrom(page, kind, false)
+}
+
+// requestSwapFrom is requestSwap with explicit provenance: follower marks a
+// correlation-follower request for the ledger's trigger taxonomy.
+func (p *PageSeer) requestSwapFrom(page mem.PPN, kind SwapKind, follower bool) bool {
 	if p.residentDRAM(page) || p.inflight[page] != nil {
 		return true
 	}
@@ -433,7 +542,7 @@ func (p *PageSeer) requestSwap(page mem.PPN, kind SwapKind) bool {
 		// hint and the replayed access race — the swap is MMU-initiated).
 		if kind > prev {
 			p.pendingKind[page] = kind
-			p.pendingPref = append(p.pendingPref, pendingSwap{page: page, kind: kind, at: p.sim.Now()})
+			p.pendingPref = append(p.pendingPref, pendingSwap{page: page, kind: kind, follower: follower, at: p.sim.Now()})
 		}
 		return true
 	}
@@ -449,19 +558,19 @@ func (p *PageSeer) requestSwap(page mem.PPN, kind SwapKind) bool {
 		return false
 	}
 	if !p.ctl.Engine.CanStart() {
-		return p.enqueue(page, kind)
+		return p.enqueue(page, kind, follower)
 	}
-	p.startSwap(page, kind)
+	p.startSwap(page, kind, follower, p.sim.Now())
 	return true
 }
 
-func (p *PageSeer) enqueue(page mem.PPN, kind SwapKind) bool {
+func (p *PageSeer) enqueue(page mem.PPN, kind SwapKind, follower bool) bool {
 	if len(p.pendingKind) >= maxPendingSwaps {
 		p.stats.DeclinedQueue++
 		return false
 	}
 	p.pendingKind[page] = kind
-	e := pendingSwap{page: page, kind: kind, at: p.sim.Now()}
+	e := pendingSwap{page: page, kind: kind, follower: follower, at: p.sim.Now()}
 	if kind == SwapRegular {
 		p.pendingReg = append(p.pendingReg, e)
 	} else {
@@ -597,8 +706,10 @@ func (p *PageSeer) pickVictim(color int) (frame mem.PPN, partner mem.PPN, hasPar
 	return 0, 0, false, false
 }
 
-// startSwap builds and launches the swap operation for page -> DRAM.
-func (p *PageSeer) startSwap(page mem.PPN, kind SwapKind) {
+// startSwap builds and launches the swap operation for page -> DRAM. req is
+// the cycle the request entered the Swap Driver (for queued requests, the
+// enqueue cycle), recorded in the swap's provenance.
+func (p *PageSeer) startSwap(page mem.PPN, kind SwapKind, follower bool, req uint64) {
 	if p.residentDRAM(page) || p.inflight[page] != nil {
 		return
 	}
@@ -606,7 +717,7 @@ func (p *PageSeer) startSwap(page mem.PPN, kind SwapKind) {
 		// page is a DRAM-original page whose data was pushed to NVM by an
 		// earlier swap and has become hot again: restore the pair to its
 		// original positions (the PRT design's only legal move).
-		p.startRestore(page, nPartner, kind)
+		p.startRestore(page, nPartner, kind, follower, req)
 		return
 	}
 	frame, partner, hasPartner, ok := p.pickVictim(p.color(page))
@@ -650,9 +761,24 @@ func (p *PageSeer) startSwap(page mem.PPN, kind SwapKind) {
 	}
 	p.bindHintFlow(op, page, kind)
 	op.OnComplete = func() { p.completeSwap(page, frame, partner, hasPartner, job) }
+	led := p.ctl.Ledger()
+	if led != nil {
+		// The victim identity is the data that will leave DRAM: the frame's
+		// own page on a plain exchange, the partner on an optimized slow
+		// swap (the frame's data already sits in NVM at the partner's slot).
+		victim := frame
+		if hasPartner {
+			victim = partner
+		}
+		dramB, nvmB := p.ctl.OpBytes(op)
+		job.lid = led.SwapStarted(uint64(page.Addr()), uint64(victim.Addr()), true,
+			swapTrigger(kind, follower), req, p.sim.Now(), dramB, nvmB)
+		op.LedgerID = job.lid
+	}
 	if !p.ctl.Engine.Start(op) {
 		// Raced with another start; requeue.
-		p.enqueue(page, kind)
+		led.Abort(job.lid)
+		p.enqueue(page, kind, follower)
 		return
 	}
 	p.stats.SwapsStarted[kind]++
@@ -664,7 +790,7 @@ func (p *PageSeer) startSwap(page mem.PPN, kind SwapKind) {
 // startRestore undoes the pair (nPartner, dPage): each page returns to its
 // original frame. dPage is the DRAM-original page, nPartner the NVM page
 // currently occupying its frame.
-func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind) {
+func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind, follower bool, req uint64) {
 	if p.hptDRAM.Contains(nPartner) || p.inflight[nPartner] != nil ||
 		p.ctl.FrozenByDMA(nPartner) || p.ctl.FrozenByDMA(dPage) {
 		p.stats.DeclinedNoVictim++
@@ -688,6 +814,11 @@ func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind) {
 			p.hptNVM.Remove(dPage)
 			p.ctl.IssueLine(p.prtRegion.EntryAddr(uint64(dPage)), true, hmc.PrioSwap, nil)
 			p.traceRemapCommit(dPage)
+			if led := p.ctl.Ledger(); led != nil {
+				now := p.sim.Now()
+				led.RemapCommitted(job.lid, now)
+				led.Evicted(uint64(nPartner.Addr()), now)
+			}
 			p.stats.SwapsCompleted[job.kind]++
 			for _, pg := range job.pages {
 				delete(p.inflight, pg)
@@ -699,9 +830,17 @@ func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind) {
 		},
 	}
 	p.bindHintFlow(op, dPage, kind)
+	led := p.ctl.Ledger()
+	if led != nil {
+		dramB, nvmB := p.ctl.OpBytes(op)
+		job.lid = led.SwapStarted(uint64(dPage.Addr()), uint64(nPartner.Addr()), true,
+			swapTrigger(kind, follower), req, p.sim.Now(), dramB, nvmB)
+		op.LedgerID = job.lid
+	}
 	if !p.ctl.Engine.Start(op) {
+		led.Abort(job.lid)
 		if _, queued := p.pendingKind[dPage]; !queued {
-			p.enqueue(dPage, kind)
+			p.enqueue(dPage, kind, follower)
 		}
 		return
 	}
@@ -729,6 +868,17 @@ func (p *PageSeer) completeSwap(page, frame, partner mem.PPN, hasPartner bool, j
 	p.ctl.IssueLine(p.prtRegion.EntryAddr(uint64(frame)), true, hmc.PrioSwap, nil)
 	p.prtc.Prefetch(uint64(page))
 	p.traceRemapCommit(page)
+	if led := p.ctl.Ledger(); led != nil {
+		now := p.sim.Now()
+		led.RemapCommitted(job.lid, now)
+		// The page that left DRAM: the partner under the optimized-slow
+		// exchange (its data was already in NVM), the frame otherwise.
+		victim := frame
+		if hasPartner {
+			victim = partner
+		}
+		led.Evicted(uint64(victim.Addr()), now)
+	}
 
 	// Residence changed: restart hot-page tracking on the new tiers.
 	p.hptNVM.Remove(page)
@@ -798,7 +948,7 @@ func (p *PageSeer) drainPending() {
 		if p.residentDRAM(next.page) || p.inflight[next.page] != nil || p.ctl.FrozenByDMA(next.page) {
 			continue
 		}
-		p.startSwap(next.page, next.kind)
+		p.startSwap(next.page, next.kind, next.follower, next.at)
 	}
 }
 
@@ -902,3 +1052,4 @@ func (p *PageSeer) ResetStats() {
 		delete(p.prefTracks, page)
 	}
 }
+

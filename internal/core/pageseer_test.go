@@ -27,6 +27,7 @@ func testConfig() Config {
 	cfg.PCTBytes = 8 << 10
 	cfg.HPTDecayInterval = 0 // no decay unless a test asks for it
 	cfg.BWOpt = false        // deterministic swaps unless a test enables it
+	cfg.LeaderDebounce = 1   // rig tests craft exact single-miss handovers
 	return cfg
 }
 

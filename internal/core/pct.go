@@ -28,6 +28,7 @@ type filterEntry struct {
 	count  uint32   // misses observed this invocation
 	succ   [2]successor
 	lru    uint64
+	next   *filterEntry // free-list link while recycled
 }
 
 // CorrelatorStats counts correlation activity.
@@ -49,8 +50,17 @@ type Correlator struct {
 	filter  map[mem.PPN]*filterEntry
 	active  map[int]mem.PPN // pid -> current leader
 	hasLead map[int]bool
-	tick    uint64
-	stats   CorrelatorStats
+	// cand/candN debounce leadership changes (cfg.LeaderDebounce): a page
+	// must miss that many times, without the current leader reasserting
+	// itself in between, before it takes over the invocation.
+	cand  map[int]mem.PPN
+	candN map[int]uint32
+	tick  uint64
+	stats CorrelatorStats
+	// freeFE recycles filter entries: leader changes are per-flurry events
+	// in steady state, so allocating an entry per invocation would charge
+	// the demand path's allocation budget.
+	freeFE *filterEntry
 	// onWriteback lets the manager mark the PCTc entry dirty when the fold
 	// effectively changes a swap decision (the change bit of Figure 6).
 	onWriteback func(leader mem.PPN, effective bool)
@@ -67,6 +77,8 @@ func NewCorrelator(cfg Config, onWriteback func(mem.PPN, bool)) *Correlator {
 		filter:      make(map[mem.PPN]*filterEntry),
 		active:      make(map[int]mem.PPN),
 		hasLead:     make(map[int]bool),
+		cand:        make(map[int]mem.PPN),
+		candN:       make(map[int]uint32),
 		onWriteback: onWriteback,
 	}
 }
@@ -75,10 +87,19 @@ func NewCorrelator(cfg Config, onWriteback func(mem.PPN, bool)) *Correlator {
 func (c *Correlator) Stats() CorrelatorStats { return c.stats }
 
 // Snapshot returns the freshest architectural view of page's PCT entry:
-// the in-Filter state if resident, else the PCT itself.
+// history plus any invocation still accumulating in the Filter, else the
+// PCT itself. Folding the live count in matters for the MMU-hint path:
+// the hint fires *before* the demand miss that re-activates the entry and
+// folds the previous invocation into history, so the raw in-Filter
+// snapshot is one invocation stale there — a page's first re-walk would
+// always look untrained and MMU-triggered swaps could never start.
 func (c *Correlator) Snapshot(page mem.PPN) PCTEntry {
 	if fe, ok := c.filter[page]; ok {
-		return fe.old
+		e := fe.old
+		if n := c.liveCount(page); n > e.Count {
+			e.Count = n
+		}
+		return e
 	}
 	return c.pct[page]
 }
@@ -91,11 +112,27 @@ func (c *Correlator) PCTSize() int { return len(c.pct) }
 // III-C2 uses as the prefetch-swap trigger point).
 func (c *Correlator) OnMiss(pid int, page mem.PPN) (firstMiss bool) {
 	if c.hasLead[pid] && c.active[pid] == page {
+		// The leader reasserting itself dissolves any takeover candidate:
+		// stragglers from the next flurry jumbled into this one by the
+		// core's out-of-order window must not end the invocation.
+		c.candN[pid] = 0
 		fe := c.filter[page]
 		if fe != nil && fe.count < c.cfg.CounterMax {
 			fe.count++
 		}
 		return false
+	}
+	if c.hasLead[pid] && c.cfg.LeaderDebounce > 1 {
+		if c.candN[pid] == 0 || c.cand[pid] != page {
+			c.cand[pid] = page
+			c.candN[pid] = 1
+			return false
+		}
+		c.candN[pid]++
+		if c.candN[pid] < c.cfg.LeaderDebounce {
+			return false
+		}
+		c.candN[pid] = 0
 	}
 
 	// Leader change: page follows the previous leader.
@@ -121,7 +158,12 @@ func (c *Correlator) OnMiss(pid int, page mem.PPN) (firstMiss bool) {
 	if len(c.filter) >= c.cfg.FilterEntries {
 		c.evictLRU()
 	}
-	fe = &filterEntry{pid: pid, leader: page, old: c.pct[page], count: 1}
+	if fe = c.freeFE; fe != nil {
+		c.freeFE = fe.next
+		*fe = filterEntry{pid: pid, leader: page, old: c.pct[page], count: 1}
+	} else {
+		fe = &filterEntry{pid: pid, leader: page, old: c.pct[page], count: 1}
+	}
 	if fe.old.HasFollower {
 		fe.succ[0] = successor{page: fe.old.Follower, valid: true}
 	}
@@ -241,6 +283,8 @@ func (c *Correlator) writeback(fe *filterEntry) {
 	}
 	c.pct[fe.leader] = newEntry
 	delete(c.filter, fe.leader)
+	fe.next = c.freeFE
+	c.freeFE = fe
 	c.stats.Writebacks++
 	if effective {
 		c.stats.EffectiveWritebacks++
@@ -272,4 +316,6 @@ func (c *Correlator) Flush() {
 	}
 	c.active = make(map[int]mem.PPN)
 	c.hasLead = make(map[int]bool)
+	c.cand = make(map[int]mem.PPN)
+	c.candN = make(map[int]uint32)
 }

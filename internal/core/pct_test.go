@@ -11,6 +11,7 @@ import (
 func corrConfig() Config {
 	c := DefaultConfig()
 	c.FilterEntries = 8
+	c.LeaderDebounce = 1 // pin the raw single-leader semantics
 	return c
 }
 
@@ -26,6 +27,42 @@ func TestFirstMissDetection(t *testing.T) {
 	}
 	if !c.OnMiss(1, 200) {
 		t.Fatal("leader change not flagged as first miss")
+	}
+}
+
+// TestLeaderDebounceAbsorbsJumble: with the default LeaderDebounce of 2,
+// straggler misses from the next flurry interleaved into the current one by
+// an out-of-order core must neither end the invocation nor gut its count —
+// while a genuine handover (two candidate misses with no leader reassertion
+// in between) still switches promptly.
+func TestLeaderDebounceAbsorbsJumble(t *testing.T) {
+	cfg := corrConfig()
+	cfg.LeaderDebounce = 2
+	c := NewCorrelator(cfg, nil)
+	// 100's flurry with 200-stragglers jumbled in: ...100,200,100,200,100...
+	for i := 0; i < 16; i++ {
+		if c.OnMiss(1, 100) && i > 0 {
+			t.Fatal("jumbled leader saw a spurious new invocation")
+		}
+		if c.OnMiss(1, 200) {
+			t.Fatal("single straggler ended the invocation")
+		}
+	}
+	// The interleaved stragglers never produced two 200-misses in a row, so
+	// 100's invocation kept counting all 16 of its misses.
+	if got := c.Snapshot(100).Count; got != 16 {
+		t.Fatalf("jumbled invocation count = %d, want 16", got)
+	}
+	// One more leader miss dissolves the trailing straggler's candidacy...
+	if c.OnMiss(1, 100) {
+		t.Fatal("leader reassertion flagged as new invocation")
+	}
+	// ...then a genuine handover: two consecutive 200 misses switch.
+	if c.OnMiss(1, 200) {
+		t.Fatal("first handover miss switched immediately despite debounce")
+	}
+	if !c.OnMiss(1, 200) {
+		t.Fatal("second consecutive candidate miss did not switch leadership")
 	}
 }
 

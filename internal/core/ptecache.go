@@ -12,9 +12,63 @@ type PTECache struct {
 	pending  map[mem.Addr][]func()
 	tick     uint64
 
+	// Fetch-completion records and waiter slices are recycled: Obtain sits
+	// on the MMU-hint path, which fires on every page walk, so per-miss
+	// closure and slice allocations would land on the steady-state budget.
+	freeFill    *pteFill
+	freeWaiters [][]func()
+
 	hits        uint64
 	pendingHits uint64
 	misses      uint64
+}
+
+// pteFill is one in-flight fetch's completion continuation, pre-bound to a
+// pooled record.
+type pteFill struct {
+	p    *PTECache
+	line mem.Addr
+	fn   func()
+	next *pteFill
+}
+
+func (p *PTECache) getFill(line mem.Addr) *pteFill {
+	f := p.freeFill
+	if f == nil {
+		f = &pteFill{p: p}
+		f.fn = func() {
+			line := f.line
+			c := f.p
+			f.line = 0
+			f.next = c.freeFill
+			c.freeFill = f
+			c.insert(line)
+			ws := c.pending[line]
+			delete(c.pending, line)
+			for _, w := range ws {
+				w()
+			}
+			for i := range ws {
+				ws[i] = nil
+			}
+			c.freeWaiters = append(c.freeWaiters, ws[:0])
+		}
+	} else {
+		p.freeFill = f.next
+		f.next = nil
+	}
+	f.line = line
+	return f
+}
+
+func (p *PTECache) getWaiters() []func() {
+	if n := len(p.freeWaiters); n > 0 {
+		ws := p.freeWaiters[n-1]
+		p.freeWaiters[n-1] = nil
+		p.freeWaiters = p.freeWaiters[:n-1]
+		return ws
+	}
+	return make([]func(), 0, 4)
 }
 
 // NewPTECache builds an empty PTE-line cache.
@@ -70,15 +124,8 @@ func (p *PTECache) Obtain(line mem.Addr, fetch func(done func()), ready func()) 
 		return true
 	}
 	p.misses++
-	p.pending[line] = []func(){ready}
-	fetch(func() {
-		p.insert(line)
-		ws := p.pending[line]
-		delete(p.pending, line)
-		for _, w := range ws {
-			w()
-		}
-	})
+	p.pending[line] = append(p.getWaiters(), ready)
+	fetch(p.getFill(line).fn)
 	return false
 }
 

@@ -85,7 +85,7 @@ func Figure8(r *Runner) ([]Figure8Row, error) {
 					}
 					return nil, err
 				}
-				pp, nn, uu := res.Effectiveness()
+				pp, nn, uu := res.AccessEffectiveness()
 				p = append(p, pp)
 				n = append(n, nn)
 				u = append(u, uu)

@@ -1,0 +1,145 @@
+package figures
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pageseer/internal/obs/ledger"
+)
+
+// EffectivenessRow is one (workload, scheme) run's swap-provenance digest:
+// the trigger mix, payoff and waste accounting the ledger produced for that
+// run. Scheme is the display label (the same one progress lines use).
+type EffectivenessRow struct {
+	Workload string         `json:"workload"`
+	Scheme   string         `json:"scheme"`
+	Summary  ledger.Summary `json:"summary"`
+}
+
+// ErrNoLedger rejects effectiveness aggregation over a campaign that ran
+// without the swap-provenance ledger: every summary would be zero and the
+// table would silently report a perfectly wasteless campaign.
+var ErrNoLedger = errors.New("figures: effectiveness requires Options.Ledger (campaign ran without the swap-provenance ledger)")
+
+// EffectivenessTable collects the per-run effectiveness digests over the
+// campaign's workloads for the Figure 14 comparison schemes. It draws on
+// the same cached runs the figures use, so adding it to a campaign costs no
+// extra simulation.
+func EffectivenessTable(r *Runner) ([]EffectivenessRow, error) {
+	if !r.opts.Ledger {
+		return nil, ErrNoLedger
+	}
+	var rows []EffectivenessRow
+	for _, wl := range r.opts.Workloads {
+		for _, sch := range schemes3 {
+			res, err := r.Run(wl, sch)
+			if err != nil {
+				if isGap(err) {
+					continue
+				}
+				return nil, err
+			}
+			rows = append(rows, EffectivenessRow{
+				Workload: wl,
+				Scheme:   schemeLabel(sch, false),
+				Summary:  res.Effectiveness,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderEffectiveness renders the swap-provenance table: per-trigger swap
+// mix (started/useful), accuracy, coverage, late swaps, and wasted transfer
+// bytes.
+func RenderEffectiveness(rows []EffectivenessRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Effectiveness: swap provenance by trigger (started:useful per class)")
+	fmt.Fprintf(&b, "  %-12s %-10s %11s %11s %11s %11s %6s %6s %5s %9s\n",
+		"", "", "regular", "pct", "mmu", "follower", "acc", "cov", "late", "wasteMB")
+	for _, r := range rows {
+		s := r.Summary
+		cell := func(t ledger.Trigger) string {
+			return fmt.Sprintf("%d:%d", s.Started[t], s.Useful[t])
+		}
+		waste := float64(s.WastedDRAMBytes+s.WastedNVMBytes) / (1 << 20)
+		fmt.Fprintf(&b, "  %-12s %-10s %11s %11s %11s %11s %s %s %5d %9.2f\n",
+			r.Workload, r.Scheme,
+			cell(ledger.TrigRegular), cell(ledger.TrigPCT),
+			cell(ledger.TrigMMU), cell(ledger.TrigFollower),
+			pct(s.Accuracy), pct(s.Coverage), s.Late, waste)
+	}
+	return b.String()
+}
+
+// effectivenessHeader fixes the CSV column set. The columns are the scalar
+// digest of ledger.Summary; the JSON export additionally carries the full
+// log2 lead-time histogram.
+var effectivenessHeader = []string{
+	"workload", "scheme",
+	"started_regular", "started_pct", "started_mmu", "started_follower",
+	"useful_regular", "useful_pct", "useful_mmu", "useful_follower",
+	"unused_regular", "unused_pct", "unused_mmu", "unused_follower",
+	"open_regular", "open_pct", "open_mmu", "open_follower",
+	"late", "accuracy", "coverage",
+	"demand_total", "demand_covered",
+	"wasted_dram_bytes", "wasted_nvm_bytes",
+	"lead_count", "lead_mean", "lead_p50", "lead_p90", "lead_p99", "lead_max",
+}
+
+// WriteEffectivenessCSV writes the rows as CSV. The encoding is canonical:
+// floats render in Go's shortest round-trippable form, so writing rows that
+// took a trip through the JSON export yields byte-identical output
+// (TestEffectivenessCSVJSONRoundTrip pins this).
+func WriteEffectivenessCSV(w io.Writer, rows []EffectivenessRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(effectivenessHeader); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rows {
+		s := r.Summary
+		rec := []string{r.Workload, r.Scheme}
+		for _, arr := range [][ledger.NumTriggers]uint64{s.Started, s.Useful, s.Unused, s.Open} {
+			for t := 0; t < int(ledger.NumTriggers); t++ {
+				rec = append(rec, u(arr[t]))
+			}
+		}
+		rec = append(rec,
+			u(s.Late), f(s.Accuracy), f(s.Coverage),
+			u(s.DemandTotal), u(s.DemandCovered),
+			u(s.WastedDRAMBytes), u(s.WastedNVMBytes),
+			u(s.LeadTime.Count), f(s.LeadTime.Mean),
+			u(s.LeadTime.P50), u(s.LeadTime.P90), u(s.LeadTime.P99), u(s.LeadTime.Max),
+		)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEffectivenessJSON writes the rows as an indented JSON array carrying
+// the complete ledger.Summary per run (including the lead-time log2
+// histogram the CSV digest omits).
+func WriteEffectivenessJSON(w io.Writer, rows []EffectivenessRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// ReadEffectivenessJSON parses rows written by WriteEffectivenessJSON.
+func ReadEffectivenessJSON(r io.Reader) ([]EffectivenessRow, error) {
+	var rows []EffectivenessRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -51,6 +51,10 @@ type Options struct {
 	// Audit mirrors sim.Config.Audit: every campaign run carries the
 	// liveness watchdog and the end-of-run invariant audit.
 	Audit bool
+	// Ledger mirrors sim.Config.Obs.Ledger: every campaign run records
+	// swap provenance, filling Results.Effectiveness for the
+	// effectiveness table and the introspection server.
+	Ledger bool
 	// Faults mirrors sim.Config.Faults: every campaign run executes under
 	// the given deterministic fault-injection plan.
 	Faults check.FaultPlan
@@ -200,6 +204,7 @@ func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
 		DisableBWOpt: k.disableBW,
 		Audit:        r.opts.Audit,
 		Faults:       r.opts.Faults,
+		Obs:          sim.ObsOptions{Ledger: r.opts.Ledger},
 	}
 	defer func() {
 		if p := recover(); p != nil {

@@ -22,6 +22,7 @@ import (
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/ledger"
 )
 
 // Source says which structure serviced a demand request.
@@ -140,11 +141,12 @@ type Controller struct {
 	// controller's decision points; see check.Injector.
 	inj *check.Injector
 
-	// Observability sinks, both nil-guarded: a controller without them
+	// Observability sinks, all nil-guarded: a controller without them
 	// pays one branch per request and zero allocations (the obs package's
 	// zero-cost-when-off contract).
 	lat   *obs.LatencySet
 	trace *obs.Tracer
+	led   *ledger.Ledger
 
 	frozen map[mem.PPN]bool
 }
@@ -194,6 +196,44 @@ func (c *Controller) SetTracer(t *obs.Tracer) {
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (c *Controller) Tracer() *obs.Tracer { return c.trace }
+
+// SetLedger attaches the swap-provenance ledger to the controller and its
+// swap engine (nil detaches). Must be installed before the manager, so
+// managers can cache it; the controller feeds it every data demand and the
+// engine reports per-stage transfer durations.
+func (c *Controller) SetLedger(l *ledger.Ledger) {
+	c.led = l
+	c.Engine.led = l
+}
+
+// Ledger returns the attached swap-provenance ledger (nil when off).
+func (c *Controller) Ledger() *ledger.Ledger { return c.led }
+
+// OpBytes sums an op's transfer traffic per memory module: each read is
+// charged to the module owning its source line, each write to the module
+// owning its destination. Managers pass the result to ledger.SwapStarted so
+// wasted-swap bytes are exact per scheme.
+func (c *Controller) OpBytes(op *Op) (dramBytes, nvmBytes uint64) {
+	for _, st := range op.Stages {
+		for _, tr := range st {
+			if tr.Src != NoAddr {
+				if c.Layout.IsDRAM(tr.Src) {
+					dramBytes += tr.Bytes
+				} else {
+					nvmBytes += tr.Bytes
+				}
+			}
+			if tr.Dst != NoAddr {
+				if c.Layout.IsDRAM(tr.Dst) {
+					dramBytes += tr.Bytes
+				} else {
+					nvmBytes += tr.Bytes
+				}
+			}
+		}
+	}
+	return dramBytes, nvmBytes
+}
 
 // SetInjector attaches a fault injector to the controller and its swap
 // engine (nil detaches). Installed by sim.Build when a fault plan is
@@ -411,6 +451,12 @@ func (c *Controller) complete(r *Request, src Source) {
 		default:
 			c.stats.Neutral++
 		}
+		if c.led != nil {
+			// The ledger keys on the OS-visible line: a demand landing on
+			// a swapped-in unit is that swap's payoff; one landing on an
+			// in-flight victim marks the swap late.
+			c.led.Demand(uint64(r.Line), c.Sim.Now())
+		}
 	}
 	// Release before the callback: done may re-enter Access and is then
 	// handed this same record, which is exactly the pooled steady state.
@@ -495,4 +541,5 @@ func (c *Controller) Audit(a *check.Audit) {
 func (c *Controller) ResetStats() {
 	c.stats = Stats{}
 	c.lat.Reset()
+	c.led.Reset()
 }

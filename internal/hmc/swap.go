@@ -8,6 +8,7 @@ import (
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/ledger"
 )
 
 // NoAddr marks an absent side of a Transfer (buffer fill or buffer drain).
@@ -45,6 +46,10 @@ type Op struct {
 	// FlowID, when nonzero, closes a causality arrow (e.g. MMU hint →
 	// prefetch swap) at the start of the transfer span.
 	FlowID uint64
+
+	// LedgerID, when nonzero, ties the op to its swap-provenance record:
+	// the engine reports per-stage transfer durations against it.
+	LedgerID uint64
 }
 
 // Reads and Writes return the total page-read/page-write volume of the op
@@ -191,6 +196,10 @@ type SwapEngine struct {
 	// spreads concurrent ops across MaxOps trace tracks.
 	tracer *obs.Tracer
 	opSeq  uint64
+
+	// led (nil when off) receives per-stage transfer durations for ops
+	// carrying a LedgerID; set through Controller.SetLedger.
+	led *ledger.Ledger
 }
 
 // NewSwapEngine builds a swap engine that issues line traffic through
@@ -462,11 +471,15 @@ func (e *SwapEngine) writeDone(r *runningOp) {
 }
 
 func (e *SwapEngine) finishStage(r *runningOp) {
+	now := e.sim.Now()
 	if e.tracer != nil {
 		e.tracer.Complete("swap", fmt.Sprintf("stage-%d", r.stage),
-			obs.TracePidSwap, r.slot, r.stageBegan, e.sim.Now(), "lines", uint64(len(r.order[r.stage])))
-		r.stageBegan = e.sim.Now()
+			obs.TracePidSwap, r.slot, r.stageBegan, now, "lines", uint64(len(r.order[r.stage])))
 	}
+	if e.led != nil && r.op.LedgerID != 0 {
+		e.led.StageDone(r.op.LedgerID, r.stage, now-r.stageBegan)
+	}
+	r.stageBegan = now
 	if r.stage+1 < len(r.op.Stages) {
 		r.stage++
 		e.startStage(r)
@@ -502,6 +515,15 @@ func (e *SwapEngine) finishStage(r *runningOp) {
 	e.putOp(r)
 	if op.OnComplete != nil {
 		op.OnComplete()
+	}
+	// Counter tracks sample the effectiveness totals at every op boundary,
+	// after OnComplete so the sample reflects the committed remap.
+	if e.tracer != nil && e.led != nil {
+		started, useful, unused, open := e.led.Counts()
+		e.tracer.Counter("ledger", "swaps-started", obs.TracePidSwap, now, "value", started)
+		e.tracer.Counter("ledger", "swaps-useful", obs.TracePidSwap, now, "value", useful)
+		e.tracer.Counter("ledger", "swaps-unused", obs.TracePidSwap, now, "value", unused)
+		e.tracer.Counter("ledger", "swaps-open", obs.TracePidSwap, now, "value", open)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"pageseer/internal/hmc"
 	"pageseer/internal/mem"
 	"pageseer/internal/mmu"
+	"pageseer/internal/obs/ledger"
 )
 
 // SegmentBytes is MemPod's migration granularity.
@@ -92,6 +93,7 @@ type pod struct {
 type job struct {
 	segs    []seg
 	waiters []func()
+	lid     uint64 // swap-provenance record ID (0 when the ledger is off)
 }
 
 // MemPod is the baseline manager.
@@ -288,6 +290,11 @@ func (m *MemPod) migrate(pi int, s seg, hotSet map[seg]bool) bool {
 		m.ctl.Oracle.Exchange(uint64(slot), uint64(srcSlot))
 		m.ctl.IssueLine(m.region.EntryAddr(uint64(slot)), true, hmc.PrioSwap, nil)
 		m.remapCache.Prefetch(uint64(s))
+		if led := m.ctl.Ledger(); led != nil {
+			now := m.sim.Now()
+			led.RemapCommitted(j.lid, now)
+			led.Evicted(uint64(displaced.base()), now)
+		}
 		m.stats.Migrations++
 		for _, sg := range j.segs {
 			delete(m.inflight, sg)
@@ -297,7 +304,16 @@ func (m *MemPod) migrate(pi int, s seg, hotSet map[seg]bool) bool {
 		}
 		m.drainPending()
 	}
+	led := m.ctl.Ledger()
+	if led != nil {
+		now := m.sim.Now()
+		dramB, nvmB := m.ctl.OpBytes(op)
+		j.lid = led.SwapStarted(uint64(s.base()), uint64(displaced.base()), true,
+			ledger.TrigRegular, now, now, dramB, nvmB)
+		op.LedgerID = j.lid
+	}
 	if !m.ctl.Engine.Start(op) {
+		led.Abort(j.lid)
 		m.stats.MigrationsDropped++
 		return false
 	}

@@ -21,6 +21,11 @@ type Hint struct {
 	VPN     mem.VPN
 	PTELine mem.Addr
 	LeafPPN mem.PPN
+
+	// Cycle is when the walker computed the final-PTE address — the start
+	// of the hint's causal chain in the swap-provenance ledger. The hint
+	// itself arrives HintLatency cycles later.
+	Cycle uint64
 }
 
 // Hinter receives MMU hints. PageSeer's HMC implements it; baseline
@@ -93,8 +98,9 @@ type MMU struct {
 	walkPort cache.Backend
 	hinter   Hinter
 
-	freeTxn *transTxn
-	liveTxn int // pooled translation records checked out
+	freeTxn  *transTxn
+	liveTxn  int // pooled translation records checked out
+	freeHint *hintTxn
 
 	// Single-walker state: the paper's cores have one page walker, so walks
 	// serialise and one reusable record suffices.
@@ -107,6 +113,38 @@ type MMU struct {
 	wkStepFn  func() // fires when a walk read returns from walkPort
 
 	stats Stats
+}
+
+// hintTxn carries one hint across its wire delay on a pooled record with a
+// pre-bound deliver closure: hints fire on every page walk, so an ad-hoc
+// closure here would put an allocation on the steady-state walk path.
+type hintTxn struct {
+	m    *MMU
+	h    Hint
+	fn   func()
+	next *hintTxn
+}
+
+func (m *MMU) getHint() *hintTxn {
+	t := m.freeHint
+	if t == nil {
+		t = &hintTxn{m: m}
+		t.fn = func() {
+			h := t.h
+			t.m.putHint(t)
+			t.m.hinter.MMUHint(h)
+		}
+		return t
+	}
+	m.freeHint = t.next
+	t.next = nil
+	return t
+}
+
+func (m *MMU) putHint(t *hintTxn) {
+	t.h = Hint{}
+	t.next = m.freeHint
+	m.freeHint = t
 }
 
 // transTxn is one in-flight translation: the lookup payload plus the two
@@ -245,19 +283,22 @@ func (m *MMU) walkLevel() {
 	va, l := m.wkTxn.va, m.wkLevel
 	if l == mem.PTE && m.hinter != nil {
 		// The address of the PTE line is now known: signal the HMC in
-		// parallel with the L2 request (Figure 3, action 1). The hint is
-		// captured by value: its 2-cycle wire delay may still be in flight
+		// parallel with the L2 request (Figure 3, action 1). The hint rides
+		// a pooled record: its 2-cycle wire delay may still be in flight
 		// when the walker state moves on, so it cannot live on the reusable
-		// walk record.
+		// walk record — and hints fire on every walk, so it must not
+		// allocate either.
 		m.stats.Hints++
-		h := Hint{
+		ht := m.getHint()
+		ht.h = Hint{
 			Core:    m.core,
 			PID:     m.pid,
 			VPN:     mem.VPageOf(va),
 			PTELine: mem.LineOf(m.wkWalk.Steps[mem.PTE].EntryAddr),
 			LeafPPN: m.wkWalk.Leaf,
+			Cycle:   m.sim.Now(),
 		}
-		m.sim.After(m.cfg.HintLatency, func() { m.hinter.MMUHint(h) })
+		m.sim.After(m.cfg.HintLatency, ht.fn)
 	}
 	m.stats.WalkReads++
 	meta := cache.Meta{Core: m.core, PID: m.pid, PageWalk: true, IsPTE: l == mem.PTE}

@@ -102,6 +102,17 @@ func (t *Tracer) FlowEnd(cat, name string, id uint64, pid, tid int, ts uint64) {
 	})
 }
 
+// Counter records a counter-track sample: Perfetto plots each distinct
+// (pid, name) as its own counter lane, stepping to value v at ts.
+func (t *Tracer) Counter(cat, name string, pid int, ts uint64, argK string, v uint64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'C', ts: ts, pid: int32(pid), argK: argK, argV: v,
+	})
+}
+
 // jsonEvent is the wire form of one event (Trace Event Format fields).
 type jsonEvent struct {
 	Name string         `json:"name"`

@@ -15,6 +15,7 @@ func TestZeroAllocDisabledSinks(t *testing.T) {
 		tr.Instant("swap", "remap-commit", TracePidSwap, 0, 200, "page", 1)
 		tr.FlowStart("hint", "mmu-hint", 1, TracePidCores, 0, 100)
 		tr.FlowEnd("hint", "mmu-hint", 1, TracePidSwap, 0, 200)
+		tr.Counter("ledger", "swaps-useful", TracePidSwap, 200, "value", 3)
 		// The nil-guarded latency record made per demand request.
 		ls.Record(LatDRAM, 123)
 	})

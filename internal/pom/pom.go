@@ -12,6 +12,7 @@ import (
 	"pageseer/internal/hmc"
 	"pageseer/internal/mem"
 	"pageseer/internal/mmu"
+	"pageseer/internal/obs/ledger"
 )
 
 // SegmentBytes is PoM's swap granularity.
@@ -114,6 +115,7 @@ type PoM struct {
 type job struct {
 	segs    []seg
 	waiters []func()
+	lid     uint64 // swap-provenance record ID (0 when the ledger is off)
 }
 
 // New installs a PoM manager on the controller.
@@ -283,6 +285,11 @@ func (p *PoM) trySwap(s seg) {
 		p.ctl.IssueLine(p.srcRegion.EntryAddr(uint64(fastSlot)), true, hmc.PrioSwap, nil)
 		p.src.Prefetch(uint64(fastSlot))
 		delete(p.counters, s)
+		if led := p.ctl.Ledger(); led != nil {
+			now := p.sim.Now()
+			led.RemapCommitted(j.lid, now)
+			led.Evicted(uint64(displaced.base()), now)
+		}
 		p.stats.Swaps++
 		for _, sg := range j.segs {
 			delete(p.inflight, sg)
@@ -291,7 +298,16 @@ func (p *PoM) trySwap(s seg) {
 			w()
 		}
 	}
+	led := p.ctl.Ledger()
+	if led != nil {
+		now := p.sim.Now()
+		dramB, nvmB := p.ctl.OpBytes(op)
+		j.lid = led.SwapStarted(uint64(s.base()), uint64(displaced.base()), true,
+			ledger.TrigRegular, now, now, dramB, nvmB)
+		op.LedgerID = j.lid
+	}
 	if !p.ctl.Engine.Start(op) {
+		led.Abort(j.lid)
 		p.stats.SwapsDeclined++
 		return
 	}

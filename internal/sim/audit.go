@@ -53,6 +53,7 @@ func (s *System) CheckInvariants() error {
 	if m, ok := s.Ctl.Manager().(auditable); ok {
 		m.Audit(a)
 	}
+	s.led.Audit(a) // nil-safe: no-op without the provenance ledger
 	return a.Err()
 }
 

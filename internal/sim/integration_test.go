@@ -102,7 +102,7 @@ func TestNegativeAccessesBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, neg, _ := res.Effectiveness()
+	_, neg, _ := res.AccessEffectiveness()
 	if neg > 0.25 {
 		t.Fatalf("negative accesses %.1f%% out of control", neg*100)
 	}

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"pageseer/internal/check"
 	"pageseer/internal/core"
 	"pageseer/internal/hmc"
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/ledger"
 )
 
 // Results carries every measurement the paper's figures draw on, for one
@@ -52,6 +54,22 @@ type Results struct {
 	// record (BENCH_campaign.json) divides wall time by. Deterministic
 	// for a given Config, like every other field.
 	EventsFired uint64
+
+	// Effectiveness is the swap-provenance digest (trigger mix, accuracy,
+	// coverage, wasted transfer bytes, hint lead times) from the optional
+	// ledger — zero unless Config.Obs.Ledger is set. Like every other
+	// field it is deterministic and fixed-size, so campaign results stay
+	// DeepEqual-comparable.
+	Effectiveness ledger.Summary
+
+	// Faults counts what the fault injector actually injected (zero
+	// without a fault plan).
+	Faults check.InjectorStats
+
+	// Watchdog reports the liveness watchdog's own activity (zero unless
+	// Config.Audit armed one). It describes the audit apparatus, not the
+	// simulated machine, so result-identity tests compare it separately.
+	Watchdog check.WatchdogStats
 }
 
 // ServiceBreakdown returns the Figure 7 fractions (DRAM, NVM, swap buffer)
@@ -64,9 +82,10 @@ func (r Results) ServiceBreakdown() (dram, nvm, buf float64) {
 	return float64(r.Ctl.ServedDRAM) / tot, float64(r.Ctl.ServedNVM) / tot, float64(r.Ctl.ServedBuf) / tot
 }
 
-// Effectiveness returns the Figure 8 fractions (positive, negative,
-// neutral) over data demand accesses.
-func (r Results) Effectiveness() (pos, neg, neu float64) {
+// AccessEffectiveness returns the Figure 8 fractions (positive, negative,
+// neutral) over data demand accesses. (Per-swap effectiveness — accuracy,
+// coverage, waste — lives in the Effectiveness field, from the ledger.)
+func (r Results) AccessEffectiveness() (pos, neg, neu float64) {
 	tot := float64(r.Ctl.Positive + r.Ctl.Negative + r.Ctl.Neutral)
 	if tot == 0 {
 		return 0, 0, 0
@@ -136,6 +155,13 @@ func (s *System) collect(epochStart uint64) Results {
 	swaps := s.completedSwaps()
 	if r.Instructions > 0 {
 		r.SwapsPerKI = float64(swaps) / (float64(r.Instructions) / 1000)
+	}
+	r.Effectiveness = s.led.Summary()
+	if inj := s.Ctl.Injector(); inj != nil {
+		r.Faults = inj.Stats()
+	}
+	if s.wd != nil {
+		r.Watchdog = s.wd.Stats()
 	}
 	return r
 }

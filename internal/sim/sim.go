@@ -20,6 +20,7 @@ import (
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/ledger"
 	"pageseer/internal/pom"
 	"pageseer/internal/workload"
 )
@@ -120,6 +121,13 @@ type ObsOptions struct {
 	// Trace records swap-lifecycle spans and MMU-hint causality arrows in
 	// Chrome Trace Event Format (System.Tracer, written via WriteJSON).
 	Trace bool
+
+	// Ledger attaches the swap-provenance ledger: per-swap causal records
+	// (trigger, hint lead time, stage durations, remap commit) resolved to
+	// useful / unused / late outcomes and digested into
+	// Results.Effectiveness. Off by default; when off, the hot paths pay
+	// one nil check per hook and allocate nothing.
+	Ledger bool
 }
 
 // ManagerFactory builds a user-defined management scheme on a controller.
@@ -166,8 +174,17 @@ type System struct {
 	Tracer   *obs.Tracer
 	lat      *obs.LatencySet
 
+	// led is the optional swap-provenance ledger (Config.Obs.Ledger);
+	// wd is the liveness watchdog armed by Config.Audit. Both nil when off.
+	led *ledger.Ledger
+	wd  *check.Watchdog
+
 	doneCores int
 }
+
+// Ledger returns the run's swap-provenance ledger (nil unless
+// Config.Obs.Ledger was set).
+func (s *System) Ledger() *ledger.Ledger { return s.led }
 
 // BuildWithManager assembles a system around a user-defined management
 // scheme — the extension point for custom policies (see
@@ -236,6 +253,11 @@ func Build(cfg Config) (*System, error) {
 	if cfg.Obs.TimelineEvery > 0 {
 		sys.Timeline = obs.NewTimeline(cfg.Obs.TimelineEvery, sys.timelineCounters)
 	}
+	if cfg.Obs.Ledger {
+		// Install before the manager so schemes may cache the ledger.
+		sys.led = ledger.New(swapUnitShift(cfg.Scheme))
+		ctl.SetLedger(sys.led)
+	}
 
 	switch {
 	case cfg.customManager != nil:
@@ -263,18 +285,19 @@ func Build(cfg Config) (*System, error) {
 	if sys.PageSeer != nil || cfg.customManager != nil {
 		hinter = ctl
 	}
-	// TLB reach scales with the *active* working set, which shrinks like
-	// the square root of the memory scale (same reasoning as the
-	// controller's SRAM caches): linear scaling would leave toy TLBs that
-	// miss on every page flurry and inflate the page-walk rate far beyond
-	// the paper's regime.
+	// TLB reach scales linearly with the memory scale, like the footprints
+	// themselves: the workload generators derive their phase windows as a
+	// fixed fraction of the (linearly scaled) footprint, so only linear TLB
+	// scaling preserves the paper's window-to-reach pressure ratio (a
+	// GemsFDTD phase window is ~5.7x the L2 TLB's reach at every scale).
+	// Square-root scaling — used for the SRAM caches — would leave a TLB
+	// that covers the whole scaled window, so hot-page revisits would never
+	// page-walk and the paper's headline MMU-hint trigger (Figure 3) could
+	// never fire on a PCT-trained page. The ways floor in scaleCount keeps
+	// the smallest TLBs functional.
 	mcfg := mmu.DefaultConfig()
-	root := 1
-	for (root+1)*(root+1) <= cfg.Scale {
-		root++
-	}
-	mcfg.L1TLB.Entries = scaleCount(mcfg.L1TLB.Entries, root, mcfg.L1TLB.Ways)
-	mcfg.L2TLB.Entries = scaleCount(mcfg.L2TLB.Entries, root, mcfg.L2TLB.Ways)
+	mcfg.L1TLB.Entries = scaleCount(mcfg.L1TLB.Entries, cfg.Scale, mcfg.L1TLB.Ways)
+	mcfg.L2TLB.Entries = scaleCount(mcfg.L2TLB.Entries, cfg.Scale, mcfg.L2TLB.Ways)
 
 	for i := 0; i < nCores; i++ {
 		pid := pids[i]
@@ -292,6 +315,22 @@ func Build(cfg Config) (*System, error) {
 	}
 	preTouch(osm, pids, feet)
 	return sys, nil
+}
+
+// swapUnitShift returns the log2 of a scheme's swap granularity — the
+// ledger's addr->unit conversion. PageSeer and Static move 4KB pages, PoM
+// and MemPod 2KB segments, CAMEO 64B lines. Custom managers default to
+// page granularity.
+func swapUnitShift(scheme Scheme) uint {
+	switch scheme {
+	case SchemePoM:
+		return 11 // pom.SegmentBytes
+	case SchemeMemPod:
+		return 11 // mempod.SegmentBytes
+	case SchemeCAMEO:
+		return mem.LineShift
+	}
+	return mem.PageShift
 }
 
 func installScheme(cfg Config, sys *System, ctl *hmc.Controller) error {
@@ -532,8 +571,8 @@ func (s *System) Run() (res Results, err error) {
 		}
 	}()
 	if s.Cfg.Audit {
-		wd := check.NewWatchdog(watchdogWindow, watchdogStrikes, s.progress, s.Sim.Now)
-		s.Sim.SetWatchdog(wd.Window(), wd.Tick)
+		s.wd = check.NewWatchdog(watchdogWindow, watchdogStrikes, s.progress, s.Sim.Now)
+		s.Sim.SetWatchdog(s.wd.Window(), s.wd.Tick)
 		defer s.Sim.SetWatchdog(0, nil)
 	}
 	if s.Cfg.Warmup > 0 {

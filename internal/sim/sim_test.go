@@ -50,7 +50,7 @@ func TestAllSchemesRunAndVerify(t *testing.T) {
 		if sum := d + n + b; sum < 0.999 || sum > 1.001 {
 			t.Fatalf("%s: service fractions sum to %f", sch, sum)
 		}
-		pos, neg, neu := res.Effectiveness()
+		pos, neg, neu := res.AccessEffectiveness()
 		if sum := pos + neg + neu; sum < 0.999 || sum > 1.001 {
 			t.Fatalf("%s: effectiveness fractions sum to %f", sch, sum)
 		}
@@ -230,7 +230,7 @@ func TestPageSeerEndToEndShapes(t *testing.T) {
 	if pd+pb <= sd {
 		t.Fatalf("PageSeer fast-service %.3f not above static %.3f", pd+pb, sd)
 	}
-	pos, _, _ := ps.Effectiveness()
+	pos, _, _ := ps.AccessEffectiveness()
 	if pos == 0 {
 		t.Fatal("no positive accesses despite swapping")
 	}

@@ -28,7 +28,7 @@ func TestSmokeRun(t *testing.T) {
 				t.Fatal(err)
 			}
 			d, n, b := r.ServiceBreakdown()
-			pos, neg, _ := r.Effectiveness()
+			pos, neg, _ := r.AccessEffectiveness()
 			fmt.Printf("%-9s %-9s ipc=%.2f ammat=%.0f dram=%.2f nvm=%.2f buf=%.3f pos=%.2f neg=%.3f swaps/ki=%.3f\n",
 				wl, sch, r.IPC, r.AMMAT, d, n, b, pos, neg, r.SwapsPerKI)
 		}

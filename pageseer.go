@@ -26,6 +26,7 @@ import (
 	"pageseer/internal/core"
 	"pageseer/internal/figures"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/ledger"
 	"pageseer/internal/sim"
 	"pageseer/internal/workload"
 )
@@ -83,6 +84,25 @@ type LatencySummary = obs.LatencySummary
 // LatencyDist is one source's latency distribution (count, mean,
 // p50/p90/p99, max) within a LatencySummary.
 type LatencyDist = obs.Dist
+
+// EffectivenessSummary is the swap-provenance digest in
+// Results.Effectiveness (trigger mix, accuracy, coverage, wasted transfer
+// bytes, hint lead times) — zero unless Config.Obs.Ledger is set.
+type EffectivenessSummary = ledger.Summary
+
+// SwapTrigger classifies what caused a ledger-tracked swap: the HPT
+// threshold, a PCT correlation, an MMU hint, or follower correlation.
+type SwapTrigger = ledger.Trigger
+
+// The swap-trigger taxonomy (indexes into EffectivenessSummary's
+// per-trigger arrays).
+const (
+	TrigRegular  = ledger.TrigRegular
+	TrigPCT      = ledger.TrigPCT
+	TrigMMU      = ledger.TrigMMU
+	TrigFollower = ledger.TrigFollower
+	NumTriggers  = ledger.NumTriggers
+)
 
 // RunError is the structured failure of one run: identity (workload, scheme,
 // seed), where the event loop stood, the cause, and a rendered crashdump.

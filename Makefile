@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard effectiveness-smoke ledger-overhead invariants chaos-smoke chaos fuzz-validate trace-demo
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke ledger-overhead invariants chaos-smoke chaos fuzz-validate trace-demo
 
 ## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
 ## one-shot figure-campaign smoke bench, the alloc-budget guards, the
-## campaign-throughput regression gate, the swap-provenance effectiveness
-## smoke, the invariant-audit gate, and a fault-injection smoke run.
-tier1: vet build race benchsmoke allocguard benchguard effectiveness-smoke invariants chaos-smoke
+## campaign-throughput regression gate, the parallel-executor differential
+## under -race, the swap-provenance effectiveness smoke, the
+## invariant-audit gate, and a fault-injection smoke run.
+tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke invariants chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,8 +34,11 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## campaign-bench: regenerate BENCH_campaign.json from the quick campaign.
+## The note pins the host core count: jrun speedups only mean anything
+## against a record that says how many cores the baseline had to work with.
 campaign-bench:
-	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson BENCH_campaign.json
+	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson BENCH_campaign.json \
+		-benchnote "host: $$(nproc) CPU(s); jrun 1 (serial reference engine)"
 
 ## allocguard: testing.AllocsPerRun proofs that (a) the observability hot
 ## path pays zero allocations with sinks disabled, (b) a disabled
@@ -57,6 +61,24 @@ benchguard:
 	$(GO) run ./cmd/paper-figures -quick -all -effectiveness -quiet -benchjson .benchguard_ledger.json
 	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_ledger.json -tolerance 0.05 -warnonly -label "ledger-on overhead"
 	@rm -f .benchguard_head.json .benchguard_ledger.json
+
+## parallel-smoke: the epoch-barrier executor's correctness gate — the
+## full-system differential (all five schemes plus the ablation, Results
+## DeepEqual at jrun 1 vs jrun 4) and the engine-level ordering, audit,
+## and failure-path tests, all under the race detector. This is also the
+## executor's data-race gate: a mis-sharded send into a lane that is
+## recording in the same run is exactly a data race, and -race is the
+## detector that owns it.
+parallel-smoke:
+	$(GO) test -race -count=1 -run 'TestParallel|TestMisSharded|TestBarrierResidue|TestLanePanic|TestSerialPathUntouched|TestShardViolation' ./internal/engine ./internal/sim
+
+## parallel: the PAGESEER_PARALLEL=1 matrix — rerun the invariant and
+## effectiveness smokes with every run on the epoch executor at jrun 4,
+## proving the audits and the ledger see the identical machine the serial
+## engine builds.
+parallel: parallel-smoke
+	PAGESEER_PARALLEL=1 PAGESEER_INVARIANTS_FULL=1 $(GO) test -run TestAuditPassesAndMatchesBaseline -count=1 ./internal/sim
+	PAGESEER_PARALLEL=1 $(GO) test -run 'TestEffectivenessSmoke|TestEffectivenessAllSchemes|TestChaosSmoke|TestChaosDeterministic' -count=1 ./internal/sim
 
 ## effectiveness-smoke: run one PageSeer quick workload with the
 ## swap-provenance ledger armed and assert the acceptance bar: all three

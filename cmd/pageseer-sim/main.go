@@ -5,6 +5,9 @@
 // -workload accepts one name, a comma-separated list, or "all"; with more
 // than one workload the runs fan out across -j workers (each run stays
 // single-threaded and deterministic) and reports print in argument order.
+// -jrun N additionally parallelises events inside each run across N shard
+// lanes under the engine's epoch barrier; results are bit-identical to
+// -jrun 1, so it is purely a wall-clock lever on multi-core hosts.
 //
 // Observability: -effectiveness attaches the swap-provenance ledger and
 // prints the per-trigger swap mix, accuracy/coverage, wasted transfer
@@ -52,6 +55,7 @@ func main() {
 		cores  = flag.Int("maxcores", 0, "cap on core count (0 = paper counts)")
 		nobw   = flag.Bool("nobw", false, "disable the Swap Driver bandwidth heuristic")
 		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel runs when multiple workloads are given")
+		jrun   = flag.Int("jrun", 1, "intra-run event parallelism (epoch-barrier executor; 1 = serial reference engine, results identical at any width)")
 		list   = flag.Bool("list", false, "list workloads and exit")
 
 		audit     = flag.Bool("audit", false, "run end-of-run invariant audits and the liveness watchdog")
@@ -108,6 +112,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.MaxCores = *cores
+	cfg.Jrun = *jrun
 	cfg.DisableBWOpt = *nobw
 	cfg.Audit = *audit
 	fk, err := pageseer.ParseFault(*fault)

@@ -63,7 +63,8 @@ func main() {
 		maxCores  = flag.Int("maxcores", 0, "cap on cores per workload (0 = paper counts)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress")
-		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation runs (campaign-level; each run stays single-threaded)")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation runs (campaign-level; each run stays single-threaded unless -jrun asks otherwise)")
+		jrun      = flag.Int("jrun", 1, "intra-run event parallelism per simulation (epoch-barrier executor; 1 = serial reference engine, results identical at any width)")
 		benchJSON = flag.String("benchjson", "", "write per-run wall-clock/throughput records to this JSON file")
 		benchNote = flag.String("benchnote", "", "free-form note recorded in the -benchjson output (e.g. serial-vs-parallel comparison)")
 
@@ -117,6 +118,7 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 	opts.Parallelism = *jobs
+	opts.Jrun = *jrun
 	opts.Audit = *audit
 	opts.Retry = *retry
 	fk, err := check.ParseFault(*fault)
@@ -341,6 +343,7 @@ type campaignBench struct {
 	GoMaxProcs       int                 `json:"go_max_procs"`
 	NumCPU           int                 `json:"num_cpu"`
 	Parallelism      int                 `json:"parallelism"`
+	Jrun             int                 `json:"jrun"`
 	Quick            bool                `json:"quick"`
 	Workloads        []string            `json:"workloads"`
 	Runs             []figures.RunMetric `json:"runs"`
@@ -366,12 +369,17 @@ func writeMemProfile(path string) {
 }
 
 func writeBenchJSON(path string, r *figures.Runner, opts figures.Options, jobs int, quick bool, wall time.Duration, note string) error {
+	jrun := opts.Jrun
+	if jrun < 1 {
+		jrun = 1
+	}
 	b := campaignBench{
 		Generated:        time.Now().UTC().Format(time.RFC3339),
 		Note:             note,
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 		NumCPU:           runtime.NumCPU(),
 		Parallelism:      jobs,
+		Jrun:             jrun,
 		Quick:            quick,
 		Workloads:        opts.Workloads,
 		Runs:             r.Metrics(),

@@ -145,7 +145,7 @@ func (s *Stats) Add(o Stats) {
 
 // Cache is one level of the hierarchy.
 type Cache struct {
-	sim  *engine.Sim
+	sim  *engine.Lane
 	cfg  Config
 	next Backend
 
@@ -163,8 +163,11 @@ type Cache struct {
 	liveMSHR int
 }
 
-// New builds a cache over the given backend.
-func New(sim *engine.Sim, cfg Config, next Backend) *Cache {
+// New builds a cache over the given backend. sim is the cache's shard lane
+// (a private cache shares its core's lane; the LLC lives on the shared
+// lane), so scheduled lookups and fills land on the owning shard under the
+// epoch executor.
+func New(sim *engine.Lane, cfg Config, next Backend) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}

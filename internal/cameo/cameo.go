@@ -78,7 +78,7 @@ type blk uint64 // global block index (addr >> 6)
 
 // CAMEO is the baseline manager.
 type CAMEO struct {
-	sim *engine.Sim
+	lane *engine.Lane // shared back-end shard (lane 0)
 	ctl *hmc.Controller
 	cfg Config
 
@@ -104,7 +104,7 @@ type job struct {
 // New installs a CAMEO manager on the controller.
 func New(ctl *hmc.Controller, cfg Config) *CAMEO {
 	c := &CAMEO{
-		sim:        ctl.Sim,
+		lane:       ctl.Lane,
 		ctl:        ctl,
 		cfg:        cfg,
 		fastBlocks: blk(ctl.Layout.DRAMBytes / BlockBytes),
@@ -113,7 +113,7 @@ func New(ctl *hmc.Controller, cfg Config) *CAMEO {
 		inflight:   make(map[blk]*job),
 	}
 	c.region = ctl.AllocMetaRegion(cfg.RemapTableBytes, 4)
-	c.remapCache = hmc.NewMetaCache(ctl.Sim, hmc.MetaCacheConfig{
+	c.remapCache = hmc.NewMetaCache(ctl.Lane, hmc.MetaCacheConfig{
 		Name: "CAMEORemap", Entries: cfg.RemapEntries, Ways: cfg.RemapWays,
 		HitLatency: cfg.RemapLatency, EntriesPerLine: 16,
 	}, c.region, ctl.IssueLine)
@@ -212,7 +212,7 @@ func (c *CAMEO) trySwap(b blk) {
 		c.ctl.Oracle.Exchange(uint64(fastSlot), uint64(slowSlot))
 		c.ctl.IssueLine(c.region.EntryAddr(uint64(fastSlot)), true, hmc.PrioSwap, nil)
 		if led := c.ctl.Ledger(); led != nil {
-			now := c.sim.Now()
+			now := c.lane.Now()
 			led.RemapCommitted(j.lid, now)
 			led.Evicted(uint64(displaced.base()), now)
 		}
@@ -225,7 +225,7 @@ func (c *CAMEO) trySwap(b blk) {
 	}
 	led := c.ctl.Ledger()
 	if led != nil {
-		now := c.sim.Now()
+		now := c.lane.Now()
 		dramB, nvmB := c.ctl.OpBytes(op)
 		j.lid = led.SwapStarted(uint64(b.base()), uint64(displaced.base()), true,
 			ledger.TrigRegular, now, now, dramB, nvmB)

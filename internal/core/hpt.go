@@ -18,7 +18,7 @@ import (
 // halvings that elapsed since the last one — an exact, deterministic
 // equivalent of the paper's fixed-interval counter halving.
 type HPT struct {
-	sim        *engine.Sim
+	lane       *engine.Lane // shared back-end shard (lane 0)
 	interval   uint64
 	capacity   int
 	counterMax uint32
@@ -32,9 +32,9 @@ type HPT struct {
 
 // NewHPT builds an empty hot page table that halves counters every
 // interval CPU cycles of sim time.
-func NewHPT(sim *engine.Sim, interval uint64, capacity int, counterMax uint32) *HPT {
+func NewHPT(lane *engine.Lane, interval uint64, capacity int, counterMax uint32) *HPT {
 	return &HPT{
-		sim:        sim,
+		lane:       lane,
 		interval:   interval,
 		capacity:   capacity,
 		counterMax: counterMax,
@@ -46,7 +46,7 @@ func (h *HPT) maybeDecay() {
 	if h.interval == 0 {
 		return
 	}
-	now := h.sim.Now()
+	now := h.lane.Now()
 	for h.lastDecay+h.interval <= now {
 		h.lastDecay += h.interval
 		h.decays++

@@ -48,7 +48,7 @@ func (s CoreStats) IPC() float64 {
 
 // Core executes one workload trace through an MMU and an L1 cache.
 type Core struct {
-	sim *engine.Sim
+	sim *engine.Lane
 	id  int
 	pid int
 	cfg CoreConfig
@@ -88,8 +88,10 @@ type memTxn struct {
 	next    *memTxn
 }
 
-// NewCore wires a core to its MMU, L1, and trace generator.
-func NewCore(sim *engine.Sim, id, pid int, cfg CoreConfig, m *mmu.MMU, l1 *cache.Cache, gen workload.Generator) *Core {
+// NewCore wires a core to its MMU, L1, and trace generator. sim is the
+// core's shard lane, so the frontend's self-scheduling stays on its own
+// shard under the epoch executor.
+func NewCore(sim *engine.Lane, id, pid int, cfg CoreConfig, m *mmu.MMU, l1 *cache.Cache, gen workload.Generator) *Core {
 	if cfg.MaxOutstanding < 1 {
 		cfg.MaxOutstanding = 1
 	}

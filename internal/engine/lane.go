@@ -1,0 +1,146 @@
+package engine
+
+import "fmt"
+
+// Lane is a per-shard scheduling handle. Components hold a Lane instead of
+// the raw Sim; in serial mode every Lane call forwards straight to the
+// shared queue, so the handle costs one branch over calling the Sim
+// directly. In parallel mode (EnableParallel) events scheduled through a
+// Lane are tagged with the shard they belong to, and while the lane's
+// events are executing on a worker the handle records schedules and
+// deferred calls into a per-lane log that the barrier commit replays in
+// global (cycle, seq) order — reproducing the serial engine's sequence
+// assignment exactly.
+//
+// Lane 0 is the shared lane: its events always run inline on the engine
+// thread, with every worker idle, so shared components (LLC, memory
+// controller, swap engine) need no changes and their synchronous calls into
+// core-side components land exactly where the serial engine would put them.
+type Lane struct {
+	s  *Sim
+	id int
+
+	// Recording state. Owned by the executing worker between dispatch and
+	// barrier, by the engine thread otherwise; the dispatch channel and the
+	// barrier's atomic countdown order the handoffs.
+	rec   bool
+	inSeg bool
+	evs   []event // this shard's slice of the current run (+ local spawns)
+	execd int     // events executed so far
+	log   []laneEntry
+	marks []int // per executed event: exclusive end index into log
+
+	// Commit cursors (engine thread only).
+	markIdx int
+	logIdx  int
+
+	panicked   bool
+	panicVal   any
+	panicStack []byte
+}
+
+// laneEntryKind classifies one recorded effect.
+type laneEntryKind uint8
+
+const (
+	// entrySchedule is a future-cycle schedule onto this lane.
+	entrySchedule laneEntryKind = iota
+	// entryLocal is a same-cycle schedule onto this lane: the event executes
+	// within the current run (appended to evs); the commit consumes a global
+	// sequence number for it at replay time, exactly where the serial engine
+	// would have assigned one.
+	entryLocal
+	// entryCall is a deferred cross-shard call (Lane.Defer): replayed on the
+	// engine thread at the originating event's position in fire order.
+	entryCall
+)
+
+type laneEntry struct {
+	kind  laneEntryKind
+	cycle uint64
+	fn    func()
+}
+
+// Lane returns shard handle i, creating handles up to i on first use.
+// Handle 0 (the shared lane) always exists once any handle does.
+func (s *Sim) Lane(i int) *Lane {
+	if i < 0 || i >= MaxLanes {
+		panic(fmt.Sprintf("engine: lane %d out of range", i))
+	}
+	for len(s.lanes) <= i {
+		s.lanes = append(s.lanes, &Lane{s: s, id: len(s.lanes)})
+	}
+	return s.lanes[i]
+}
+
+// ID returns the lane's shard index (0 = shared lane).
+func (l *Lane) ID() int { return l.id }
+
+// Now returns the current cycle. The clock is frozen for the duration of an
+// epoch, so reading it from a worker is safe and equals what the serial
+// engine would report for the same event.
+func (l *Lane) Now() uint64 { return l.s.now }
+
+// At schedules fn at an absolute cycle on this lane, with the serial
+// engine's contract: past cycles panic, the current cycle is legal and
+// fires after already-queued same-cycle events.
+func (l *Lane) At(cycle uint64, fn func()) {
+	if l.rec {
+		if cycle <= l.s.now {
+			if cycle < l.s.now {
+				panic(fmt.Sprintf("engine: scheduling at cycle %d before now %d", cycle, l.s.now))
+			}
+			l.log = append(l.log, laneEntry{kind: entryLocal, cycle: cycle, fn: fn})
+			l.evs = append(l.evs, event{cycle: cycle, seq: uint64(l.id), fn: fn})
+			return
+		}
+		l.log = append(l.log, laneEntry{kind: entrySchedule, cycle: cycle, fn: fn})
+		return
+	}
+	if l.s.par != nil && l.s.par.inRun {
+		// This handle was used while some other shard's events were
+		// executing — a mis-sharded send. Record the violation and serialise
+		// the insert so the run survives to report it through the audit.
+		l.s.par.strayAt(l.id, cycle, fn)
+		return
+	}
+	l.s.at(cycle, fn, l.id)
+}
+
+// After schedules fn delay cycles from now on this lane.
+func (l *Lane) After(delay uint64, fn func()) {
+	l.At(l.s.now+delay, fn)
+}
+
+// Defer runs fn now if called from the engine thread, or records it for
+// replay at the barrier if called while the lane is recording — the
+// primitive cross-shard portals are built from. Deferred calls replay on
+// the engine thread in the originating event's (cycle, seq) position, so
+// their side effects (including any scheduling they do) land exactly where
+// the serial engine would have produced them.
+func (l *Lane) Defer(fn func()) {
+	if l.rec {
+		l.log = append(l.log, laneEntry{kind: entryCall, fn: fn})
+		return
+	}
+	if l.s.par != nil && l.s.par.inRun {
+		l.s.par.strayDefer(l.id, fn)
+		return
+	}
+	fn()
+}
+
+// resetBuffers clears the lane's run state, releasing captured closures.
+func (l *Lane) resetBuffers() {
+	for i := range l.evs {
+		l.evs[i] = event{}
+	}
+	l.evs = l.evs[:0]
+	for i := range l.log {
+		l.log[i] = laneEntry{}
+	}
+	l.log = l.log[:0]
+	l.marks = l.marks[:0]
+	l.execd, l.markIdx, l.logIdx = 0, 0, 0
+	l.rec, l.inSeg = false, false
+}

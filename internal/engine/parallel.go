@@ -1,0 +1,456 @@
+// Epoch-barrier parallel execution.
+//
+// The executor shards one simulated machine along its hardware seams: lane
+// 0 holds the shared back end (LLC, memory controller, swap engine, memory
+// modules), lanes 1..n the per-core front ends. Because the simulator's
+// component graph composes synchronously (an L2 miss *calls* the L3, a fill
+// *calls* its waiters), the usable conservative lookahead between shards is
+// zero cycles — so epochs are single cycles, and within a cycle the global
+// (cycle, seq) order is preserved by construction:
+//
+//   - The cycle's events are gathered in seq order and partitioned into
+//     maximal runs of core-lane events separated by shared-lane events.
+//   - A run's events execute concurrently, each lane in its own seq order,
+//     touching only lane-local state; schedules and cross-shard calls are
+//     recorded, not applied.
+//   - At the run's barrier the logs are replayed on the engine thread in
+//     the originating events' seq order, assigning real global sequence
+//     numbers — byte-identical to what the serial engine would assign.
+//   - Shared-lane events run inline on the engine thread with all workers
+//     idle, so their synchronous calls into core-side components (fill
+//     returns, waiter chains) execute exactly at their serial position.
+//
+// Determinism therefore does not depend on thread scheduling at all; the
+// differential tests in internal/sim pin Results equality against the
+// serial engine for every scheme.
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// maxShardViolations bounds the violation list a broken run can accumulate.
+const maxShardViolations = 64
+
+// parallel is the epoch executor's state. nil on a serial Sim.
+type parallel struct {
+	s       *Sim
+	workers int // total execution contexts, including the engine thread
+
+	// inRun is true while a multi-lane run is executing on the workers. The
+	// engine thread writes it before dispatch and after the barrier; workers
+	// observe it through the dispatch channel's happens-before edge.
+	inRun bool
+
+	mu         sync.Mutex
+	violations []string
+
+	seg    []event // current cycle's gathered events, in seq order
+	segPos int     // events already executed or handed to lanes
+	active []*Lane // lanes of the current run
+	order  []*Lane // per gathered run event: its lane, in seq order
+	fifo   []*Lane // commit order of locally-spawned events
+
+	started   bool
+	work      chan *Lane
+	quit      chan struct{}
+	doneCh    chan struct{}
+	remaining atomic.Int32
+}
+
+// EnableParallel arms the epoch executor with the given number of execution
+// contexts (including the engine thread). workers <= 1 is a no-op: the
+// serial path stays untouched as the reference mode. Worker goroutines
+// start lazily at the first multi-shard run; call ReleaseWorkers when the
+// Sim is done to stop them.
+func (s *Sim) EnableParallel(workers int) {
+	if workers <= 1 {
+		return
+	}
+	if s.par != nil {
+		s.par.workers = workers
+		return
+	}
+	s.Lane(0)
+	s.par = &parallel{s: s, workers: workers}
+}
+
+// ParallelWorkers returns the armed execution-context count (1 = serial).
+func (s *Sim) ParallelWorkers() int {
+	if s.par == nil {
+		return 1
+	}
+	return s.par.workers
+}
+
+// ReleaseWorkers stops the executor's goroutines. The Sim remains armed and
+// restarts them lazily if stepped again; safe to call on a serial Sim.
+func (s *Sim) ReleaseWorkers() {
+	p := s.par
+	if p == nil || !p.started {
+		return
+	}
+	close(p.quit)
+	p.started = false
+}
+
+// RecordShardViolation notes a cross-shard discipline breach for the
+// end-of-run audit (see ShardViolations). No-op on a serial Sim.
+func (s *Sim) RecordShardViolation(msg string) {
+	if s.par == nil {
+		return
+	}
+	s.par.mu.Lock()
+	s.par.noteLocked(msg)
+	s.par.mu.Unlock()
+}
+
+// ShardViolations returns the cross-shard discipline breaches detected so
+// far: mis-sharded sends (a lane handle used outside its shard while a
+// parallel run was executing) and post-epoch barrier residue (a lane still
+// holding uncommitted events older than the barrier cycle). Empty on a
+// healthy run, and always empty on a serial Sim.
+func (s *Sim) ShardViolations() []string {
+	p := s.par
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.violations) == 0 {
+		return nil
+	}
+	out := make([]string, len(p.violations))
+	copy(out, p.violations)
+	return out
+}
+
+func (p *parallel) noteLocked(msg string) {
+	if len(p.violations) < maxShardViolations {
+		p.violations = append(p.violations, msg)
+	}
+}
+
+// strayAt serialises a mis-sharded schedule so the run can continue to the
+// audit instead of corrupting the queue. The engine thread is parked at the
+// barrier while workers run, so the queue is safe to touch under mu.
+func (p *parallel) strayAt(lane int, cycle uint64, fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.noteLocked(fmt.Sprintf(
+		"mis-sharded send: lane %d handle scheduled for cycle %d from outside its shard during a parallel run at cycle %d",
+		lane, cycle, p.s.now))
+	p.s.at(cycle, fn, lane)
+}
+
+// strayDefer handles a mis-sharded cross-shard call: the target state is
+// not safely reachable from a worker, so the call is deferred to the
+// current run's commit via the shared lane's log position — behaviour is no
+// longer byte-identical to serial, which is exactly what the recorded
+// violation reports.
+func (p *parallel) strayDefer(lane int, fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.noteLocked(fmt.Sprintf(
+		"mis-sharded call: lane %d handle invoked from outside its shard during a parallel run at cycle %d",
+		lane, p.s.now))
+	p.s.at(p.s.now, fn, lane)
+}
+
+// LanePanic wraps a panic raised inside a worker lane. The executor picks
+// the lowest-numbered panicking lane (lane outcomes are deterministic, so
+// the choice is too) and re-panics with one LanePanic on the engine thread,
+// which the sim layer converts into a single structured RunError.
+type LanePanic struct {
+	Lane  int
+	Cycle uint64
+	Value any
+	Stack []byte
+}
+
+func (e *LanePanic) Error() string {
+	return fmt.Sprintf("engine: lane %d panicked at cycle %d: %v", e.Lane, e.Cycle, e.Value)
+}
+
+// ensureWorkers lazily starts the worker goroutines.
+func (p *parallel) ensureWorkers() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.work = make(chan *Lane, len(p.s.lanes)+8)
+	p.quit = make(chan struct{})
+	p.doneCh = make(chan struct{}, 1)
+	// Workers capture their generation's channels: after ReleaseWorkers the
+	// fields are rebuilt for the next generation while old goroutines may
+	// still be observing the closed quit channel.
+	for i := 0; i < p.workers-1; i++ {
+		go p.worker(p.work, p.quit, p.doneCh)
+	}
+}
+
+func (p *parallel) worker(work chan *Lane, quit chan struct{}, done chan struct{}) {
+	for {
+		select {
+		case l := <-work:
+			l.runSegment()
+			if p.remaining.Add(-1) == 0 {
+				done <- struct{}{}
+			}
+		case <-quit:
+			return
+		}
+	}
+}
+
+// runSegment executes the lane's share of the current run in seq order.
+// Same-cycle local spawns append to evs and execute in place; the indexed
+// loop picks them up. A panic is captured, not propagated — the engine
+// thread re-raises it deterministically after the barrier.
+func (l *Lane) runSegment() {
+	defer func() {
+		if r := recover(); r != nil {
+			l.panicked = true
+			l.panicVal = r
+			l.panicStack = debug.Stack()
+		}
+	}()
+	for l.execd < len(l.evs) {
+		l.evs[l.execd].fn()
+		l.execd++
+		l.marks = append(l.marks, len(l.log))
+	}
+}
+
+// stepEpochCycle executes one full cycle as an epoch: hooks at the cycle
+// boundary, then alternating inline shared events and parallel core-lane
+// runs in (cycle, seq) order until the cycle produces no more events.
+func (s *Sim) stepEpochCycle() bool {
+	c, ok := s.peekCycle()
+	if !ok {
+		return false
+	}
+	s.now = c
+	s.fireHooks()
+	p := s.par
+	for {
+		p.seg = p.seg[:0]
+		p.segPos = 0
+		for {
+			cc, ok := s.peekCycle()
+			if !ok || cc != c {
+				break
+			}
+			e, _ := s.next()
+			p.seg = append(p.seg, e)
+		}
+		if len(p.seg) == 0 {
+			break
+		}
+		for p.segPos < len(p.seg) {
+			e := p.seg[p.segPos]
+			if e.lane() == 0 {
+				// Shared-lane event: inline, workers idle — serial semantics.
+				p.seg[p.segPos] = event{}
+				p.segPos++
+				s.fire++
+				e.fn()
+				continue
+			}
+			j := p.segPos + 1
+			for j < len(p.seg) && p.seg[j].lane() != 0 {
+				j++
+			}
+			run := p.seg[p.segPos:j]
+			p.segPos = j
+			s.runParallel(run)
+		}
+	}
+	s.postEpoch(c)
+	return true
+}
+
+// runParallel executes one maximal run of core-lane events. Single-shard
+// runs — the common case at small core counts — execute inline with no
+// recording, exactly as the serial engine would.
+func (s *Sim) runParallel(run []event) {
+	p := s.par
+	p.active = p.active[:0]
+	p.order = p.order[:0]
+	for i, e := range run {
+		l := s.lanes[e.lane()]
+		if !l.inSeg {
+			l.inSeg = true
+			p.active = append(p.active, l)
+		}
+		l.evs = append(l.evs, e)
+		p.order = append(p.order, l)
+		run[i] = event{}
+	}
+	if len(p.active) == 1 {
+		l := p.active[0]
+		for i := 0; i < len(l.evs); i++ {
+			s.fire++
+			l.evs[i].fn()
+		}
+		l.resetBuffers()
+		return
+	}
+
+	for _, l := range p.active {
+		l.rec = true
+	}
+	p.ensureWorkers()
+	p.remaining.Store(int32(len(p.active)))
+	p.inRun = true
+	for _, l := range p.active[1:] {
+		p.work <- l
+	}
+	p.active[0].runSegment()
+	if p.remaining.Add(-1) > 0 {
+		<-p.doneCh
+	}
+	p.inRun = false
+
+	var panicked *Lane
+	for _, l := range p.active {
+		if l.panicked && (panicked == nil || l.id < panicked.id) {
+			panicked = l
+		}
+	}
+	if panicked != nil {
+		// Leave lane buffers in place: SnapshotPending/Pending fold them in,
+		// so the crashdump shows the un-run and uncommitted events.
+		panic(&LanePanic{
+			Lane:  panicked.id,
+			Cycle: s.now,
+			Value: panicked.panicVal,
+			Stack: panicked.panicStack,
+		})
+	}
+	s.commitRun()
+}
+
+// commitRun replays the run's recorded effects on the engine thread in
+// global (cycle, seq) order: first each gathered event's log group in seq
+// order, then locally-spawned events' groups in the order their sequence
+// numbers were assigned (FIFO — matching the serial engine, where a spawn's
+// seq exceeds every previously scheduled event's).
+func (s *Sim) commitRun() {
+	p := s.par
+	p.fifo = p.fifo[:0]
+	for _, l := range p.order {
+		s.commitOne(l)
+	}
+	for k := 0; k < len(p.fifo); k++ {
+		s.commitOne(p.fifo[k])
+	}
+	for _, l := range p.active {
+		if l.markIdx != len(l.marks) || l.logIdx != len(l.log) || l.execd != len(l.evs) {
+			p.mu.Lock()
+			p.noteLocked(fmt.Sprintf(
+				"barrier residue: lane %d holds uncommitted records behind barrier cycle %d (marks %d/%d, log %d/%d, events %d/%d)",
+				l.id, s.now, l.markIdx, len(l.marks), l.logIdx, len(l.log), l.execd, len(l.evs)))
+			p.mu.Unlock()
+		}
+		l.resetBuffers()
+	}
+	for i := range p.fifo {
+		p.fifo[i] = nil
+	}
+	p.fifo = p.fifo[:0]
+}
+
+// commitOne replays the next executed event's log group from lane l:
+// future schedules get real sequence numbers, local spawns consume the
+// sequence number the serial engine would have given them (their own groups
+// join the FIFO), and deferred cross-shard calls run here, on the engine
+// thread, in their serial position.
+func (s *Sim) commitOne(l *Lane) {
+	p := s.par
+	m := l.marks[l.markIdx]
+	l.markIdx++
+	for ; l.logIdx < m; l.logIdx++ {
+		en := &l.log[l.logIdx]
+		switch en.kind {
+		case entrySchedule:
+			s.at(en.cycle, en.fn, l.id)
+		case entryLocal:
+			s.seq++
+			p.fifo = append(p.fifo, l)
+		case entryCall:
+			en.fn()
+		}
+	}
+	s.fire++
+}
+
+// postEpoch asserts the cross-shard barrier invariant: after a cycle's
+// epoch completes, no lane may still hold an event or an uncommitted log
+// record — anything left is older than the global barrier cycle and would
+// fire out of order. Violations surface through ShardViolations (and from
+// there the sim-level invariant audit).
+func (s *Sim) postEpoch(c uint64) {
+	p := s.par
+	for _, l := range s.lanes {
+		if len(l.evs) != 0 || len(l.log) != 0 {
+			p.mu.Lock()
+			p.noteLocked(fmt.Sprintf(
+				"barrier residue: lane %d holds %d event(s) and %d log record(s) older than barrier cycle %d",
+				l.id, len(l.evs), len(l.log), c))
+			p.mu.Unlock()
+			l.resetBuffers()
+		}
+	}
+}
+
+// pendingExtra counts events parked outside the global queue: the gathered
+// segment's un-executed tail plus each lane's un-run events and uncommitted
+// schedules. Zero between epochs; meaningful when a panic handler inspects
+// a run that died mid-epoch.
+func (p *parallel) pendingExtra() int {
+	n := len(p.seg) - p.segPos
+	for _, l := range p.s.lanes {
+		n += len(l.evs) - l.execd - l.deadEvents()
+		for i := l.logIdx; i < len(l.log); i++ {
+			if l.log[i].kind == entrySchedule {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// deadEvents returns 1 if the lane died mid-event: the event at execd was
+// popped and running when it panicked, so — matching the serial engine,
+// where an executing event is no longer queued — it does not count as
+// pending.
+func (l *Lane) deadEvents() int {
+	if l.panicked && l.execd < len(l.evs) {
+		return 1
+	}
+	return 0
+}
+
+// appendPending folds the executor-held events into a SnapshotPending
+// listing. Logged schedules that never received a global sequence number
+// report Seq 0.
+func (p *parallel) appendPending(evs []PendingEvent) []PendingEvent {
+	for _, e := range p.seg[p.segPos:] {
+		evs = append(evs, pendingOf(e))
+	}
+	for _, l := range p.s.lanes {
+		for _, e := range l.evs[l.execd+l.deadEvents():] {
+			evs = append(evs, pendingOf(e))
+		}
+		for i := l.logIdx; i < len(l.log); i++ {
+			if l.log[i].kind == entrySchedule {
+				evs = append(evs, PendingEvent{Cycle: l.log[i].cycle, Lane: l.id})
+			}
+		}
+	}
+	return evs
+}

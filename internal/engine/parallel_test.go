@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// laneProgram drives a small synthetic machine over n core lanes: each lane
+// event bumps a lane-local counter, schedules a successor on its own lane
+// (sometimes same-cycle), and defers a cross-shard append into a shared
+// trace. Running it serially (workers=1) and in parallel must produce the
+// same shared trace and the same per-lane state, because deferred calls
+// replay in (cycle, seq) order at each barrier.
+func laneProgram(t *testing.T, workers int) (trace []string, counts []int) {
+	t.Helper()
+	s := New()
+	s.EnableParallel(workers)
+	const nLanes = 4
+	counts = make([]int, nLanes+1)
+	var step func(lane, depth int) func()
+	step = func(lane, depth int) func() {
+		return func() {
+			l := s.Lane(lane)
+			counts[lane]++
+			c := counts[lane]
+			l.Defer(func() { trace = append(trace, fmt.Sprintf("lane%d#%d@%d", lane, c, s.Now())) })
+			if depth > 0 {
+				if depth%3 == 0 {
+					l.At(s.Now(), step(lane, depth-1)) // same-cycle local spawn
+				} else {
+					l.After(uint64(1+lane), step(lane, depth-1))
+				}
+			}
+		}
+	}
+	for lane := 1; lane <= nLanes; lane++ {
+		s.Lane(lane).At(1, step(lane, 12))
+	}
+	// A shared-lane event interleaved mid-stream: it must observe and extend
+	// the trace exactly where the serial engine would put it.
+	s.At(3, func() { trace = append(trace, fmt.Sprintf("shared@3 len=%d", len(trace))) })
+	s.Drain(0)
+	s.ReleaseWorkers()
+	if v := s.ShardViolations(); v != nil {
+		t.Fatalf("unexpected shard violations: %v", v)
+	}
+	return trace, counts
+}
+
+// TestParallelMatchesSerialTrace pins the executor's core ordering claim at
+// the engine level: deferred cross-shard effects and lane-local execution
+// produce a byte-identical global trace regardless of worker count.
+func TestParallelMatchesSerialTrace(t *testing.T) {
+	serialTrace, serialCounts := laneProgram(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		parTrace, parCounts := laneProgram(t, workers)
+		if fmt.Sprint(parCounts) != fmt.Sprint(serialCounts) {
+			t.Fatalf("workers=%d: lane counts diverge: %v vs %v", workers, parCounts, serialCounts)
+		}
+		if strings.Join(parTrace, "\n") != strings.Join(serialTrace, "\n") {
+			t.Fatalf("workers=%d: traces diverge:\n%s\n---\n%s",
+				workers, strings.Join(parTrace, "\n"), strings.Join(serialTrace, "\n"))
+		}
+	}
+	if len(serialTrace) == 0 {
+		t.Fatal("program produced no trace")
+	}
+}
+
+// TestParallelFiredMatchesSerial pins Fired() parity: the barrier commit
+// must count exactly the events the serial engine would have executed.
+func TestParallelFiredMatchesSerial(t *testing.T) {
+	run := func(workers int) uint64 {
+		s := New()
+		s.EnableParallel(workers)
+		for lane := 1; lane <= 3; lane++ {
+			l := s.Lane(lane)
+			var n int
+			var tick func()
+			tick = func() {
+				n++
+				if n < 50 {
+					l.After(uint64(lane), tick)
+				}
+			}
+			l.At(1, tick)
+		}
+		s.Drain(0)
+		s.ReleaseWorkers()
+		return s.Fired()
+	}
+	if serial, par := run(1), run(4); serial != par {
+		t.Fatalf("Fired diverges: serial %d, parallel %d", serial, par)
+	}
+}
+
+// TestMisShardedSendAudited is the mutation test for cross-shard send
+// detection: an event running on lane 1 that schedules through the handle
+// of a lane outside the current run must be recorded as a violation — and
+// the event must still fire, so the run reaches its audit. (A mis-sharded
+// send into a lane that is itself recording in the same run is a data race
+// by construction; that variant is the race detector's to catch, which is
+// why parallel-smoke runs the differential under -race.)
+func TestMisShardedSendAudited(t *testing.T) {
+	s := New()
+	s.EnableParallel(4)
+	fired := false
+	evil := func() {
+		// Deliberately mis-sharded: lane 1's event uses lane 2's handle,
+		// and lane 2 is not part of the current run.
+		s.Lane(2).At(s.Now()+5, func() { fired = true })
+	}
+	// Two lanes must be active in the same cycle for a recording run.
+	s.Lane(1).At(10, evil)
+	s.Lane(3).At(10, func() {})
+	s.Drain(0)
+	s.ReleaseWorkers()
+	v := s.ShardViolations()
+	if len(v) == 0 {
+		t.Fatal("mis-sharded send was not detected")
+	}
+	if !strings.Contains(v[0], "mis-sharded") {
+		t.Fatalf("violation does not name the breach: %q", v[0])
+	}
+	if !fired {
+		t.Fatal("mis-sharded event was dropped instead of serialised")
+	}
+}
+
+// TestBarrierResidueAudited is the mutation test for the post-epoch
+// invariant: a lane left holding an event older than the barrier cycle
+// must be reported (and drained) rather than silently carried forward.
+func TestBarrierResidueAudited(t *testing.T) {
+	s := New()
+	s.EnableParallel(2)
+	s.Lane(1) // create the lane
+	s.At(1, func() {
+		// Corrupt the executor mid-epoch: stuff an event directly into the
+		// lane buffer, bypassing scheduling — the deliberate mis-shard.
+		l := s.lanes[1]
+		l.evs = append(l.evs, event{cycle: 1, seq: 1<<laneShift | 1, fn: func() {}})
+	})
+	s.Drain(0)
+	v := s.ShardViolations()
+	if len(v) == 0 {
+		t.Fatal("barrier residue was not detected")
+	}
+	if !strings.Contains(v[0], "barrier residue") {
+		t.Fatalf("violation does not name the breach: %q", v[0])
+	}
+}
+
+// TestLanePanicDeterministicAndPendingCoherent pins the worker failure
+// path: with several lanes panicking in one run, the engine re-panics with
+// the lowest-numbered lane's LanePanic, and Pending/SnapshotPending still
+// account for the events parked in lane buffers and logs mid-epoch.
+func TestLanePanicDeterministicAndPendingCoherent(t *testing.T) {
+	s := New()
+	s.EnableParallel(4)
+	for lane := 1; lane <= 3; lane++ {
+		id := lane
+		s.Lane(lane).At(7, func() {
+			s.Lane(id).After(10, func() {}) // a schedule that never commits
+			panic(fmt.Sprintf("boom lane %d", id))
+		})
+	}
+	// A future event that stays in the global queue.
+	s.At(100, func() {})
+	defer s.ReleaseWorkers()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected the lane panic to propagate")
+		}
+		lp, ok := p.(*LanePanic)
+		if !ok {
+			t.Fatalf("expected *LanePanic, got %T: %v", p, p)
+		}
+		if lp.Lane != 1 || lp.Cycle != 7 {
+			t.Fatalf("wrong panic selected: lane %d cycle %d", lp.Lane, lp.Cycle)
+		}
+		if !strings.Contains(fmt.Sprint(lp.Value), "boom lane 1") {
+			t.Fatalf("panic value lost: %v", lp.Value)
+		}
+		if len(lp.Stack) == 0 {
+			t.Fatal("worker stack not captured")
+		}
+		// 1 future event + 3 uncommitted logged schedules; the executed
+		// events themselves are gone, which is correct — they ran.
+		if got := s.Pending(); got != 4 {
+			t.Fatalf("Pending = %d, want 4 (1 queued + 3 uncommitted)", got)
+		}
+		snap := s.SnapshotPending(16)
+		if len(snap) != 4 {
+			t.Fatalf("SnapshotPending returned %d events, want 4: %+v", len(snap), snap)
+		}
+		lanes := map[int]int{}
+		for _, ev := range snap {
+			lanes[ev.Lane]++
+		}
+		if lanes[0] != 1 || lanes[1] != 1 || lanes[2] != 1 || lanes[3] != 1 {
+			t.Fatalf("per-lane snapshot incoherent: %+v", snap)
+		}
+	}()
+	s.Drain(0)
+}
+
+// TestSerialPathUntouchedByLaneHandles pins that a Lane handle on a serial
+// Sim (EnableParallel never called) is a pure pass-through: scheduling
+// through handles and through the Sim interleaves into one (cycle, seq)
+// order identical to raw scheduling.
+func TestSerialPathUntouchedByLaneHandles(t *testing.T) {
+	s := New()
+	var got []int
+	s.Lane(1).At(5, func() { got = append(got, 1) })
+	s.At(5, func() { got = append(got, 2) })
+	s.Lane(2).After(5, func() { got = append(got, 3) })
+	s.Drain(0)
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("serial fire order broken: %v", got)
+	}
+	if s.ParallelWorkers() != 1 {
+		t.Fatalf("serial Sim reports %d workers", s.ParallelWorkers())
+	}
+	if s.ShardViolations() != nil {
+		t.Fatal("serial Sim recorded shard violations")
+	}
+}

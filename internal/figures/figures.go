@@ -8,10 +8,11 @@
 //
 // Each (workload, scheme) run is an independent, deterministically-seeded
 // sim.System, so a campaign is embarrassingly parallel. The Runner
-// exploits that at the campaign level only — fanning whole runs across a
-// worker pool (Options.Parallelism) — never inside one engine.Sim, whose
-// single-threaded event loop is what makes every run exactly repeatable.
-// Parallel and serial campaigns therefore produce byte-identical figures.
+// exploits that at the campaign level — fanning whole runs across a
+// worker pool (Options.Parallelism) — and, with Options.Jrun > 1, inside
+// each run too, via the engine's deterministic epoch-barrier executor.
+// Both axes preserve exact repeatability: parallel and serial campaigns
+// produce byte-identical figures at any (Parallelism, Jrun) combination.
 package figures
 
 import (
@@ -44,9 +45,13 @@ type Options struct {
 	// in campaign order regardless of which worker finishes first.
 	Progress io.Writer
 	// Parallelism is the worker-pool width for Prefetch/RunAll
-	// (0 = runtime.GOMAXPROCS(0)). Individual runs are always
-	// single-threaded; parallelism lives strictly between runs.
+	// (0 = runtime.GOMAXPROCS(0)). It fans whole runs out; within one run
+	// the engine stays serial unless Jrun asks otherwise.
 	Parallelism int
+	// Jrun mirrors sim.Config.Jrun: intra-run event parallelism via the
+	// epoch-barrier executor (0 or 1 = the serial reference engine).
+	// Results are deterministic and identical at every width.
+	Jrun int
 
 	// Audit mirrors sim.Config.Audit: every campaign run carries the
 	// liveness watchdog and the end-of-run invariant audit.
@@ -201,6 +206,7 @@ func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
 		Warmup:       r.opts.Warmup,
 		Seed:         r.opts.Seed,
 		MaxCores:     r.opts.MaxCores,
+		Jrun:         r.opts.Jrun,
 		DisableBWOpt: k.disableBW,
 		Audit:        r.opts.Audit,
 		Faults:       r.opts.Faults,
@@ -427,9 +433,19 @@ func (r *Runner) Failures() []RunFailure {
 type RunMetric struct {
 	Workload     string  `json:"workload"`
 	Scheme       string  `json:"scheme"`
+	Jrun         int     `json:"jrun"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsFired  uint64  `json:"events_fired"`
 	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// effectiveJrun is the intra-run worker count runs actually use: Options
+// .Jrun clamped up to the serial floor, so bench records never say 0.
+func (r *Runner) effectiveJrun() int {
+	if r.opts.Jrun > 1 {
+		return r.opts.Jrun
+	}
+	return 1
 }
 
 // Metrics returns per-run wall-clock and event-throughput records for
@@ -454,6 +470,7 @@ func (r *Runner) Metrics() []RunMetric {
 		m := RunMetric{
 			Workload:    k.workload,
 			Scheme:      schemeLabel(k.scheme, k.disableBW),
+			Jrun:        r.effectiveJrun(),
 			WallSeconds: e.wall.Seconds(),
 			EventsFired: e.res.EventsFired,
 		}

@@ -124,7 +124,7 @@ type Stats struct {
 
 // Controller is the hybrid memory controller shell.
 type Controller struct {
-	Sim    *engine.Sim
+	Lane   *engine.Lane // shared back-end shard (lane 0; pass-through in serial mode)
 	OS     *mem.OS
 	Layout mem.Map
 	DRAM   *memsim.Module
@@ -153,18 +153,18 @@ type Controller struct {
 
 // NewController builds a controller with the given memory-part configs over
 // the OS's address map.
-func NewController(sim *engine.Sim, osm *mem.OS, dramCfg, nvmCfg memsim.Config, swapCfg SwapEngineConfig) *Controller {
+func NewController(lane *engine.Lane, osm *mem.OS, dramCfg, nvmCfg memsim.Config, swapCfg SwapEngineConfig) *Controller {
 	layout := osm.Map()
 	c := &Controller{
-		Sim:    sim,
+		Lane:   lane,
 		OS:     osm,
 		Layout: layout,
 		Oracle: NewOracle(),
 		frozen: make(map[mem.PPN]bool),
 	}
-	c.DRAM = memsim.New(sim, dramCfg, 0, layout.DRAMBytes)
-	c.NVM = memsim.New(sim, nvmCfg, mem.Addr(layout.DRAMBytes), layout.NVMBytes)
-	c.Engine = NewSwapEngine(sim, swapCfg, c.IssueLine, c.PromoteLine)
+	c.DRAM = memsim.New(lane, dramCfg, 0, layout.DRAMBytes)
+	c.NVM = memsim.New(lane, nvmCfg, mem.Addr(layout.DRAMBytes), layout.NVMBytes)
+	c.Engine = NewSwapEngine(lane, swapCfg, c.IssueLine, c.PromoteLine)
 	return c
 }
 
@@ -257,7 +257,7 @@ func (c *Controller) getRequest() *Request {
 	if r == nil {
 		r = &Request{ctl: c}
 		r.memDoneFn = func() {
-			r.ctl.stats.MemLatencyTotal += r.ctl.Sim.Now() - r.issued
+			r.ctl.stats.MemLatencyTotal += r.ctl.Lane.Now() - r.issued
 			r.ctl.complete(r, r.src)
 		}
 		r.directFn = func() { r.ctl.complete(r, r.src) }
@@ -287,7 +287,7 @@ func (c *Controller) Access(line mem.Addr, write bool, meta cache.Meta, done fun
 	r.Line = mem.LineOf(line)
 	r.Write = write
 	r.Meta = meta
-	r.Arrival = c.Sim.Now()
+	r.Arrival = c.Lane.Now()
 	r.done = done
 	if meta.Writeback {
 		c.stats.Writebacks++
@@ -316,7 +316,7 @@ func (c *Controller) MMUHint(h mmu.Hint) { c.mgr.MMUHint(h) }
 func (c *Controller) IssueLine(addr mem.Addr, write bool, prio Priority, done func()) {
 	if c.inj != nil {
 		if d := c.inj.IssueStallCycles(); d > 0 {
-			c.Sim.After(d, func() { c.issueLine(addr, write, prio, done) })
+			c.Lane.After(d, func() { c.issueLine(addr, write, prio, done) })
 			return
 		}
 	}
@@ -360,7 +360,7 @@ func (c *Controller) ServeMemory(r *Request, actual mem.Addr) {
 		return
 	}
 	r.src = src
-	r.issued = c.Sim.Now()
+	r.issued = c.Lane.Now()
 	c.IssueLine(actual, r.Write, PrioDemand, r.memDoneFn)
 }
 
@@ -402,7 +402,7 @@ func (c *Controller) ServeBuffer(r *Request) { c.complete(r, SrcSwapBuffer) }
 // already-issued memory fetch.
 func (c *Controller) ServeDirect(r *Request, src Source, latency uint64) {
 	r.src = src
-	c.Sim.After(latency, r.directFn)
+	c.Lane.After(latency, r.directFn)
 }
 
 // ServePTECache completes a PTE-line request from the MMU Driver's small
@@ -418,7 +418,7 @@ func (c *Controller) complete(r *Request, src Source) {
 		panic("hmc: request completed twice")
 	}
 	r.served = true
-	lat := c.Sim.Now() - r.Arrival
+	lat := c.Lane.Now() - r.Arrival
 	c.stats.LatencyTotal += lat
 	if c.lat != nil {
 		idx := obs.LatDRAM
@@ -455,7 +455,7 @@ func (c *Controller) complete(r *Request, src Source) {
 			// The ledger keys on the OS-visible line: a demand landing on
 			// a swapped-in unit is that swap's payoff; one landing on an
 			// in-flight victim marks the swap late.
-			c.led.Demand(uint64(r.Line), c.Sim.Now())
+			c.led.Demand(uint64(r.Line), c.Lane.Now())
 		}
 	}
 	// Release before the callback: done may re-enter Access and is then

@@ -93,7 +93,7 @@ type metaLine struct {
 // the MetaCache tracks only presence and timing, which is all the hardware
 // structure contributes.
 type MetaCache struct {
-	sim    *engine.Sim
+	lane   *engine.Lane // shared back-end shard (lane 0)
 	cfg    MetaCacheConfig
 	region MetaRegion
 	issue  IssueFunc
@@ -201,7 +201,7 @@ func (c *MetaCache) putWs(ws []func()) {
 }
 
 // NewMetaCache builds a metadata cache over a DRAM region.
-func NewMetaCache(sim *engine.Sim, cfg MetaCacheConfig, region MetaRegion, issue IssueFunc) *MetaCache {
+func NewMetaCache(lane *engine.Lane, cfg MetaCacheConfig, region MetaRegion, issue IssueFunc) *MetaCache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -210,7 +210,7 @@ func NewMetaCache(sim *engine.Sim, cfg MetaCacheConfig, region MetaRegion, issue
 	}
 	nSets := cfg.Entries / cfg.Ways
 	c := &MetaCache{
-		sim:     sim,
+		lane:    lane,
 		cfg:     cfg,
 		region:  region,
 		issue:   issue,
@@ -259,7 +259,7 @@ func (c *MetaCache) Present(key uint64) bool { return c.find(key) != nil }
 func (c *MetaCache) Access(key uint64, dirty bool, done func()) {
 	t := c.getTxn()
 	t.key, t.dirty, t.done = key, dirty, done
-	c.sim.After(c.cfg.HitLatency, t.lookFn)
+	c.lane.After(c.cfg.HitLatency, t.lookFn)
 }
 
 // lookStage resolves the SRAM probe. Hits release the record before the
@@ -282,7 +282,7 @@ func (c *MetaCache) lookStage(t *metaTxn) {
 		}
 	}
 	c.stats.Misses++
-	t.start = c.sim.Now()
+	t.start = c.lane.Now()
 	if t.urgent {
 		c.fetchUrgent(t.key, t.fillFn)
 	} else {
@@ -291,7 +291,7 @@ func (c *MetaCache) lookStage(t *metaTxn) {
 }
 
 func (c *MetaCache) fillStage(t *metaTxn) {
-	c.stats.WaitCycles += c.sim.Now() - t.start
+	c.stats.WaitCycles += c.lane.Now() - t.start
 	if l := c.find(t.key); l != nil {
 		c.touch(l, t.dirty)
 	}
@@ -318,7 +318,7 @@ func (c *MetaCache) Prefetch(key uint64) {
 func (c *MetaCache) AccessUrgent(key uint64, done func()) {
 	t := c.getTxn()
 	t.key, t.urgent, t.done = key, true, done
-	c.sim.After(c.cfg.HitLatency, t.lookFn)
+	c.lane.After(c.cfg.HitLatency, t.lookFn)
 }
 
 func (c *MetaCache) fetchUrgent(key uint64, done func()) {

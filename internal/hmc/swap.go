@@ -173,7 +173,7 @@ type runningOp struct {
 // services demand requests for in-flight pages from the swap buffers
 // (Section III-D3).
 type SwapEngine struct {
-	sim     *engine.Sim
+	lane    *engine.Lane // shared back-end shard (lane 0)
 	cfg     SwapEngineConfig
 	issue   IssueFunc
 	promote PromoteFunc
@@ -205,12 +205,12 @@ type SwapEngine struct {
 // NewSwapEngine builds a swap engine that issues line traffic through
 // issue; promote (optional) re-prioritises an in-flight line when a demand
 // request is waiting on it.
-func NewSwapEngine(sim *engine.Sim, cfg SwapEngineConfig, issue IssueFunc, promote PromoteFunc) *SwapEngine {
+func NewSwapEngine(lane *engine.Lane, cfg SwapEngineConfig, issue IssueFunc, promote PromoteFunc) *SwapEngine {
 	if promote == nil {
 		promote = func(mem.Addr) {}
 	}
 	return &SwapEngine{
-		sim:       sim,
+		lane:      lane,
 		cfg:       cfg,
 		issue:     issue,
 		promote:   promote,
@@ -311,8 +311,8 @@ func (e *SwapEngine) Start(op *Op) bool {
 	}
 	r := e.getOp()
 	r.op = op
-	r.began = e.sim.Now()
-	r.stageBegan = e.sim.Now()
+	r.began = e.lane.Now()
+	r.stageBegan = e.lane.Now()
 	if cap(r.order) < len(op.Stages) {
 		r.order = make([][]mem.Addr, len(op.Stages))
 	} else {
@@ -380,7 +380,7 @@ func (e *SwapEngine) injectStorm(r *runningOp) {
 	}
 	for j := 0; j < n; j++ {
 		src := order[j]
-		e.sim.After(uint64(j)+1, func() { e.TryService(src, stormSink) })
+		e.lane.After(uint64(j)+1, func() { e.TryService(src, stormSink) })
 	}
 }
 
@@ -442,7 +442,7 @@ func (e *SwapEngine) readDone(l *opLine) {
 	if ws, ok := r.waiters[l.src]; ok {
 		delete(r.waiters, l.src)
 		for _, w := range ws {
-			e.sim.After(e.cfg.BufferLatency, w)
+			e.lane.After(e.cfg.BufferLatency, w)
 		}
 		e.putWs(ws)
 	}
@@ -471,7 +471,7 @@ func (e *SwapEngine) writeDone(r *runningOp) {
 }
 
 func (e *SwapEngine) finishStage(r *runningOp) {
-	now := e.sim.Now()
+	now := e.lane.Now()
 	if e.tracer != nil {
 		e.tracer.Complete("swap", fmt.Sprintf("stage-%d", r.stage),
 			obs.TracePidSwap, r.slot, r.stageBegan, now, "lines", uint64(len(r.order[r.stage])))
@@ -495,14 +495,14 @@ func (e *SwapEngine) finishStage(r *runningOp) {
 		e.putLine(l)
 	}
 	e.stats.OpsCompleted++
-	e.stats.OpCycles += e.sim.Now() - r.began
+	e.stats.OpCycles += e.lane.Now() - r.began
 	if e.tracer != nil {
 		label := r.op.Label
 		if label == "" {
 			label = "swap"
 		}
 		e.tracer.Complete("swap", label, obs.TracePidSwap, r.slot,
-			r.began, e.sim.Now(), "stages", uint64(len(r.op.Stages)))
+			r.began, e.lane.Now(), "stages", uint64(len(r.op.Stages)))
 	}
 	if len(r.waiters) != 0 {
 		// Every waiter registers on a src line of some stage, and every
@@ -542,7 +542,7 @@ func (e *SwapEngine) TryService(addr mem.Addr, done func()) bool {
 	switch l.status {
 	case lineBuffered:
 		e.stats.BufHits++
-		e.sim.After(e.cfg.BufferLatency, done)
+		e.lane.After(e.cfg.BufferLatency, done)
 	case lineIssued:
 		e.stats.BufWaits++
 		e.addWaiter(r, src, done)

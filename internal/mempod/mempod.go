@@ -98,7 +98,7 @@ type job struct {
 
 // MemPod is the baseline manager.
 type MemPod struct {
-	sim *engine.Sim
+	lane *engine.Lane // shared back-end shard (lane 0)
 	ctl *hmc.Controller
 	cfg Config
 
@@ -130,7 +130,7 @@ type pendingMig struct {
 // New installs a MemPod manager on the controller.
 func New(ctl *hmc.Controller, cfg Config) *MemPod {
 	m := &MemPod{
-		sim:       ctl.Sim,
+		lane:      ctl.Lane,
 		ctl:       ctl,
 		cfg:       cfg,
 		fastSegs:  seg(ctl.Layout.DRAMBytes / SegmentBytes),
@@ -140,7 +140,7 @@ func New(ctl *hmc.Controller, cfg Config) *MemPod {
 		inflight:  make(map[seg]*job),
 	}
 	m.region = ctl.AllocMetaRegion(cfg.RemapTableBytes, 4)
-	m.remapCache = hmc.NewMetaCache(ctl.Sim, hmc.MetaCacheConfig{
+	m.remapCache = hmc.NewMetaCache(ctl.Lane, hmc.MetaCacheConfig{
 		Name: "MemPodRemap", Entries: cfg.RemapEntries, Ways: cfg.RemapWays,
 		HitLatency: cfg.RemapLatency, EntriesPerLine: 16, // 4B segment entries
 	}, m.region, ctl.IssueLine)
@@ -214,7 +214,7 @@ func (m *MemPod) HandleRequest(r *hmc.Request) {
 // first access past an interval boundary runs that boundary's migration
 // pass (with no traffic there is nothing to migrate, so laziness is exact).
 func (m *MemPod) observe(s seg) {
-	now := m.sim.Now()
+	now := m.lane.Now()
 	if m.lastTick == 0 {
 		m.lastTick = now
 	}
@@ -291,7 +291,7 @@ func (m *MemPod) migrate(pi int, s seg, hotSet map[seg]bool) bool {
 		m.ctl.IssueLine(m.region.EntryAddr(uint64(slot)), true, hmc.PrioSwap, nil)
 		m.remapCache.Prefetch(uint64(s))
 		if led := m.ctl.Ledger(); led != nil {
-			now := m.sim.Now()
+			now := m.lane.Now()
 			led.RemapCommitted(j.lid, now)
 			led.Evicted(uint64(displaced.base()), now)
 		}
@@ -306,7 +306,7 @@ func (m *MemPod) migrate(pi int, s seg, hotSet map[seg]bool) bool {
 	}
 	led := m.ctl.Ledger()
 	if led != nil {
-		now := m.sim.Now()
+		now := m.lane.Now()
 		dramB, nvmB := m.ctl.OpBytes(op)
 		j.lid = led.SwapStarted(uint64(s.base()), uint64(displaced.base()), true,
 			ledger.TrigRegular, now, now, dramB, nvmB)

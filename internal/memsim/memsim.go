@@ -172,7 +172,7 @@ func (s *Stats) Add(o Stats) {
 
 // Module simulates one memory part (the DRAM or the NVM of the hybrid pair).
 type Module struct {
-	sim  *engine.Sim
+	lane *engine.Lane // shared back-end shard (lane 0)
 	cfg  Config
 	base mem.Addr
 	size uint64
@@ -189,7 +189,7 @@ type Module struct {
 }
 
 // New creates a module covering physical range [base, base+size).
-func New(sim *engine.Sim, cfg Config, base mem.Addr, size uint64) *Module {
+func New(lane *engine.Lane, cfg Config, base mem.Addr, size uint64) *Module {
 	if cfg.Channels <= 0 || cfg.BanksPerRank <= 0 || cfg.RanksPerChannel <= 0 {
 		panic("memsim: invalid geometry")
 	}
@@ -197,7 +197,7 @@ func New(sim *engine.Sim, cfg Config, base mem.Addr, size uint64) *Module {
 		cfg.ClockRatio = 1
 	}
 	m := &Module{
-		sim:             sim,
+		lane:            lane,
 		cfg:             cfg,
 		base:            base,
 		size:            size,
@@ -319,7 +319,7 @@ func (m *Module) QueueOccupancy() int {
 // how far ahead of now the busiest data bus is committed, a cheap proxy for
 // bandwidth saturation used by the Swap Driver heuristic.
 func (m *Module) Backlog() (queued int, busAhead uint64) {
-	now := m.sim.Now()
+	now := m.lane.Now()
 	for i := range m.chans {
 		queued += len(m.chans[i].queue)
 		if m.chans[i].busFree > now && m.chans[i].busFree-now > busAhead {
@@ -346,7 +346,7 @@ func (m *Module) Access(addr mem.Addr, write bool, prio Priority, done func()) {
 	r.addr = mem.LineOf(addr)
 	r.write = write
 	r.prio = prio
-	r.arrival = m.sim.Now()
+	r.arrival = m.lane.Now()
 	r.done = done
 	c.queue = append(c.queue, r)
 	if write {
@@ -459,7 +459,7 @@ func (m *Module) trySchedule(ch int) {
 	if len(c.queue) == 0 {
 		return
 	}
-	now := m.sim.Now()
+	now := m.lane.Now()
 	// Commit the next request tCAS before the bus frees so a row hit's
 	// data burst packs immediately behind the previous one.
 	if c.busFree > now+m.tCAS {
@@ -484,7 +484,7 @@ func (m *Module) armWake(c *channel, ch int, at uint64) {
 		return
 	}
 	c.wakeAt = at
-	m.sim.At(at, c.wakeFn)
+	m.lane.At(at, c.wakeFn)
 }
 
 // issue commits one request at its data-burst start time.
@@ -522,7 +522,7 @@ func (m *Module) issue(ch int, r *request, dataStart uint64) {
 	}
 
 	m.stats.TotalWait += dataEnd - r.arrival
-	m.sim.At(dataEnd, r.fireFn)
+	m.lane.At(dataEnd, r.fireFn)
 }
 
 // Promote raises a queued request for the given line to demand priority —

@@ -90,7 +90,7 @@ type seg uint64 // global segment index (addr >> 11)
 
 // PoM is the baseline manager.
 type PoM struct {
-	sim *engine.Sim
+	lane *engine.Lane // shared back-end shard (lane 0)
 	ctl *hmc.Controller
 	cfg Config
 
@@ -121,7 +121,7 @@ type job struct {
 // New installs a PoM manager on the controller.
 func New(ctl *hmc.Controller, cfg Config) *PoM {
 	p := &PoM{
-		sim:      ctl.Sim,
+		lane:     ctl.Lane,
 		ctl:      ctl,
 		cfg:      cfg,
 		fastSegs: seg(ctl.Layout.DRAMBytes / SegmentBytes),
@@ -131,7 +131,7 @@ func New(ctl *hmc.Controller, cfg Config) *PoM {
 		inflight: make(map[seg]*job),
 	}
 	p.srcRegion = ctl.AllocMetaRegion(cfg.RemapTableBytes, 4)
-	p.src = hmc.NewMetaCache(ctl.Sim, hmc.MetaCacheConfig{
+	p.src = hmc.NewMetaCache(ctl.Lane, hmc.MetaCacheConfig{
 		Name: "SRC", Entries: cfg.SRCEntries, Ways: cfg.SRCWays,
 		HitLatency: cfg.SRCLatency, EntriesPerLine: 16, // 4B group entries
 	}, p.srcRegion, ctl.IssueLine)
@@ -205,7 +205,7 @@ func (p *PoM) maybeDecay() {
 	if p.cfg.CounterDecayInterval == 0 {
 		return
 	}
-	now := p.sim.Now()
+	now := p.lane.Now()
 	for p.lastDecay+p.cfg.CounterDecayInterval <= now {
 		p.lastDecay += p.cfg.CounterDecayInterval
 		for s, c := range p.counters {
@@ -286,7 +286,7 @@ func (p *PoM) trySwap(s seg) {
 		p.src.Prefetch(uint64(fastSlot))
 		delete(p.counters, s)
 		if led := p.ctl.Ledger(); led != nil {
-			now := p.sim.Now()
+			now := p.lane.Now()
 			led.RemapCommitted(j.lid, now)
 			led.Evicted(uint64(displaced.base()), now)
 		}
@@ -300,7 +300,7 @@ func (p *PoM) trySwap(s seg) {
 	}
 	led := p.ctl.Ledger()
 	if led != nil {
-		now := p.sim.Now()
+		now := p.lane.Now()
 		dramB, nvmB := p.ctl.OpBytes(op)
 		j.lid = led.SwapStarted(uint64(s.base()), uint64(displaced.base()), true,
 			ledger.TrigRegular, now, now, dramB, nvmB)

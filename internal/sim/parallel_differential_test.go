@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pageseer/internal/engine"
+)
+
+// TestParallelVsSerialDifferentialSim pins the epoch executor's determinism
+// at full system scale: campaign-style runs must produce identical Results
+// — every counter, cycle count, latency histogram, and ledger Effectiveness
+// digest — with Jrun 1 (the serial reference engine) and Jrun 4 (per-core
+// lanes under the epoch barrier). The grid covers all five manager schemes
+// plus the no-correlation ablation, so barrier commits are exercised under
+// every cross-shard traffic mix: demand fetches, writebacks, MMU hints,
+// swaps, and metadata fetches. Run under -race by `make parallel-smoke`,
+// which also makes it the data-race gate for the executor itself.
+func TestParallelVsSerialDifferentialSim(t *testing.T) {
+	grid := []struct {
+		scheme Scheme
+		wl     string
+	}{
+		{SchemePageSeer, "lbm"},
+		{SchemePageSeer, "mix6"},
+		{SchemePageSeerNoCorr, "GemsFDTD"},
+		{SchemePoM, "mcf"},
+		{SchemeMemPod, "miniFE"},
+		{SchemeCAMEO, "barnes"},
+		{SchemeStatic, "leslie3d"},
+	}
+	for _, g := range grid {
+		t.Run(string(g.scheme)+"/"+g.wl, func(t *testing.T) {
+			run := func(jrun int) Results {
+				cfg := DefaultConfig()
+				cfg.Scheme = g.scheme
+				cfg.Workload = g.wl
+				cfg.InstrPerCore = 80_000
+				cfg.Warmup = 40_000
+				cfg.MaxCores = 2
+				cfg.Jrun = jrun
+				cfg.Audit = true
+				cfg.Obs.Ledger = true
+				sys, err := Build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial, par := run(1), run(4)
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("serial and parallel runs diverge:\nserial:   %+v\nparallel: %+v", serial, par)
+			}
+		})
+	}
+}
+
+// TestParallelLanePanicIsRunError pins the failure path through a worker:
+// a panic raised inside a core lane's segment must surface as exactly one
+// structured *RunError wrapping an *engine.LanePanic, with a crashdump
+// whose queue snapshot stayed coherent (the lane's un-run events are
+// reported, not lost).
+func TestParallelLanePanicIsRunError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InstrPerCore = 50_000
+	cfg.Warmup = 0
+	cfg.MaxCores = 2
+	cfg.Jrun = 4
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a bomb on both core lanes a little into the run: the two events
+	// share a cycle, so they execute as one multi-lane run on the workers.
+	for lane := 1; lane <= 2; lane++ {
+		sys.Sim.Lane(lane).At(5000, func() { panic("injected lane fault") })
+	}
+	_, err = sys.Run()
+	if err == nil {
+		t.Fatal("expected a RunError from the lane panic")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *RunError, got %T: %v", err, err)
+	}
+	var lp *engine.LanePanic
+	if !errors.As(re.Cause, &lp) {
+		t.Fatalf("expected cause *engine.LanePanic, got %T: %v", re.Cause, re.Cause)
+	}
+	// Deterministic selection: the lowest-numbered panicking lane wins.
+	if lp.Lane != 1 {
+		t.Fatalf("expected lane 1 to be reported, got lane %d", lp.Lane)
+	}
+	if !strings.Contains(re.Crashdump, "event queue") {
+		t.Fatalf("crashdump missing event queue section:\n%s", re.Crashdump)
+	}
+	if re.Pending == 0 {
+		t.Fatal("expected pending events in the crashdump snapshot (un-run lane events)")
+	}
+}
+
+// TestShardViolationFailsAudit is the sim-level mutation test for the
+// cross-shard invariant plumbing: a recorded violation must fail
+// CheckInvariants (and therefore an audited Run) with a diagnostic naming
+// the breach.
+func TestShardViolationFailsAudit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InstrPerCore = 20_000
+	cfg.Warmup = 0
+	cfg.MaxCores = 2
+	cfg.Jrun = 4
+	cfg.Audit = true
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Sim.RecordShardViolation("mis-sharded send: deliberate test injection")
+	_, err = sys.Run()
+	if err == nil {
+		t.Fatal("expected the audit to fail on a recorded shard violation")
+	}
+	if !strings.Contains(err.Error(), "deliberate test injection") {
+		t.Fatalf("audit error does not name the violation: %v", err)
+	}
+}
+
+// testJrun returns the intra-run parallelism the PAGESEER_PARALLEL matrix
+// requests (4), or 1 in a normal test run. The invariants and effectiveness
+// smokes thread it through their configs so `make parallel` reruns them
+// against the epoch executor.
+func testJrun() int {
+	if os.Getenv("PAGESEER_PARALLEL") != "" {
+		return 4
+	}
+	return 1
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"pageseer/internal/cache"
+	"pageseer/internal/engine"
+	"pageseer/internal/mem"
+	"pageseer/internal/mmu"
+)
+
+// Portals carry the two synchronous calls that cross from a core's shard
+// into the shared back end under the epoch executor: the L2's fetch and
+// writeback port into the L3, and the MMU's hint wire into the controller.
+// A portal records the call on the core's lane (Lane.Defer) and the barrier
+// commit replays it on the engine thread at the originating event's
+// (cycle, seq) position — so the shared component observes the exact call
+// order the serial engine would have produced. Call records are pooled with
+// pre-bound closures, matching the zero-allocation discipline of the demand
+// path (the pool is touched only from the owning lane's worker and the
+// engine thread's commit, which the barrier orders).
+//
+// Serial builds (Jrun <= 1) do not install portals at all; components are
+// wired directly and none of this code runs.
+
+// backendPortal defers cache.Backend calls across the shard boundary.
+type backendPortal struct {
+	lane *engine.Lane
+	next cache.Backend
+	free *backendCall
+}
+
+type backendCall struct {
+	p     *backendPortal
+	line  mem.Addr
+	write bool
+	meta  cache.Meta
+	done  func()
+	fn    func()
+	next  *backendCall
+}
+
+func newBackendPortal(lane *engine.Lane, next cache.Backend) *backendPortal {
+	return &backendPortal{lane: lane, next: next}
+}
+
+func (p *backendPortal) get() *backendCall {
+	c := p.free
+	if c == nil {
+		c = &backendCall{p: p}
+		c.fn = func() {
+			line, write, meta, done := c.line, c.write, c.meta, c.done
+			c.p.put(c)
+			c.p.next.Access(line, write, meta, done)
+		}
+		return c
+	}
+	p.free = c.next
+	c.next = nil
+	return c
+}
+
+func (p *backendPortal) put(c *backendCall) {
+	c.line, c.write, c.meta, c.done = 0, false, cache.Meta{}, nil
+	c.next = p.free
+	p.free = c
+}
+
+// Access implements cache.Backend: the L3 access happens at the barrier (or
+// immediately when called from the engine thread, e.g. a writeback raised
+// while a shared event runs a core's fill chain inline).
+func (p *backendPortal) Access(line mem.Addr, write bool, meta cache.Meta, done func()) {
+	c := p.get()
+	c.line, c.write, c.meta, c.done = line, write, meta, done
+	p.lane.Defer(c.fn)
+}
+
+// hintPortal defers mmu.Hinter calls across the shard boundary.
+type hintPortal struct {
+	lane *engine.Lane
+	next mmu.Hinter
+	free *hintCall
+}
+
+type hintCall struct {
+	p    *hintPortal
+	h    mmu.Hint
+	fn   func()
+	next *hintCall
+}
+
+func newHintPortal(lane *engine.Lane, next mmu.Hinter) *hintPortal {
+	return &hintPortal{lane: lane, next: next}
+}
+
+func (p *hintPortal) get() *hintCall {
+	c := p.free
+	if c == nil {
+		c = &hintCall{p: p}
+		c.fn = func() {
+			h := c.h
+			c.p.put(c)
+			c.p.next.MMUHint(h)
+		}
+		return c
+	}
+	p.free = c.next
+	c.next = nil
+	return c
+}
+
+func (p *hintPortal) put(c *hintCall) {
+	c.h = mmu.Hint{}
+	c.next = p.free
+	p.free = c
+}
+
+// MMUHint implements mmu.Hinter with the same deferral as Access.
+func (p *hintPortal) MMUHint(h mmu.Hint) {
+	c := p.get()
+	c.h = h
+	p.lane.Defer(c.fn)
+}

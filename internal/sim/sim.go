@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 
 	"pageseer/internal/cache"
 	"pageseer/internal/check"
@@ -75,6 +76,16 @@ type Config struct {
 	// tests and the BenchmarkWheelVsHeap baseline: Results must be
 	// byte-identical with the knob on or off.
 	ForceHeapQueue bool
+
+	// Jrun is the intra-run parallelism: the number of execution contexts
+	// the epoch executor may use for one run (engine.EnableParallel). 0 or 1
+	// selects the serial engine — the untouched reference path. Higher
+	// values shard the machine into per-core lanes plus a shared lane and
+	// execute each cycle as a barrier-committed epoch; Results are
+	// byte-identical to the serial engine for every scheme (pinned by
+	// TestParallelVsSerialDifferentialSim), so Jrun is purely a wall-clock
+	// knob on multi-core hosts.
+	Jrun int
 
 	CoreConfig cpu.CoreConfig
 
@@ -179,7 +190,11 @@ type System struct {
 	led *ledger.Ledger
 	wd  *check.Watchdog
 
-	doneCores int
+	// doneCores counts cores that retired the current phase's budget. A
+	// core's completion callback may fire on its own lane under the epoch
+	// executor, so the counter is atomic (increments commute; the engine
+	// thread reads it only between epochs).
+	doneCores atomic.Int32
 }
 
 // Ledger returns the run's swap-provenance ledger (nil unless
@@ -233,12 +248,28 @@ func Build(cfg Config) (*System, error) {
 	if cfg.ForceHeapQueue {
 		sm.DisableWheel()
 	}
+	// Shard layout for the epoch executor: lane 0 is the shared back end
+	// (L3, controller, swap engine, memory modules), lane i+1 is core i's
+	// front end (core, L1, L2, MMU). With Jrun <= 1 every component lands on
+	// lane 0 and the executor stays disarmed: the handles forward straight
+	// to the serial queue.
+	parallel := cfg.Jrun > 1
+	if parallel {
+		sm.EnableParallel(cfg.Jrun)
+	}
+	sharedLane := sm.Lane(0)
+	coreLane := func(i int) *engine.Lane {
+		if parallel {
+			return sm.Lane(i + 1)
+		}
+		return sharedLane
+	}
 	// Steady-state event concurrency: each in-flight memory op holds one
 	// event across its pipeline stages, plus per-channel wakeups and swap
 	// engine traffic. Reserving up front keeps append-growth out of the
 	// measured epoch.
 	sm.Reserve(nCores*cfg.CoreConfig.MaxOutstanding*4 + 256)
-	ctl := hmc.NewController(sm, osm, memsim.DRAMConfig(), memsim.NVMConfig(), hmc.DefaultSwapEngineConfig())
+	ctl := hmc.NewController(sharedLane, osm, memsim.DRAMConfig(), memsim.NVMConfig(), hmc.DefaultSwapEngineConfig())
 
 	sys := &System{Cfg: cfg, Sim: sm, OS: osm, Ctl: ctl}
 	sys.lat = &obs.LatencySet{}
@@ -279,7 +310,7 @@ func Build(cfg Config) (*System, error) {
 
 	l3cfg := cache.L3Config()
 	l3cfg.SizeBytes = scaleCache(l3cfg.SizeBytes, cfg.Scale, 64<<10)
-	sys.L3 = cache.New(sm, l3cfg, ctl)
+	sys.L3 = cache.New(sharedLane, l3cfg, ctl)
 
 	var hinter mmu.Hinter
 	if sys.PageSeer != nil || cfg.customManager != nil {
@@ -302,18 +333,39 @@ func Build(cfg Config) (*System, error) {
 	for i := 0; i < nCores; i++ {
 		pid := pids[i]
 		osm.NewProcess(pid)
+		lane := coreLane(i)
+		// The two seams where a core's shard calls synchronously into the
+		// shared back end — the L2's fetch/writeback port into the L3 and
+		// the MMU's hint wire into the controller — go through portals under
+		// the epoch executor: the call is recorded on the core's lane and
+		// replayed at the barrier in the originating event's (cycle, seq)
+		// position. Serial builds wire the components directly.
+		var l2Next cache.Backend = sys.L3
+		coreHinter := hinter
+		if parallel {
+			l2Next = newBackendPortal(lane, sys.L3)
+			if hinter != nil {
+				coreHinter = newHintPortal(lane, hinter)
+			}
+		}
 		l2cfg := cache.L2Config()
 		l2cfg.SizeBytes = scaleCache(l2cfg.SizeBytes, cfg.Scale, 16<<10)
-		l2 := cache.New(sm, l2cfg, sys.L3)
+		l2 := cache.New(lane, l2cfg, l2Next)
 		l1cfg := cache.L1Config()
 		l1cfg.SizeBytes = scaleCache(l1cfg.SizeBytes, cfg.Scale, 4<<10)
-		l1 := cache.New(sm, l1cfg, l2)
-		m := mmu.New(sm, osm, i, pid, mcfg, l2, hinter)
-		c := cpu.NewCore(sm, i, pid, cfg.CoreConfig, m, l1, gens[i])
+		l1 := cache.New(lane, l1cfg, l2)
+		m := mmu.New(lane, osm, i, pid, mcfg, l2, coreHinter)
+		c := cpu.NewCore(lane, i, pid, cfg.CoreConfig, m, l1, gens[i])
 		sys.L2s = append(sys.L2s, l2)
 		sys.Cores = append(sys.Cores, c)
 	}
 	preTouch(osm, pids, feet)
+	if parallel {
+		// Every footprint page is mapped; freeze the page tables so a stray
+		// first-touch from a worker fails deterministically instead of
+		// racing on the shared frame allocator.
+		osm.Seal()
+	}
 	return sys, nil
 }
 
@@ -455,13 +507,13 @@ func (s *System) runPhase(instr uint64) {
 	if instr == 0 {
 		return
 	}
-	s.doneCores = 0
-	n := len(s.Cores)
+	s.doneCores.Store(0)
+	n := int32(len(s.Cores))
 	for _, c := range s.Cores {
 		target := c.Stats().Instructions + instr
-		c.RunTo(target, func(*cpu.Core) { s.doneCores++ })
+		c.RunTo(target, func(*cpu.Core) { s.doneCores.Add(1) })
 	}
-	for s.doneCores < n {
+	for s.doneCores.Load() < n {
 		if !s.Sim.Step() {
 			panic("sim: event queue drained before cores finished")
 		}
@@ -565,6 +617,10 @@ func (s *System) progress() uint64 {
 // clock during the run and CheckInvariants audits the quiesced system after
 // it; audit violations also surface as a *RunError.
 func (s *System) Run() (res Results, err error) {
+	// Stop the epoch executor's workers when the run ends (no-op when
+	// Cfg.Jrun <= 1 or they never started); the Sim stays armed, so a
+	// second Run restarts them lazily.
+	defer s.Sim.ReleaseWorkers()
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = Results{}, s.recoverRunError(p, debug.Stack())

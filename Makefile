@@ -3,14 +3,15 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke ledger-overhead invariants chaos-smoke chaos fuzz-validate trace-demo
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke cpi-smoke ledger-overhead invariants chaos-smoke chaos fuzz-validate trace-demo
 
 ## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
 ## one-shot figure-campaign smoke bench, the alloc-budget guards, the
 ## campaign-throughput regression gate, the parallel-executor differential
 ## under -race, the swap-provenance effectiveness smoke, the
-## invariant-audit gate, and a fault-injection smoke run.
-tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke invariants chaos-smoke
+## cycle-attribution smoke, the invariant-audit gate, and a
+## fault-injection smoke run.
+tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke cpi-smoke invariants chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,7 +48,7 @@ campaign-bench:
 ## state. Run without -race (race instrumentation allocates and would
 ## false-fail).
 allocguard:
-	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs ./internal/obs/ledger ./internal/sim
+	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs ./internal/obs/ledger ./internal/obs/attrib ./internal/sim
 
 ## benchguard: re-run the quick campaign and fail if per-run
 ## events_per_sec (geomean over the workload x scheme grid) regresses
@@ -60,7 +61,9 @@ benchguard:
 	$(GO) run ./cmd/benchguard -baseline BENCH_campaign.json -head .benchguard_head.json -tolerance 0.10
 	$(GO) run ./cmd/paper-figures -quick -all -effectiveness -quiet -benchjson .benchguard_ledger.json
 	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_ledger.json -tolerance 0.05 -warnonly -label "ledger-on overhead"
-	@rm -f .benchguard_head.json .benchguard_ledger.json
+	$(GO) run ./cmd/paper-figures -quick -all -cpistack -quiet -benchjson .benchguard_cpi.json
+	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_cpi.json -tolerance 0.05 -warnonly -label "cpi-on overhead"
+	@rm -f .benchguard_head.json .benchguard_ledger.json .benchguard_cpi.json
 
 ## parallel-smoke: the epoch-barrier executor's correctness gate — the
 ## full-system differential (all five schemes plus the ablation, Results
@@ -70,7 +73,7 @@ benchguard:
 ## recording in the same run is exactly a data race, and -race is the
 ## detector that owns it.
 parallel-smoke:
-	$(GO) test -race -count=1 -run 'TestParallel|TestMisSharded|TestBarrierResidue|TestLanePanic|TestSerialPathUntouched|TestShardViolation' ./internal/engine ./internal/sim
+	$(GO) test -race -count=1 -run 'TestParallel|TestMisSharded|TestBarrierResidue|TestLanePanic|TestSerialPathUntouched|TestShardViolation|TestCPIParallelDifferential' ./internal/engine ./internal/sim
 
 ## parallel: the PAGESEER_PARALLEL=1 matrix — rerun the invariant and
 ## effectiveness smokes with every run on the epoch executor at jrun 4,
@@ -86,6 +89,16 @@ parallel: parallel-smoke
 ## the conservation audit (useful + unused + open == started) holds.
 effectiveness-smoke:
 	$(GO) test -run TestEffectivenessSmoke -count=1 ./internal/sim
+
+## cpi-smoke: run one PageSeer quick workload with cycle attribution armed
+## and assert the acceptance bar: every trigger class the ledger
+## distinguishes retires requests, at least 8 blame components carry
+## cycles, no cycles retire unattributed, per-scheme blame conservation
+## (component cycles == end-to-end latency, all six schemes), the
+## mutation audit catches a mis-stamped stage, and an attribution-off run
+## stays byte-identical.
+cpi-smoke:
+	$(GO) test -run 'TestCPISmoke|TestCPIConservation|TestCPIMutationFailsAudit' -count=1 ./internal/sim
 
 ## invariants: the quick campaign's workloads with end-of-run audits and
 ## the liveness watchdog armed, asserting Results stay byte-identical to

@@ -11,11 +11,15 @@
 //
 // Observability: -effectiveness attaches the swap-provenance ledger and
 // prints the per-trigger swap mix, accuracy/coverage, wasted transfer
-// bytes, and MMU-hint lead times; -trace writes swap-lifecycle spans and
-// MMU-hint causality arrows in Chrome Trace Event Format (open in Perfetto
-// or chrome://tracing); -timeline samples IPC, swap activity, and queue
-// occupancy every -timeline-every cycles into CSV (or JSON when the path
-// ends in .json).
+// bytes, and MMU-hint lead times; -cpi attaches the cycle-attribution layer
+// and prints a per-run CPI-stack table (export it with -cpi-csv/-cpi-json);
+// -serve runs the campaign introspection server from paper-figures over
+// this invocation's runs (progress on /, per-run JSON on /runs, Prometheus
+// metrics on /metrics, pprof under /debug/pprof/); -trace writes
+// swap-lifecycle spans and MMU-hint causality arrows in Chrome Trace Event
+// Format (open in Perfetto or chrome://tracing); -timeline samples IPC,
+// swap activity, and queue occupancy every -timeline-every cycles into CSV
+// (or JSON when the path ends in .json).
 // With multiple workloads each run writes its own file, the workload name
 // inserted before the extension (trace.json -> trace-lbm.json).
 //
@@ -26,6 +30,8 @@
 //	pageseer-sim -workload GemsFDTD -scheme pageseer -nobw
 //	pageseer-sim -workload all -j 8
 //	pageseer-sim -workload lbm -trace trace.json -timeline tl.csv
+//	pageseer-sim -workload GemsFDTD -cpi -cpi-csv cpi.csv
+//	pageseer-sim -workload all -serve :8090
 package main
 
 import (
@@ -33,6 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -65,6 +73,10 @@ func main() {
 		dumpDir   = flag.String("crashdump-dir", ".", "directory for per-run crashdump files on failure")
 
 		effect     = flag.Bool("effectiveness", false, "attach the swap-provenance ledger and print per-trigger swap effectiveness")
+		cpi        = flag.Bool("cpi", false, "attach cycle attribution and print the CPI-stack table")
+		cpiCSV     = flag.String("cpi-csv", "", "write the CPI stacks to this CSV file (implies -cpi)")
+		cpiJSON    = flag.String("cpi-json", "", "write the CPI stacks (with per-trigger-class splits) to this JSON file (implies -cpi)")
+		serveAddr  = flag.String("serve", "", "serve live run introspection on this address (e.g. :8090); incompatible with -trace/-timeline")
 		tracePath  = flag.String("trace", "", "write a Chrome/Perfetto trace of swap lifecycles and MMU hints to this file")
 		tlPath     = flag.String("timeline", "", "write the epoch timeline to this file (.json = JSON, otherwise CSV)")
 		tlEvery    = flag.Uint64("timeline-every", 50_000, "timeline sampling interval in cycles")
@@ -122,9 +134,51 @@ func main() {
 	}
 	cfg.Faults = pageseer.FaultPlan{Kind: fk, Rate: *faultRate, Seed: *faultSeed}
 	cfg.Obs.Trace = *tracePath != ""
-	cfg.Obs.Ledger = *effect
+	if *cpiCSV != "" || *cpiJSON != "" {
+		*cpi = true
+	}
+	// The introspection server's /metrics page draws on the provenance and
+	// attribution digests, so -serve attaches both (mirroring paper-figures).
+	cfg.Obs.Ledger = *effect || *serveAddr != ""
+	cfg.Obs.CPI = *cpi || *serveAddr != ""
 	if *tlPath != "" {
 		cfg.Obs.TimelineEvery = *tlEvery
+	}
+
+	// With -serve the runs route through a figures.Runner so the campaign
+	// introspection server sees them live; the runner owns no per-run sinks,
+	// so the file-writing observers cannot combine with it.
+	var fr *pageseer.FigureRunner
+	if *serveAddr != "" {
+		if *tracePath != "" || *tlPath != "" {
+			fmt.Fprintln(os.Stderr, "error: -serve routes runs through the campaign runner; -trace/-timeline are per-run file sinks and cannot be combined with it")
+			os.Exit(2)
+		}
+		fr = pageseer.NewFigureRunner(pageseer.FigureOptions{
+			Scale:        cfg.Scale,
+			InstrPerCore: cfg.InstrPerCore,
+			Warmup:       cfg.Warmup,
+			Seed:         cfg.Seed,
+			Workloads:    wls,
+			MaxCores:     cfg.MaxCores,
+			Parallelism:  *jobs,
+			Jrun:         cfg.Jrun,
+			Audit:        cfg.Audit,
+			Faults:       cfg.Faults,
+			Ledger:       cfg.Obs.Ledger,
+			CPI:          cfg.Obs.CPI,
+		})
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s/ (also /runs, /metrics, /debug/pprof/)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, pageseer.NewIntrospectionHandler(fr)); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+			}
+		}()
 	}
 
 	// Fan runs across -j workers; each worker owns its private system, so
@@ -138,6 +192,7 @@ func main() {
 		par = len(wls)
 	}
 	reports := make([]string, len(wls))
+	results := make([]pageseer.Results, len(wls))
 	errs := make([]error, len(wls))
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -148,8 +203,22 @@ func main() {
 			for i := range work {
 				c := cfg
 				c.Workload = wls[i]
+				if fr != nil {
+					var res pageseer.Results
+					var err error
+					if c.DisableBWOpt && c.Scheme == pageseer.SchemePageSeer {
+						res, err = fr.RunNoBWOpt(c.Workload)
+					} else {
+						res, err = fr.Run(c.Workload, c.Scheme)
+					}
+					results[i], errs[i] = res, err
+					if err == nil {
+						reports[i] = report(c, res)
+					}
+					continue
+				}
 				multi := len(wls) > 1
-				reports[i], errs[i] = runOne(c, outPath(*tracePath, wls[i], multi), outPath(*tlPath, wls[i], multi))
+				results[i], reports[i], errs[i] = runOne(c, outPath(*tracePath, wls[i], multi), outPath(*tlPath, wls[i], multi))
 			}
 		}()
 	}
@@ -183,23 +252,65 @@ func main() {
 		}
 		fmt.Print(reports[i])
 	}
+
+	// The CPI-stack table aggregates the successful runs (argument order)
+	// after the per-run reports, like paper-figures prints its tables after
+	// the figures.
+	if *cpi {
+		label := *scheme
+		if *nobw {
+			label += "-nobw"
+		}
+		var rows []pageseer.CPIStackRow
+		for i := range wls {
+			if errs[i] != nil {
+				continue
+			}
+			rows = append(rows, pageseer.CPIStackRow{
+				Workload:     wls[i],
+				Scheme:       label,
+				Instructions: results[i].Instructions,
+				Stack:        results[i].CPIStack,
+			})
+		}
+		fmt.Println()
+		fmt.Print(pageseer.RenderCPIStack(rows))
+		if *cpiCSV != "" {
+			if err := writeSink(*cpiCSV, func(w io.Writer) error { return pageseer.WriteCPIStackCSV(w, rows) }); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				failed = true
+			}
+		}
+		if *cpiJSON != "" {
+			if err := writeSink(*cpiJSON, func(w io.Writer) error { return pageseer.WriteCPIStackJSON(w, rows) }); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				failed = true
+			}
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+	// With -serve the process keeps the introspection endpoints alive after
+	// the runs so their results stay inspectable; interrupt to exit.
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "runs complete; introspection server still running (Ctrl-C to exit)")
+		select {}
+	}
 }
 
-func runOne(cfg pageseer.Config, tracePath, tlPath string) (string, error) {
+func runOne(cfg pageseer.Config, tracePath, tlPath string) (pageseer.Results, string, error) {
 	sys, err := pageseer.Build(cfg)
 	if err != nil {
-		return "", err
+		return pageseer.Results{}, "", err
 	}
 	res, err := sys.Run()
 	if err != nil {
-		return "", err
+		return pageseer.Results{}, "", err
 	}
 	if tracePath != "" {
 		if err := writeSink(tracePath, sys.Tracer.WriteJSON); err != nil {
-			return "", err
+			return pageseer.Results{}, "", err
 		}
 	}
 	if tlPath != "" {
@@ -208,10 +319,10 @@ func runOne(cfg pageseer.Config, tracePath, tlPath string) (string, error) {
 			w = sys.Timeline.WriteJSON
 		}
 		if err := writeSink(tlPath, w); err != nil {
-			return "", err
+			return pageseer.Results{}, "", err
 		}
 	}
-	return report(cfg, res), nil
+	return res, report(cfg, res), nil
 }
 
 // outPath returns base with the workload name inserted before the extension

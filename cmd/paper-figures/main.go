@@ -51,10 +51,13 @@ func main() {
 		abl    = flag.Bool("ablation", false, "Section V-C: PageSeer vs PageSeer-NoCorr")
 		lat    = flag.Bool("latency", false, "per-source HMC service-latency percentiles (PageSeer)")
 
-		effect     = flag.Bool("effectiveness", false, "swap-provenance effectiveness table (attaches the ledger to every run; not part of -all)")
-		effectCSV  = flag.String("effectiveness-csv", "", "write the effectiveness table to this CSV file (implies -effectiveness)")
-		effectJSON = flag.String("effectiveness-json", "", "write the effectiveness table (with lead-time histograms) to this JSON file (implies -effectiveness)")
-		serveAddr  = flag.String("serve", "", "serve live campaign introspection on this address (e.g. :8090): progress on /, per-run JSON on /runs, Prometheus on /metrics, pprof under /debug/pprof/")
+		effect       = flag.Bool("effectiveness", false, "swap-provenance effectiveness table (attaches the ledger to every run; not part of -all)")
+		effectCSV    = flag.String("effectiveness-csv", "", "write the effectiveness table to this CSV file (implies -effectiveness)")
+		effectJSON   = flag.String("effectiveness-json", "", "write the effectiveness table (with lead-time histograms) to this JSON file (implies -effectiveness)")
+		cpistack     = flag.Bool("cpistack", false, "cycle-attribution CPI-stack table incl. the static baseline (attaches attribution to every run; not part of -all)")
+		cpistackCSV  = flag.String("cpistack-csv", "", "write the CPI-stack table to this CSV file (implies -cpistack)")
+		cpistackJSON = flag.String("cpistack-json", "", "write the CPI-stack table (with per-trigger-class splits) to this JSON file (implies -cpistack)")
+		serveAddr    = flag.String("serve", "", "serve live campaign introspection on this address (e.g. :8090): progress on /, per-run JSON on /runs, Prometheus on /metrics, pprof under /debug/pprof/")
 
 		scale     = flag.Int("scale", 0, "memory scale denominator (default from profile)")
 		instr     = flag.Uint64("instr", 0, "measured instructions per core")
@@ -137,8 +140,15 @@ func main() {
 	// -all: -all regenerates the paper's figures, whose runs stay
 	// ledger-free (and byte-identical to earlier releases).
 	opts.Ledger = *effect || *serveAddr != ""
+	if *cpistackCSV != "" || *cpistackJSON != "" {
+		*cpistack = true
+	}
+	// Cycle attribution follows the same rule: it rides every run when the
+	// CPI-stack table or the introspection server (per-component cycle
+	// counters on /metrics) asks for it, and never under plain -all.
+	opts.CPI = *cpistack || *serveAddr != ""
 
-	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl || *lat || *effect
+	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl || *lat || *effect || *cpistack
 	anyTable := *table1 || *table2 || *table3
 	if *all {
 		*table1, *table2, *table3 = true, true, true
@@ -185,7 +195,7 @@ func main() {
 	// builders then drain the cache serially, so their output is
 	// byte-identical to a fully serial campaign.
 	needs := figures.Needs{
-		Baselines: *fig7 || *fig8 || *fig13 || *fig14 || *effect,
+		Baselines: *fig7 || *fig8 || *fig13 || *fig14 || *effect || *cpistack,
 		NoCorr:    *abl,
 		NoBW:      *fig11,
 	}
@@ -290,6 +300,27 @@ func main() {
 		}
 	}
 
+	// CPI stacks print after effectiveness for the same byte-stability
+	// reason. The table's static-baseline runs are not in the prefetch key
+	// set, so they simulate here on first use.
+	if *cpistack {
+		rows, err := figures.CPIStackTable(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderCPIStack(rows))
+		if *cpistackCSV != "" {
+			if err := writeFile(*cpistackCSV, rows, figures.WriteCPIStackCSV); err != nil {
+				fail(err)
+			}
+		}
+		if *cpistackJSON != "" {
+			if err := writeFile(*cpistackJSON, rows, figures.WriteCPIStackJSON); err != nil {
+				fail(err)
+			}
+		}
+	}
+
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, r, opts, *jobs, *quick, campaignWall, *benchNote); err != nil {
 			fail(err)
@@ -321,8 +352,8 @@ func main() {
 	}
 }
 
-// writeFile writes rows to path with one of the effectiveness encoders.
-func writeFile(path string, rows []figures.EffectivenessRow, write func(io.Writer, []figures.EffectivenessRow) error) error {
+// writeFile writes rows to path with one of the table encoders.
+func writeFile[T any](path string, rows []T, write func(io.Writer, []T) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -74,12 +74,12 @@ func (e *Eager) HandleRequest(r *hmc.Request) {
 	}
 	actual := e.TranslateLine(r.Line)
 	if r.Meta.Writeback {
-		if !e.ctl.Engine.TryService(actual, func() {}) {
+		if !e.ctl.Engine.TryService(actual, nil, func() {}) {
 			e.ctl.ServeMemory(r, actual)
 		}
 		return
 	}
-	if e.ctl.Engine.TryService(actual, func() { e.ctl.ServeBuffer(r) }) {
+	if e.ctl.Engine.TryService(actual, r.Meta.V, func() { e.ctl.ServeBuffer(r) }) {
 		return
 	}
 	e.ctl.ServeMemory(r, actual)

@@ -15,6 +15,7 @@ import (
 	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
+	"pageseer/internal/obs/attrib"
 )
 
 // Meta carries request provenance down the hierarchy. The memory controller
@@ -26,6 +27,11 @@ type Meta struct {
 	IsPTE     bool // request fetches the line holding the final (leaf) PTE
 	PageWalk  bool // any page-walk read (all levels), excluded from hot-page tracking
 	Writeback bool // dirty eviction, not a demand miss
+	// V is the request's cycle-accounting blame vector, nil unless the run
+	// has attribution enabled AND this is a tracked demand request. It rides
+	// the Meta down the hierarchy so each stage can stamp the interval it
+	// owned; writebacks and background traffic carry nil.
+	V *attrib.Vector
 }
 
 // Backend is anything that can service a line request: the next cache level
@@ -101,8 +107,13 @@ type mshr struct {
 	meta    Meta
 	write   bool // any waiter is a write: line installs dirty
 	waiters []func()
-	fillFn  func()
-	next    *mshr
+	// vwaiters holds the blame vectors of requests that merged into this
+	// outstanding miss (NOT the creator, whose vector rides fetchMeta down to
+	// the next level). Mergers spend the whole wait in this MSHR, so the fill
+	// charges their interval to CompMSHR.
+	vwaiters []*attrib.Vector
+	fillFn   func()
+	next     *mshr
 }
 
 // cacheTxn carries one access across this level's tag-lookup latency: the
@@ -148,6 +159,7 @@ type Cache struct {
 	sim  *engine.Lane
 	cfg  Config
 	next Backend
+	comp attrib.Component // blame component this level's lookup latency is charged to
 
 	sets    [][]line
 	nSets   uint64
@@ -176,6 +188,7 @@ func New(sim *engine.Lane, cfg Config, next Backend) *Cache {
 		sim:   sim,
 		cfg:   cfg,
 		next:  next,
+		comp:  blameFor(cfg.Name),
 		nSets: uint64(nSets),
 		mshrs: make(map[mem.Addr]*mshr),
 	}
@@ -184,6 +197,20 @@ func New(sim *engine.Lane, cfg Config, next Backend) *Cache {
 		c.sets[i] = make([]line, cfg.Ways)
 	}
 	return c
+}
+
+// blameFor maps a level name to the cycle-accounting component its tag
+// latency is charged to. Unknown names (tests with ad-hoc geometries) charge
+// the LLC component rather than silently dropping cycles.
+func blameFor(name string) attrib.Component {
+	switch name {
+	case "L1":
+		return attrib.CompL1
+	case "L2":
+		return attrib.CompL2
+	default:
+		return attrib.CompL3
+	}
 }
 
 // Config returns the cache configuration.
@@ -247,6 +274,10 @@ func (c *Cache) putMSHR(m *mshr) {
 		m.waiters[i] = nil
 	}
 	m.waiters = m.waiters[:0]
+	for i := range m.vwaiters {
+		m.vwaiters[i] = nil
+	}
+	m.vwaiters = m.vwaiters[:0]
 	m.line, m.meta, m.write = 0, Meta{}, false
 	m.next = c.freeMSHR
 	c.freeMSHR = m
@@ -271,6 +302,10 @@ func (c *Cache) Access(addr mem.Addr, write bool, meta Meta, done func()) {
 func (c *Cache) afterTagLookup(t *cacheTxn) {
 	l, write, meta, done := t.line, t.write, t.meta, t.done
 	c.putTxn(t)
+	// The tag lookup just completed: this level owned the interval since the
+	// previous stamp, hit or miss alike (a miss still paid the lookup before
+	// the fetch below was issued).
+	meta.V.Take(c.comp, c.sim.Now())
 	if ln := c.lookup(l); ln != nil {
 		c.stats.Hits++
 		c.lruTick++
@@ -293,6 +328,9 @@ func (c *Cache) afterTagLookup(t *cacheTxn) {
 		if done != nil {
 			m.waiters = append(m.waiters, done)
 		}
+		if meta.V != nil {
+			m.vwaiters = append(m.vwaiters, meta.V)
+		}
 		return
 	}
 	m := c.getMSHR()
@@ -313,6 +351,14 @@ func (c *Cache) fill(m *mshr) {
 	}
 	delete(c.mshrs, m.line)
 	c.install(m.line, m.write, m.meta)
+	// Mergers spent their whole wait parked in this MSHR while the creator's
+	// vector accumulated the downstream story; charge them the wait here.
+	if len(m.vwaiters) > 0 {
+		now := c.sim.Now()
+		for _, v := range m.vwaiters {
+			v.Take(attrib.CompMSHR, now)
+		}
+	}
 	// Index loop: a waiter that misses this cache again grabs a fresh MSHR
 	// (m is still checked out), so m.waiters cannot grow underneath us; the
 	// record returns to the pool only after the last waiter ran.

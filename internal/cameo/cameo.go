@@ -179,7 +179,7 @@ func (c *CAMEO) HandleRequest(r *hmc.Request) {
 	if !r.Meta.Writeback && !r.Meta.PageWalk && c.locate(b) >= c.fastBlocks {
 		c.trySwap(b)
 	}
-	c.remapCache.Access(uint64(c.group(b)), false, r.RouteFn())
+	c.remapCache.AccessV(uint64(c.group(b)), false, r.Meta.V, r.RouteFn())
 }
 
 // trySwap performs CAMEO's fast swap: block b exchanges with whatever

@@ -9,6 +9,7 @@ import (
 	"pageseer/internal/mem"
 	"pageseer/internal/mmu"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
 )
 
@@ -146,6 +147,11 @@ type PageSeer struct {
 	hintSeq  uint64
 	hintFlow map[mem.PPN]hintOrigin
 
+	// att (nil when attribution is off) receives correlation-evaluation
+	// machinery cycles — PCTc lookups are off the request critical path, so
+	// their cost is reported separately rather than in any blame vector.
+	att *attrib.Attrib
+
 	stats Stats
 }
 
@@ -168,12 +174,13 @@ type pendingSwap struct {
 // snapshot (taken at trigger time, before the lookup latency) plus the
 // continuation pre-bound to the record.
 type corrTxn struct {
-	p    *PageSeer
-	page mem.PPN
-	kind SwapKind
-	snap PCTEntry
-	fn   func()
-	next *corrTxn
+	p     *PageSeer
+	page  mem.PPN
+	kind  SwapKind
+	snap  PCTEntry
+	start uint64 // trigger cycle, for the attribution layer's machinery counter
+	fn    func()
+	next  *corrTxn
 }
 
 func (p *PageSeer) getCorrTxn() *corrTxn {
@@ -189,7 +196,7 @@ func (p *PageSeer) getCorrTxn() *corrTxn {
 }
 
 func (p *PageSeer) putCorrTxn(t *corrTxn) {
-	t.page, t.kind, t.snap = 0, 0, PCTEntry{}
+	t.page, t.kind, t.snap, t.start = 0, 0, PCTEntry{}, 0
 	t.next = p.freeCorr
 	p.freeCorr = t
 }
@@ -361,6 +368,10 @@ func (p *PageSeer) HPTs() (dram, nvm *HPT) { return p.hptDRAM, p.hptNVM }
 // Correlator exposes the PCT/Filter machinery.
 func (p *PageSeer) Correlator() *Correlator { return p.corr }
 
+// SetAttrib wires the cycle-attribution accumulator so correlation
+// evaluations report their machinery cycles. nil disables (the default).
+func (p *PageSeer) SetAttrib(a *attrib.Attrib) { p.att = a }
+
 // PTEDriver exposes the MMU Driver's PTE-line cache.
 func (p *PageSeer) PTEDriver() *PTECache { return p.pte }
 
@@ -416,8 +427,9 @@ func (p *PageSeer) HandleRequest(r *hmc.Request) {
 		p.trackMiss(r.Meta.PID, page)
 	}
 	// The PRTc stands on the critical path: the request cannot be routed
-	// until the remap entry is available.
-	p.prtc.Access(uint64(page), false, r.RouteFn())
+	// until the remap entry is available — so its lookup (and any PRT line
+	// fetch) is exactly what the request's blame vector should see.
+	p.prtc.AccessV(uint64(page), false, r.Meta.V, r.RouteFn())
 }
 
 // trackMiss updates the hot-page tables and the correlator, and evaluates
@@ -453,7 +465,7 @@ func (p *PageSeer) trackMiss(pid int, page mem.PPN) {
 // entire value is lead time over the replayed access.
 func (p *PageSeer) evaluateCorrelation(page mem.PPN, kind SwapKind) {
 	t := p.getCorrTxn()
-	t.page, t.kind = page, kind
+	t.page, t.kind, t.start = page, kind, p.lane.Now()
 	t.snap = p.corr.Snapshot(page)
 	if kind == SwapPrefetchMMU {
 		p.pctc.AccessUrgent(uint64(page), t.fn)
@@ -464,6 +476,9 @@ func (p *PageSeer) evaluateCorrelation(page mem.PPN, kind SwapKind) {
 
 func (p *PageSeer) corrEvaluated(t *corrTxn) {
 	page, kind, snap := t.page, t.kind, t.snap
+	if p.att != nil {
+		p.att.CorrEval(p.lane.Now() - t.start)
+	}
 	p.putCorrTxn(t)
 	if snap.Count >= p.cfg.PCTThreshold && !p.residentDRAM(page) {
 		p.requestSwap(page, kind)

@@ -14,6 +14,7 @@ import (
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 	"pageseer/internal/mmu"
+	"pageseer/internal/obs/attrib"
 	"pageseer/internal/workload"
 )
 
@@ -69,6 +70,11 @@ type Core struct {
 	freeTxn *memTxn
 	pumpFn  func()
 
+	// att, when non-nil, receives each retired memory operation's blame
+	// vector (cycle attribution). Set once before the run; nil costs the
+	// demand path one branch per retire.
+	att *attrib.Attrib
+
 	stats  CoreStats
 	onDone func(*Core)
 }
@@ -81,6 +87,9 @@ type Core struct {
 type memTxn struct {
 	c   *Core
 	acc workload.Access
+	// v is the access's blame vector, embedded so attribution adds zero
+	// allocations: the vector lives and dies with the pooled record.
+	v attrib.Vector
 
 	issueFn func()
 	transFn func(mem.PPN)
@@ -137,6 +146,10 @@ func (c *Core) PID() int { return c.pid }
 
 // MMU returns the core's MMU (for stats aggregation).
 func (c *Core) MMU() *mmu.MMU { return c.mmu }
+
+// SetAttrib enables cycle attribution: every retired memory operation folds
+// its blame vector into a. Call before RunTo; nil disables (the default).
+func (c *Core) SetAttrib(a *attrib.Attrib) { c.att = a }
 
 // L1 returns the core's L1 cache.
 func (c *Core) L1() *cache.Cache { return c.l1 }
@@ -201,16 +214,30 @@ func (c *Core) pump() {
 }
 
 func (c *Core) issue(t *memTxn) {
+	if c.att != nil {
+		t.v.Begin(c.sim.Now())
+		c.mmu.TranslateTracked(t.acc.VA, &t.v, t.transFn)
+		return
+	}
 	c.mmu.Translate(t.acc.VA, t.transFn)
 }
 
 func (c *Core) translated(t *memTxn, ppn mem.PPN) {
 	pa := ppn.Addr() + mem.Addr(mem.PageOffset(t.acc.VA))
 	meta := cache.Meta{Core: c.id, PID: c.pid}
+	if c.att != nil {
+		meta.V = &t.v
+	}
 	c.l1.Access(pa, t.acc.Write, meta, t.doneFn)
 }
 
 func (c *Core) accessDone(t *memTxn) {
+	if c.att != nil {
+		// Retire: fold the stamped intervals into the per-core CPI stack.
+		// Folding happens on the core's own lane, so the accumulators need
+		// no synchronisation under the epoch executor.
+		c.att.Fold(c.id, &t.v, c.sim.Now())
+	}
 	c.putTxn(t)
 	c.outstanding--
 	if c.stats.Instructions >= c.budget && c.outstanding == 0 && !c.stats.Done {

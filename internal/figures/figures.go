@@ -60,6 +60,10 @@ type Options struct {
 	// swap provenance, filling Results.Effectiveness for the
 	// effectiveness table and the introspection server.
 	Ledger bool
+	// CPI mirrors sim.Config.Obs.CPI: every campaign run carries the
+	// cycle-attribution layer, filling Results.CPIStack for the CPI-stack
+	// table and the per-component metrics on the introspection server.
+	CPI bool
 	// Faults mirrors sim.Config.Faults: every campaign run executes under
 	// the given deterministic fault-injection plan.
 	Faults check.FaultPlan
@@ -114,8 +118,13 @@ type runEntry struct {
 type Runner struct {
 	opts Options
 
-	mu    sync.Mutex // guards cache (the map, not the entries)
+	mu    sync.Mutex // guards cache and began (the map/slice, not the entries)
 	cache map[runKey]*runEntry
+	// began records every key in the order its run first started, so the
+	// introspection snapshot can also surface runs outside the canonical
+	// campaign key set (static CPI-stack baselines, ad-hoc schemes driven
+	// through pageseer-sim -serve).
+	began []runKey
 
 	// Ordered progress emission during Prefetch/RunAll: lines buffer in
 	// pending and flush in order[next:] as the completed prefix grows.
@@ -165,6 +174,7 @@ func (r *Runner) run(wl string, scheme sim.Scheme, disableBW bool) (sim.Results,
 	}
 	e := &runEntry{done: make(chan struct{})}
 	r.cache[k] = e
+	r.began = append(r.began, k)
 	r.mu.Unlock()
 
 	start := time.Now()
@@ -210,7 +220,7 @@ func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
 		DisableBWOpt: k.disableBW,
 		Audit:        r.opts.Audit,
 		Faults:       r.opts.Faults,
-		Obs:          sim.ObsOptions{Ledger: r.opts.Ledger},
+		Obs:          sim.ObsOptions{Ledger: r.opts.Ledger, CPI: r.opts.CPI},
 	}
 	defer func() {
 		if p := recover(); p != nil {

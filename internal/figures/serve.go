@@ -5,10 +5,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 
+	"pageseer/internal/obs"
+	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
 	"pageseer/internal/sim"
+	"pageseer/internal/stats"
 )
 
 // RunState is one campaign run's live introspection snapshot: identity,
@@ -31,13 +35,18 @@ type RunState struct {
 // after its entry is closed.
 func (r *Runner) Snapshot() []RunState {
 	var states []RunState
-	for _, k := range r.keys(AllNeeds()) {
+	seen := make(map[runKey]bool)
+	add := func(k runKey) {
+		if seen[k] {
+			return
+		}
 		r.mu.Lock()
 		e, ok := r.cache[k]
 		r.mu.Unlock()
 		if !ok {
-			continue
+			return
 		}
+		seen[k] = true
 		st := RunState{
 			Workload: k.workload,
 			Scheme:   schemeLabel(k.scheme, k.disableBW),
@@ -56,6 +65,18 @@ func (r *Runner) Snapshot() []RunState {
 		default:
 		}
 		states = append(states, st)
+	}
+	for _, k := range r.keys(AllNeeds()) {
+		add(k)
+	}
+	// Runs outside the canonical campaign key set (the CPI-stack table's
+	// static baseline, ad-hoc schemes driven through pageseer-sim -serve)
+	// follow, in the order they began.
+	r.mu.Lock()
+	began := append([]runKey(nil), r.began...)
+	r.mu.Unlock()
+	for _, k := range began {
+		add(k)
 	}
 	return states
 }
@@ -207,6 +228,96 @@ func metricsPage(r *Runner) string {
 		eff := s.Results.Effectiveness
 		fmt.Fprintf(&b, "pageseer_swap_wasted_bytes_total{%s,module=\"dram\"} %d\n", runLabels(s), eff.WastedDRAMBytes)
 		fmt.Fprintf(&b, "pageseer_swap_wasted_bytes_total{%s,module=\"nvm\"} %d\n", runLabels(s), eff.WastedNVMBytes)
+	}
+
+	// Per-source demand-latency distributions as real Prometheus histograms:
+	// cumulative _bucket series with log2 `le` bounds straight from the
+	// simulator's fixed-size histograms, not just the percentile gauges.
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n",
+		"pageseer_request_latency_cycles",
+		"Demand-request HMC service latency by serving source (CPU cycles).",
+		"pageseer_request_latency_cycles")
+	for _, s := range ok {
+		lh := s.Results.LatencyHist
+		for src := obs.LatSource(0); src < obs.NumLatSources; src++ {
+			h := lh.H[src]
+			if h.Count == 0 {
+				continue
+			}
+			var cum uint64
+			for bkt := 0; bkt < obs.HistBuckets-1; bkt++ {
+				if h.Counts[bkt] == 0 {
+					continue
+				}
+				cum += h.Counts[bkt]
+				hi, _ := obs.BucketUpper(bkt)
+				fmt.Fprintf(&b, "pageseer_request_latency_cycles_bucket{%s,source=%q,le=%q} %d\n",
+					runLabels(s), src.String(), strconv.FormatUint(hi, 10), cum)
+			}
+			fmt.Fprintf(&b, "pageseer_request_latency_cycles_bucket{%s,source=%q,le=\"+Inf\"} %d\n",
+				runLabels(s), src.String(), h.Count)
+			fmt.Fprintf(&b, "pageseer_request_latency_cycles_sum{%s,source=%q} %d\n",
+				runLabels(s), src.String(), h.Sum)
+			fmt.Fprintf(&b, "pageseer_request_latency_cycles_count{%s,source=%q} %d\n",
+				runLabels(s), src.String(), h.Count)
+		}
+	}
+
+	// Cycle-attribution counters (campaigns run with Options.CPI): the raw
+	// material of the CPI stacks, one counter per trigger class x component.
+	counter("pageseer_cpi_cycles_total", "Attributed blame cycles by trigger class and component.")
+	for _, s := range ok {
+		cs := s.Results.CPIStack
+		for cl := attrib.Class(0); cl < attrib.NumClasses; cl++ {
+			st := cs.Class[cl]
+			for c := attrib.Component(0); c < attrib.NumComponents; c++ {
+				if st.Comp[c] == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "pageseer_cpi_cycles_total{%s,class=%q,component=%q} %d\n",
+					runLabels(s), cl.String(), c.String(), st.Comp[c])
+			}
+		}
+	}
+	counter("pageseer_cpi_requests_total", "Attributed retired demand requests by trigger class.")
+	for _, s := range ok {
+		cs := s.Results.CPIStack
+		for cl := attrib.Class(0); cl < attrib.NumClasses; cl++ {
+			if cs.Class[cl].Requests == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "pageseer_cpi_requests_total{%s,class=%q} %d\n",
+				runLabels(s), cl.String(), cs.Class[cl].Requests)
+		}
+	}
+	counter("pageseer_cpi_correval_cycles_total", "PageSeer correlation-evaluation cycles (off the demand path).")
+	for _, s := range ok {
+		if s.Results.CPIStack.CorrEvals == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "pageseer_cpi_correval_cycles_total{%s} %d\n",
+			runLabels(s), s.Results.CPIStack.CorrEvalCycles)
+	}
+
+	counter("pageseer_structure_energy_nanojoules_total", "Table II dynamic energy spent in the SRAM structures, by structure group.")
+	for _, s := range ok {
+		res := s.Results
+		e := stats.Energy(res.RemapCache, res.PCTc, res.Ctl.DataDemand)
+		if e.TotalAccess == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "pageseer_structure_energy_nanojoules_total{%s,structure=\"prtc\"} %g\n", runLabels(s), e.PRTcNanoJ)
+		fmt.Fprintf(&b, "pageseer_structure_energy_nanojoules_total{%s,structure=\"pctc\"} %g\n", runLabels(s), e.PCTcNanoJ)
+		fmt.Fprintf(&b, "pageseer_structure_energy_nanojoules_total{%s,structure=\"all\"} %g\n", runLabels(s), e.TotalNanoJ)
+	}
+	counter("pageseer_structure_accesses_total", "SRAM structure accesses charged by the energy model.")
+	for _, s := range ok {
+		res := s.Results
+		e := stats.Energy(res.RemapCache, res.PCTc, res.Ctl.DataDemand)
+		if e.TotalAccess == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "pageseer_structure_accesses_total{%s} %d\n", runLabels(s), e.TotalAccess)
 	}
 
 	counter("pageseer_faults_injected_total", "Faults the deterministic injector actually injected, by kind.")

@@ -22,6 +22,7 @@ import (
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
 )
 
@@ -361,7 +362,17 @@ func (c *Controller) ServeMemory(r *Request, actual mem.Addr) {
 	}
 	r.src = src
 	r.issued = c.Lane.Now()
-	c.IssueLine(actual, r.Write, PrioDemand, r.memDoneFn)
+	if c.inj != nil {
+		if d := c.inj.IssueStallCycles(); d > 0 {
+			c.Lane.After(d, func() {
+				c.Route(actual).AccessV(actual, r.Write, memsim.PrioDemand, r.Meta.V, r.memDoneFn)
+			})
+			return
+		}
+	}
+	// The demand path bypasses IssueLine so the blame vector rides into the
+	// timing model (queue-wait / swap-interference / service split).
+	c.Route(actual).AccessV(actual, r.Write, memsim.PrioDemand, r.Meta.V, r.memDoneFn)
 }
 
 // Release returns a request the manager finished out-of-band — a writeback
@@ -377,16 +388,20 @@ var noopFn = func() {}
 // the remap entry is known (the body of Request.RouteFn): translate, try
 // the swap buffers, fall through to memory.
 func (c *Controller) routeTranslated(r *Request) {
+	// The remap entry just became available: everything since the previous
+	// stamp (the metadata-cache probe, zero for schemes that route without
+	// one) is remap stall.
+	r.Meta.V.Take(attrib.CompRemap, c.Lane.Now())
 	actual := c.mgr.TranslateLine(r.Line)
 	if r.Meta.Writeback {
-		if c.Engine.TryService(actual, noopFn) {
+		if c.Engine.TryService(actual, nil, noopFn) {
 			c.putRequest(r)
 			return
 		}
 		c.ServeMemory(r, actual)
 		return
 	}
-	if c.Engine.TryService(actual, r.bufFn) {
+	if c.Engine.TryService(actual, r.Meta.V, r.bufFn) {
 		return
 	}
 	c.ServeMemory(r, actual)
@@ -418,7 +433,31 @@ func (c *Controller) complete(r *Request, src Source) {
 		panic("hmc: request completed twice")
 	}
 	r.served = true
-	lat := c.Lane.Now() - r.Arrival
+	now := c.Lane.Now()
+	if v := r.Meta.V; v != nil {
+		// Final blame stamp: the service source closes the request's last
+		// interval (a residual of zero when the timing model already
+		// stamped it). Page-walk reads redirect to CompWalk by vector
+		// state; the PTE cache stays separable on purpose.
+		switch {
+		case r.pteSrc:
+			v.TakePTE(now)
+		case src == SrcSwapBuffer:
+			v.Take(attrib.CompSwapBuf, now)
+		case src == SrcDRAM:
+			v.Take(attrib.CompDRAM, now)
+		default:
+			v.Take(attrib.CompNVM, now)
+		}
+		if !r.Meta.PageWalk {
+			// Classify the retiring request by the provenance of the data
+			// it landed on (the ledger's residency map): hint-prefetched
+			// DRAM hits separate from regular ones.
+			tr, ok := c.led.TriggerOf(uint64(r.Line))
+			v.SetClass(attrib.ClassOf(tr, ok))
+		}
+	}
+	lat := now - r.Arrival
 	c.stats.LatencyTotal += lat
 	if c.lat != nil {
 		idx := obs.LatDRAM

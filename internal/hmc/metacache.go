@@ -6,6 +6,7 @@ import (
 	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
+	"pageseer/internal/obs/attrib"
 )
 
 // MetaRegion is a contiguous range of DRAM reserved for a controller
@@ -125,6 +126,7 @@ type metaTxn struct {
 	dirty  bool
 	urgent bool
 	start  uint64
+	v      *attrib.Vector // blame vector of the demand request this lookup serves (nil when off)
 	done   func()
 
 	lookFn func()
@@ -148,7 +150,7 @@ func (c *MetaCache) getTxn() *metaTxn {
 
 func (c *MetaCache) putTxn(t *metaTxn) {
 	c.liveTxn--
-	t.key, t.dirty, t.urgent, t.start, t.done = 0, false, false, 0, nil
+	t.key, t.dirty, t.urgent, t.start, t.v, t.done = 0, false, false, 0, nil, nil
 	t.next = c.freeTxn
 	c.freeTxn = t
 }
@@ -257,8 +259,15 @@ func (c *MetaCache) Present(key uint64) bool { return c.find(key) != nil }
 // the entry modified (it will be written back to DRAM on eviction). The
 // cycles a missing access spends waiting are added to WaitCycles.
 func (c *MetaCache) Access(key uint64, dirty bool, done func()) {
+	c.AccessV(key, dirty, nil, done)
+}
+
+// AccessV is Access with a cycle-accounting blame vector: a hit charges the
+// SRAM probe to CompRemap (remap-lookup time on the critical path); a miss
+// charges the DRAM table fetch to CompMeta. v may be nil (attribution off).
+func (c *MetaCache) AccessV(key uint64, dirty bool, v *attrib.Vector, done func()) {
 	t := c.getTxn()
-	t.key, t.dirty, t.done = key, dirty, done
+	t.key, t.dirty, t.v, t.done = key, dirty, v, done
 	c.lane.After(c.cfg.HitLatency, t.lookFn)
 }
 
@@ -273,6 +282,7 @@ func (c *MetaCache) lookStage(t *metaTxn) {
 		if c.inj == nil || !c.inj.ForceMetaMiss() {
 			c.stats.Hits++
 			c.touch(l, t.dirty)
+			t.v.Take(attrib.CompRemap, c.lane.Now())
 			done := t.done
 			c.putTxn(t)
 			if done != nil {
@@ -295,6 +305,9 @@ func (c *MetaCache) fillStage(t *metaTxn) {
 	if l := c.find(t.key); l != nil {
 		c.touch(l, t.dirty)
 	}
+	// The demand request waited this whole interval on a metadata line
+	// fetch — the cost Figure 13 isolates for the PRTc.
+	t.v.Take(attrib.CompMeta, c.lane.Now())
 	done := t.done
 	c.putTxn(t)
 	if done != nil {

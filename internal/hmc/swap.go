@@ -8,6 +8,7 @@ import (
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
 )
 
@@ -164,9 +165,18 @@ type runningOp struct {
 	inflight   int
 	readsLeft  int // current stage
 	writesLeft int // current stage
-	waiters    map[mem.Addr][]func()
+	waiters    map[mem.Addr][]waiter
 	writeFn    func()
 	next       *runningOp
+}
+
+// waiter is one demand request parked on an in-flight swap line: its
+// release continuation plus its blame vector (nil when attribution is off
+// or the request carries none), stamped with the interference wait when
+// the line's read returns.
+type waiter struct {
+	fn func()
+	v  *attrib.Vector
 }
 
 // SwapEngine executes swap operations against the memory modules and
@@ -183,7 +193,7 @@ type SwapEngine struct {
 	lineOwner map[mem.Addr]*runningOp
 	freeOp    *runningOp
 	freeLine  *opLine
-	freeWs    [][]func()
+	freeWs    [][]waiter
 	liveOp    int // pooled op records checked out
 	liveLine  int // pooled line records checked out
 	stats     SwapEngineStats
@@ -226,7 +236,7 @@ func (e *SwapEngine) getOp() *runningOp {
 		r = &runningOp{
 			e:       e,
 			lines:   make(map[mem.Addr]*opLine),
-			waiters: make(map[mem.Addr][]func()),
+			waiters: make(map[mem.Addr][]waiter),
 		}
 		r.writeFn = func() { r.e.writeDone(r) }
 		return r
@@ -265,18 +275,18 @@ func (e *SwapEngine) getLine() *opLine {
 
 // getWs and putWs recycle demand-waiter slices (capacity persists across
 // buffer-wait episodes).
-func (e *SwapEngine) getWs() []func() {
+func (e *SwapEngine) getWs() []waiter {
 	if n := len(e.freeWs); n > 0 {
 		ws := e.freeWs[n-1]
 		e.freeWs = e.freeWs[:n-1]
 		return ws
 	}
-	return make([]func(), 0, 4)
+	return make([]waiter, 0, 4)
 }
 
-func (e *SwapEngine) putWs(ws []func()) {
+func (e *SwapEngine) putWs(ws []waiter) {
 	for i := range ws {
-		ws[i] = nil
+		ws[i] = waiter{}
 	}
 	e.freeWs = append(e.freeWs, ws[:0])
 }
@@ -380,7 +390,7 @@ func (e *SwapEngine) injectStorm(r *runningOp) {
 	}
 	for j := 0; j < n; j++ {
 		src := order[j]
-		e.lane.After(uint64(j)+1, func() { e.TryService(src, stormSink) })
+		e.lane.After(uint64(j)+1, func() { e.TryService(src, nil, stormSink) })
 	}
 }
 
@@ -438,11 +448,16 @@ func (e *SwapEngine) readDone(l *opLine) {
 	r.inflight--
 	l.status = lineBuffered
 	r.readsLeft--
-	// Release demand requests waiting on this line.
+	// Release demand requests waiting on this line. The wait so far was
+	// spent behind the swap's own transfer — swap interference by
+	// definition; the buffer latency that follows is charged by the
+	// completion stamp (CompSwapBuf).
 	if ws, ok := r.waiters[l.src]; ok {
 		delete(r.waiters, l.src)
+		now := e.lane.Now()
 		for _, w := range ws {
-			e.lane.After(e.cfg.BufferLatency, w)
+			w.v.Take(attrib.CompSwapXfer, now)
+			e.lane.After(e.cfg.BufferLatency, w.fn)
 		}
 		e.putWs(ws)
 	}
@@ -532,7 +547,7 @@ func (e *SwapEngine) finishStage(r *runningOp) {
 // is serviced from the swap buffers — immediately if the line has been read,
 // or as soon as its read returns — and TryService reports true. done runs
 // when the data is available.
-func (e *SwapEngine) TryService(addr mem.Addr, done func()) bool {
+func (e *SwapEngine) TryService(addr mem.Addr, v *attrib.Vector, done func()) bool {
 	src := mem.LineOf(addr)
 	r, ok := e.lineOwner[src]
 	if !ok {
@@ -545,14 +560,14 @@ func (e *SwapEngine) TryService(addr mem.Addr, done func()) bool {
 		e.lane.After(e.cfg.BufferLatency, done)
 	case lineIssued:
 		e.stats.BufWaits++
-		e.addWaiter(r, src, done)
+		e.addWaiter(r, src, v, done)
 		// Requested-line-first: the read is already in a channel queue at
 		// background priority; promote it (Section III-D1).
 		e.stats.EscalatedRead++
 		e.promote(src)
 	case lineUnissued:
 		e.stats.BufWaits++
-		e.addWaiter(r, src, done)
+		e.addWaiter(r, src, v, done)
 		if l.stage == r.stage {
 			// Requested-line-first: promote this read past the queue and
 			// issue it at demand priority (Section III-D1).
@@ -563,12 +578,12 @@ func (e *SwapEngine) TryService(addr mem.Addr, done func()) bool {
 	return true
 }
 
-func (e *SwapEngine) addWaiter(r *runningOp, src mem.Addr, done func()) {
+func (e *SwapEngine) addWaiter(r *runningOp, src mem.Addr, v *attrib.Vector, done func()) {
 	ws, ok := r.waiters[src]
 	if !ok {
 		ws = e.getWs()
 	}
-	r.waiters[src] = append(ws, done)
+	r.waiters[src] = append(ws, waiter{fn: done, v: v})
 }
 
 // Involved reports whether addr's line belongs to a running swap (tests).

@@ -181,7 +181,7 @@ func TestBufferServiceDuringSwap(t *testing.T) {
 	e.Start(pageSwapOp(0, 0x100000, nil))
 	// Demand for a line of the page being swapped must be intercepted.
 	served := false
-	if !e.TryService(0x40, func() { served = true }) {
+	if !e.TryService(0x40, nil, func() { served = true }) {
 		t.Fatal("demand to in-flight page not intercepted")
 	}
 	sim.Drain(0)
@@ -197,7 +197,7 @@ func TestBufferServiceDuringSwap(t *testing.T) {
 func TestTryServiceIgnoresUninvolvedLines(t *testing.T) {
 	sim, e, _ := testEngine(50)
 	e.Start(pageSwapOp(0, 0x100000, nil))
-	if e.TryService(0x5000000, func() {}) {
+	if e.TryService(0x5000000, nil, func() {}) {
 		t.Fatal("intercepted a line outside the swap")
 	}
 	sim.Drain(0)
@@ -213,7 +213,7 @@ func TestDemandEscalationPromotesRead(t *testing.T) {
 	// must escalate its read to demand priority.
 	lastLine := mem.Addr(mem.PageSize - mem.LineSize)
 	served := false
-	e.TryService(lastLine, func() { served = true })
+	e.TryService(lastLine, nil, func() { served = true })
 	sim.Drain(0)
 	if !served {
 		t.Fatal("escalated demand not serviced")
@@ -307,7 +307,7 @@ func TestInterceptionAlwaysCompletesProperty(t *testing.T) {
 			if line >= mem.PageSize {
 				line = 0x100000 + (line - mem.PageSize)
 			}
-			if e.TryService(line, func() { got++ }) {
+			if e.TryService(line, nil, func() { got++ }) {
 				want++
 			}
 			if rng.Intn(3) == 0 {

@@ -207,7 +207,7 @@ func (m *MemPod) HandleRequest(r *hmc.Request) {
 	if !r.Meta.Writeback && !r.Meta.PageWalk {
 		m.observe(s)
 	}
-	m.remapCache.Access(uint64(s), false, r.RouteFn())
+	m.remapCache.AccessV(uint64(s), false, r.Meta.V, r.RouteFn())
 }
 
 // observe feeds the MEA sketch and fires interval migrations lazily: the

@@ -23,6 +23,7 @@ import (
 	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
+	"pageseer/internal/obs/attrib"
 )
 
 // Timing holds per-command latencies in memory-clock cycles.
@@ -57,6 +58,9 @@ type Config struct {
 	// background traffic a bounded bandwidth share even under continuous
 	// demand (0 disables the reservation).
 	ClasslessEvery uint64
+	// Blame is the cycle-accounting component this module's service time is
+	// charged to (CompDRAM / CompNVM) when a request carries a blame vector.
+	Blame attrib.Component
 }
 
 // DRAMConfig returns the paper's DRAM part (Table I): 4 channels, 1 rank,
@@ -74,6 +78,7 @@ func DRAMConfig() Config {
 		MaxBypass:       3,
 		SwapAgeLimit:    400,
 		ClasslessEvery:  6,
+		Blame:           attrib.CompDRAM,
 	}
 }
 
@@ -92,6 +97,7 @@ func NVMConfig() Config {
 		MaxBypass:       3,
 		SwapAgeLimit:    400,
 		ClasslessEvery:  6,
+		Blame:           attrib.CompNVM,
 	}
 }
 
@@ -118,6 +124,15 @@ type request struct {
 	done    func()
 	fireFn  func()
 	next    *request
+
+	// Cycle accounting (nil/zero when the request carries no blame vector):
+	// swapBusyAt snapshots the channel's cumulative swap-bus occupancy at
+	// arrival; issue() turns it into queueWait/swapShare, and completeReq
+	// stamps the split onto v.
+	v          *attrib.Vector
+	swapBusyAt uint64
+	queueWait  uint64
+	swapShare  uint64
 }
 
 type bank struct {
@@ -141,6 +156,11 @@ type channel struct {
 	// wakeFn is the scheduler-wakeup closure, bound once per channel so
 	// arming a wakeup does not allocate.
 	wakeFn func()
+	// swapBusy is the cumulative data-bus occupancy of swap-priority
+	// traffic on this channel, in CPU cycles. Monotone (never reset): the
+	// cycle-accounting layer diffs it across a demand request's wait to
+	// measure swap-transfer interference.
+	swapBusy uint64
 }
 
 // Stats aggregates module-level counters.
@@ -241,16 +261,25 @@ func (m *Module) getReq() *request {
 func (m *Module) putReq(r *request) {
 	m.liveReq--
 	r.addr, r.write, r.prio, r.arrival, r.bypass, r.done = 0, false, 0, 0, 0, nil
+	r.v, r.swapBusyAt, r.queueWait, r.swapShare = nil, 0, 0, 0
 	r.next = m.freeReq
 	m.freeReq = r
 }
 
 // completeReq fires at a request's data-return time: the record returns to
 // the pool before the callback runs, so the callback may immediately
-// enqueue a new access that reuses it.
+// enqueue a new access that reuses it. The blame stamps split the measured
+// wait three ways — swap-transfer interference, generic queue/bank wait,
+// and device service (command path + data burst) — so the telescoping sum
+// covers arrival to data end exactly.
 func (m *Module) completeReq(r *request) {
-	done := r.done
+	done, v, queueWait, swapShare := r.done, r.v, r.queueWait, r.swapShare
 	m.putReq(r)
+	if v != nil {
+		v.AddUpTo(attrib.CompSwapXfer, swapShare)
+		v.AddUpTo(attrib.CompMemQ, queueWait-swapShare)
+		v.Take(m.cfg.Blame, m.lane.Now())
+	}
 	if done != nil {
 		done()
 	}
@@ -340,6 +369,13 @@ func (m *Module) Audit(a *check.Audit) {
 
 // Access enqueues a line access. done runs at completion time (may be nil).
 func (m *Module) Access(addr mem.Addr, write bool, prio Priority, done func()) {
+	m.AccessV(addr, write, prio, nil, done)
+}
+
+// AccessV is Access with a blame vector riding the request: completion
+// stamps the queue-wait / swap-interference / service split onto v. A nil
+// v is exactly Access.
+func (m *Module) AccessV(addr mem.Addr, write bool, prio Priority, v *attrib.Vector, done func()) {
 	ch, _, _ := m.locate(mem.LineOf(addr))
 	c := &m.chans[ch]
 	r := m.getReq()
@@ -348,6 +384,8 @@ func (m *Module) Access(addr mem.Addr, write bool, prio Priority, done func()) {
 	r.prio = prio
 	r.arrival = m.lane.Now()
 	r.done = done
+	r.v = v
+	r.swapBusyAt = c.swapBusy
 	c.queue = append(c.queue, r)
 	if write {
 		m.stats.Writes++
@@ -493,20 +531,39 @@ func (m *Module) issue(ch int, r *request, dataStart uint64) {
 	_, bkIdx, row := m.locate(r.addr)
 	bk := &c.banks[bkIdx]
 
+	var cmdLat uint64
 	switch {
 	case bk.openRow == row:
 		bk.rowHits++
+		cmdLat = m.tCAS
 	case bk.openRow == -1:
 		bk.rowMisses++
 		bk.earliestPre = dataStart - m.tCAS + m.tRAS
+		cmdLat = m.tRCD + m.tCAS
 	default:
 		bk.rowConflicts++
 		bk.earliestPre = dataStart - m.tCAS + m.tRAS
+		cmdLat = m.tRP + m.tRCD + m.tCAS
 	}
 
 	dataEnd := dataStart + m.burst
 	c.busFree = dataEnd
 	m.stats.BusBusy += m.burst
+
+	if r.v != nil {
+		// Blame split: the command path (row state at issue) plus the data
+		// burst is device service; everything else the request waited is
+		// queueing, of which up to the concurrent growth in swap-bus
+		// occupancy is swap-transfer interference. feasible() starts from
+		// the same bank state, so service never exceeds the measured wait.
+		r.queueWait = (dataEnd - r.arrival) - (cmdLat + m.burst)
+		if r.swapShare = c.swapBusy - r.swapBusyAt; r.swapShare > r.queueWait {
+			r.swapShare = r.queueWait
+		}
+	}
+	if r.prio == PrioSwap {
+		c.swapBusy += m.burst
+	}
 
 	bk.openRow = row
 	// The next column command to this bank can pipeline behind this one.

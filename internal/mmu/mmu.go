@@ -5,6 +5,7 @@ import (
 	"pageseer/internal/check"
 	"pageseer/internal/engine"
 	"pageseer/internal/mem"
+	"pageseer/internal/obs/attrib"
 )
 
 // Hint is the MMU -> HMC signal PageSeer adds (action 1 in Figure 3): sent
@@ -152,6 +153,7 @@ func (m *MMU) putHint(t *hintTxn) {
 type transTxn struct {
 	m    *MMU
 	va   mem.VAddr
+	v    *attrib.Vector // blame vector of the demand access being translated (nil when off)
 	done func(mem.PPN)
 
 	l1Fn func()
@@ -197,7 +199,7 @@ func (m *MMU) getTxn() *transTxn {
 
 func (m *MMU) putTxn(t *transTxn) {
 	m.liveTxn--
-	t.va, t.done = 0, nil
+	t.va, t.v, t.done = 0, nil, nil
 	t.next = m.freeTxn
 	m.freeTxn = t
 }
@@ -211,8 +213,16 @@ func (m *MMU) PID() int { return m.pid }
 // Translate resolves va to the OS-visible physical page, modelling TLB and
 // page-walk timing. done receives the PPN when the translation is ready.
 func (m *MMU) Translate(va mem.VAddr, done func(mem.PPN)) {
+	m.TranslateTracked(va, nil, done)
+}
+
+// TranslateTracked is Translate with a cycle-accounting blame vector: TLB
+// lookup time is charged to CompTLB, everything from the walker queue to the
+// leaf PTE return to CompWalk (with PTE-cache service separable via
+// CompPTECache). v may be nil (attribution off).
+func (m *MMU) TranslateTracked(va mem.VAddr, v *attrib.Vector, done func(mem.PPN)) {
 	t := m.getTxn()
-	t.va, t.done = va, done
+	t.va, t.v, t.done = va, v, done
 	m.sim.After(m.cfg.L1TLB.Latency, t.l1Fn)
 }
 
@@ -220,6 +230,7 @@ func (m *MMU) l1Stage(t *transTxn) {
 	vpn := mem.VPageOf(t.va)
 	if ppn, ok := m.l1.Lookup(m.pid, vpn); ok {
 		m.stats.L1Hits++
+		t.v.Take(attrib.CompTLB, m.sim.Now())
 		done := t.done
 		m.putTxn(t)
 		done(ppn)
@@ -231,6 +242,9 @@ func (m *MMU) l1Stage(t *transTxn) {
 
 func (m *MMU) l2Stage(t *transTxn) {
 	vpn := mem.VPageOf(t.va)
+	// Hit or miss, the cycles since the last stamp were TLB lookup time; on
+	// a miss the walker (queue + PWC probe + ladder) owns what follows.
+	t.v.Take(attrib.CompTLB, m.sim.Now())
 	if ppn, ok := m.l2.Lookup(m.pid, vpn); ok {
 		m.stats.L2Hits++
 		m.l1.Insert(m.pid, vpn, ppn)
@@ -273,8 +287,14 @@ func (m *MMU) startNextWalk() {
 }
 
 func (m *MMU) walkStart() {
+	// Walker queue wait + PWC probe are walk time; from here until the leaf
+	// returns, every downstream stamp (caches, memory) redirects to CompWalk
+	// so the walk shows up as one component in the CPI stack.
+	t := m.wkTxn
+	t.v.Take(attrib.CompWalk, m.sim.Now())
+	t.v.SetWalk(true)
 	start := mem.PGD
-	if lvl, _, ok := m.pwc.Lookup(m.pid, m.wkTxn.va); ok {
+	if lvl, _, ok := m.pwc.Lookup(m.pid, t.va); ok {
 		start = lvl + 1
 	}
 	m.wkLevel = start
@@ -303,7 +323,7 @@ func (m *MMU) walkLevel() {
 		m.sim.After(m.cfg.HintLatency, ht.fn)
 	}
 	m.stats.WalkReads++
-	meta := cache.Meta{Core: m.core, PID: m.pid, PageWalk: true, IsPTE: l == mem.PTE}
+	meta := cache.Meta{Core: m.core, PID: m.pid, PageWalk: true, IsPTE: l == mem.PTE, V: m.wkTxn.v}
 	m.walkPort.Access(m.wkWalk.Steps[l].EntryAddr, false, meta, m.wkStepFn)
 }
 
@@ -323,6 +343,9 @@ func (m *MMU) walkStep() {
 	leaf := m.wkWalk.Leaf
 	m.l1.Insert(m.pid, vpn, leaf)
 	m.l2.Insert(m.pid, vpn, leaf)
+	// The leaf read just stamped (redirected into CompWalk); end the redirect
+	// so the data access that follows charges its own components.
+	t.v.SetWalk(false)
 	done := t.done
 	m.putTxn(t)
 	done(leaf)

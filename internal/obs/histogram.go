@@ -93,6 +93,17 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.Max
 }
 
+// BucketUpper returns the inclusive upper bound of bucket b, and whether b
+// is the unbounded top bucket (exporters render that bound as +Inf). It is
+// what the Prometheus endpoint uses for cumulative `le` labels.
+func BucketUpper(b int) (hi uint64, inf bool) {
+	if b >= HistBuckets-1 {
+		return ^uint64(0), true
+	}
+	_, hi = bucketBounds(b)
+	return hi, false
+}
+
 // bucketBounds returns the inclusive value range of bucket b.
 func bucketBounds(b int) (lo, hi uint64) {
 	if b == 0 {

@@ -382,6 +382,21 @@ func (l *Ledger) Demand(addr, now uint64) {
 	}
 }
 
+// TriggerOf reports what triggered the swap that brought addr's unit into
+// DRAM, when the unit is currently swapped in. It is a read-only residency
+// lookup (no outcome transitions) — the cycle-accounting layer uses it to
+// classify a demand hit by the provenance of the data it landed on.
+func (l *Ledger) TriggerOf(addr uint64) (Trigger, bool) {
+	if l == nil {
+		return 0, false
+	}
+	idx, ok := l.in[l.Unit(addr)]
+	if !ok {
+		return 0, false
+	}
+	return l.records[idx].Trigger, true
+}
+
 // Evicted closes addr's residency window: the unit leaves DRAM. A record
 // still Open becomes Unused and its transfer bytes are charged as waste.
 func (l *Ledger) Evicted(addr, now uint64) {

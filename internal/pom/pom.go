@@ -198,7 +198,7 @@ func (p *PoM) HandleRequest(r *hmc.Request) {
 	if !r.Meta.Writeback && !r.Meta.PageWalk {
 		p.track(s)
 	}
-	p.src.Access(uint64(p.group(s)), false, r.RouteFn())
+	p.src.AccessV(uint64(p.group(s)), false, r.Meta.V, r.RouteFn())
 }
 
 func (p *PoM) maybeDecay() {

@@ -60,6 +60,9 @@ func (s *System) CheckInvariants() error {
 		m.Audit(a)
 	}
 	s.led.Audit(a) // nil-safe: no-op without the provenance ledger
+	// Blame conservation: every retired request's component cycles must sum
+	// exactly to its end-to-end latency, per core and per trigger class.
+	s.att.Audit(a) // nil-safe: no-op without cycle attribution
 	return a.Err()
 }
 

@@ -7,6 +7,7 @@ import (
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
 )
 
@@ -37,6 +38,12 @@ type Results struct {
 	// p50/p90/p99/max from log2-bucketed histograms. Always collected.
 	Latency obs.LatencySummary
 
+	// LatencyHist carries the raw log2-bucketed histograms behind Latency,
+	// so exporters (e.g. the Prometheus /metrics endpoint) can publish full
+	// cumulative bucket series instead of just percentiles. Always
+	// collected, fixed-size, and deterministic like every other field.
+	LatencyHist obs.LatencySet
+
 	// Remap-cache (PRTc / SRC / MemPod remap) statistics for Figure 13.
 	RemapCache hmc.MetaCacheStats
 
@@ -61,6 +68,12 @@ type Results struct {
 	// field it is deterministic and fixed-size, so campaign results stay
 	// DeepEqual-comparable.
 	Effectiveness ledger.Summary
+
+	// CPIStack is the cycle-attribution digest: per-trigger-class CPI
+	// stacks (component-tagged blame cycles per retired request) plus the
+	// attribution machinery counters — zero unless Config.Obs.CPI is set.
+	// Fixed-size and deterministic, like Effectiveness.
+	CPIStack attrib.Summary
 
 	// Faults counts what the fault injector actually injected (zero
 	// without a fault plan).
@@ -138,6 +151,7 @@ func (s *System) collect(epochStart uint64) Results {
 	r.NVM = s.Ctl.NVM.Stats()
 	r.AMMAT = s.Ctl.AMMAT()
 	r.Latency = s.lat.Summary()
+	r.LatencyHist = *s.lat
 
 	switch {
 	case s.PageSeer != nil:
@@ -156,7 +170,22 @@ func (s *System) collect(epochStart uint64) Results {
 	if r.Instructions > 0 {
 		r.SwapsPerKI = float64(swaps) / (float64(r.Instructions) / 1000)
 	}
-	r.Effectiveness = s.led.Summary()
+	if s.Cfg.Obs.Ledger {
+		// Gated (not just nil-guarded): Obs.CPI forces an internal ledger
+		// for trigger classing, and Results must stay byte-identical with
+		// attribution on or off.
+		r.Effectiveness = s.led.Summary()
+	}
+	if s.att != nil {
+		// Fold the compute component in at collect time: non-memory
+		// instructions retire at one per cycle, so a core's instruction
+		// count is its compute-cycle floor. Excluded from the per-request
+		// conservation audit (it is not request latency).
+		for i, c := range s.Cores {
+			s.att.AddCore(i, c.Stats().Instructions)
+		}
+		r.CPIStack = s.att.Summary()
+	}
 	if inj := s.Ctl.Injector(); inj != nil {
 		r.Faults = inj.Stats()
 	}

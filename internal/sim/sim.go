@@ -21,6 +21,7 @@ import (
 	"pageseer/internal/memsim"
 	"pageseer/internal/mmu"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
 	"pageseer/internal/pom"
 	"pageseer/internal/workload"
@@ -139,6 +140,16 @@ type ObsOptions struct {
 	// Results.Effectiveness. Off by default; when off, the hot paths pay
 	// one nil check per hook and allocate nothing.
 	Ledger bool
+
+	// CPI attaches the cycle-attribution layer: every demand request carries
+	// a blame vector stamped at each pipeline stage and folded at retire into
+	// per-core, per-trigger-class CPI-stack accumulators
+	// (Results.CPIStack). Attribution forces an internal provenance ledger
+	// (for the trigger taxonomy) but Results.Effectiveness stays gated on
+	// Ledger, so Results are byte-identical with CPI on or off. Off by
+	// default; when off, the hot paths pay one nil check per stamp and
+	// allocate nothing.
+	CPI bool
 }
 
 // ManagerFactory builds a user-defined management scheme on a controller.
@@ -185,9 +196,12 @@ type System struct {
 	Tracer   *obs.Tracer
 	lat      *obs.LatencySet
 
-	// led is the optional swap-provenance ledger (Config.Obs.Ledger);
-	// wd is the liveness watchdog armed by Config.Audit. Both nil when off.
+	// led is the optional swap-provenance ledger (Config.Obs.Ledger, or
+	// forced internally by Config.Obs.CPI for trigger classing); att is the
+	// optional cycle-attribution accumulator (Config.Obs.CPI); wd is the
+	// liveness watchdog armed by Config.Audit. All nil when off.
 	led *ledger.Ledger
+	att *attrib.Attrib
 	wd  *check.Watchdog
 
 	// doneCores counts cores that retired the current phase's budget. A
@@ -289,6 +303,17 @@ func Build(cfg Config) (*System, error) {
 		sys.led = ledger.New(swapUnitShift(cfg.Scheme))
 		ctl.SetLedger(sys.led)
 	}
+	if cfg.Obs.CPI {
+		sys.att = attrib.New(nCores)
+		if sys.led == nil {
+			// Trigger classing (hint-prefetched DRAM hit vs regular) needs
+			// swap provenance; run an internal ledger. Results.Effectiveness
+			// stays gated on Obs.Ledger, so Results remain byte-identical
+			// with attribution on or off.
+			sys.led = ledger.New(swapUnitShift(cfg.Scheme))
+			ctl.SetLedger(sys.led)
+		}
+	}
 
 	switch {
 	case cfg.customManager != nil:
@@ -299,6 +324,9 @@ func Build(cfg Config) (*System, error) {
 		if err := installScheme(cfg, sys, ctl); err != nil {
 			return nil, err
 		}
+	}
+	if sys.att != nil && sys.PageSeer != nil {
+		sys.PageSeer.SetAttrib(sys.att)
 	}
 	if inj := check.NewInjector(cfg.Faults); inj != nil {
 		// Wire after the manager so the scheme's metadata caches exist.
@@ -356,6 +384,9 @@ func Build(cfg Config) (*System, error) {
 		l1 := cache.New(lane, l1cfg, l2)
 		m := mmu.New(lane, osm, i, pid, mcfg, l2, coreHinter)
 		c := cpu.NewCore(lane, i, pid, cfg.CoreConfig, m, l1, gens[i])
+		if sys.att != nil {
+			c.SetAttrib(sys.att)
+		}
 		sys.L2s = append(sys.L2s, l2)
 		sys.Cores = append(sys.Cores, c)
 	}
@@ -524,6 +555,7 @@ func (s *System) runPhase(instr uint64) {
 
 // resetStats zeroes every statistic after warm-up.
 func (s *System) resetStats() {
+	s.att.Reset() // nil-safe: no-op without cycle attribution
 	s.Ctl.ResetStats()
 	s.Ctl.DRAM.ResetStats()
 	s.Ctl.NVM.ResetStats()

@@ -22,10 +22,14 @@
 package pageseer
 
 import (
+	"io"
+	"net/http"
+
 	"pageseer/internal/check"
 	"pageseer/internal/core"
 	"pageseer/internal/figures"
 	"pageseer/internal/obs"
+	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
 	"pageseer/internal/sim"
 	"pageseer/internal/workload"
@@ -104,6 +108,78 @@ const (
 	NumTriggers  = ledger.NumTriggers
 )
 
+// CPIStackSummary is the cycle-attribution digest in Results.CPIStack:
+// per-trigger-class CPI stacks (component-tagged blame cycles per retired
+// demand request) plus the attribution machinery counters — zero unless
+// Config.Obs.CPI is set.
+type CPIStackSummary = attrib.Summary
+
+// CPIStack is one CPI-stack cell: retired request count, summed end-to-end
+// latency, and its per-component decomposition.
+type CPIStack = attrib.Stack
+
+// BlameComponent tags one slice of a request's end-to-end latency in a
+// CPIStack (core base, cache levels, TLB/walk, metadata, queues, DRAM/NVM
+// service, swap-buffer and swap-interference time).
+type BlameComponent = attrib.Component
+
+// The blame components (indexes into CPIStack.Comp).
+const (
+	CompCore           = attrib.CompCore
+	CompL1             = attrib.CompL1
+	CompL2             = attrib.CompL2
+	CompL3             = attrib.CompL3
+	CompMSHR           = attrib.CompMSHR
+	CompTLB            = attrib.CompTLB
+	CompWalk           = attrib.CompWalk
+	CompPTECache       = attrib.CompPTECache
+	CompMeta           = attrib.CompMeta
+	CompRemap          = attrib.CompRemap
+	CompMemQ           = attrib.CompMemQ
+	CompSwapXfer       = attrib.CompSwapXfer
+	CompSwapBuf        = attrib.CompSwapBuf
+	CompDRAM           = attrib.CompDRAM
+	CompNVM            = attrib.CompNVM
+	NumBlameComponents = attrib.NumComponents
+)
+
+// TriggerClass buckets a retired request by the provenance of the data it
+// hit: unswapped, or one class per swap trigger.
+type TriggerClass = attrib.Class
+
+// The trigger classes (indexes into CPIStackSummary.Class).
+const (
+	ClassUnswapped    = attrib.ClassNone
+	ClassRegular      = attrib.ClassRegular
+	ClassPCT          = attrib.ClassPCT
+	ClassMMU          = attrib.ClassMMU
+	ClassFollower     = attrib.ClassFollower
+	NumTriggerClasses = attrib.NumClasses
+)
+
+// CPIStackRow is one (workload, scheme) run's CPI stack in the campaign
+// table exported by paper-figures -cpistack and pageseer-sim -cpi.
+type CPIStackRow = figures.CPIStackRow
+
+// RenderCPIStack renders rows as the normalised cycles-per-instruction
+// breakdown table.
+func RenderCPIStack(rows []CPIStackRow) string { return figures.RenderCPIStack(rows) }
+
+// WriteCPIStackCSV writes rows in the canonical CSV encoding (byte-identical
+// across a JSON round trip).
+func WriteCPIStackCSV(w io.Writer, rows []CPIStackRow) error {
+	return figures.WriteCPIStackCSV(w, rows)
+}
+
+// WriteCPIStackJSON writes rows as indented JSON carrying the full per-class
+// stack split.
+func WriteCPIStackJSON(w io.Writer, rows []CPIStackRow) error {
+	return figures.WriteCPIStackJSON(w, rows)
+}
+
+// ReadCPIStackJSON parses rows written by WriteCPIStackJSON.
+func ReadCPIStackJSON(r io.Reader) ([]CPIStackRow, error) { return figures.ReadCPIStackJSON(r) }
+
 // RunError is the structured failure of one run: identity (workload, scheme,
 // seed), where the event loop stood, the cause, and a rendered crashdump.
 // System.Run returns it instead of panicking; unwrap with errors.As.
@@ -170,6 +246,15 @@ type FigureNeeds = figures.Needs
 // RunMetric is one run's wall-clock/throughput record, as emitted into
 // BENCH_campaign.json by paper-figures -benchjson.
 type RunMetric = figures.RunMetric
+
+// NewIntrospectionHandler builds the live introspection HTTP handler over a
+// FigureRunner: campaign progress on /, per-run JSON on /runs, Prometheus
+// metrics (including latency histograms and CPI cycle counters) on /metrics,
+// and pprof under /debug/pprof/. Both paper-figures -serve and pageseer-sim
+// -serve mount it.
+func NewIntrospectionHandler(r *FigureRunner) http.Handler {
+	return figures.NewIntrospectionHandler(r)
+}
 
 // DefaultFigureOptions runs the full 26-workload campaign.
 func DefaultFigureOptions() FigureOptions { return figures.DefaultOptions() }

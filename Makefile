@@ -3,15 +3,15 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke cpi-smoke ledger-overhead invariants chaos-smoke chaos fuzz-validate trace-demo
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke cpi-smoke sample-smoke ledger-overhead invariants chaos-smoke chaos fuzz-validate trace-demo
 
 ## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
 ## one-shot figure-campaign smoke bench, the alloc-budget guards, the
 ## campaign-throughput regression gate, the parallel-executor differential
 ## under -race, the swap-provenance effectiveness smoke, the
-## cycle-attribution smoke, the invariant-audit gate, and a
-## fault-injection smoke run.
-tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke cpi-smoke invariants chaos-smoke
+## cycle-attribution smoke, the sampled-execution accuracy/speedup gate,
+## the invariant-audit gate, and a fault-injection smoke run.
+tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke cpi-smoke sample-smoke invariants chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,12 +34,16 @@ benchsmoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-## campaign-bench: regenerate BENCH_campaign.json from the quick campaign.
+## campaign-bench: regenerate BENCH_campaign.json from the quick campaign,
+## plus a sampled-mode rerun of the same grid so the record also carries
+## the sampled-execution wall-clock trajectory (entries distinguished by
+## their sample_windows geometry; benchguard keeps the modes apart).
 ## The note pins the host core count: jrun speedups only mean anything
 ## against a record that says how many cores the baseline had to work with.
 campaign-bench:
 	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson BENCH_campaign.json \
-		-benchnote "host: $$(nproc) CPU(s); jrun 1 (serial reference engine)"
+		-bench-sampled 16,1000,1000 \
+		-benchnote "host: $$(nproc) CPU(s); jrun 1 (serial reference engine); sampled entries: 16 windows x 1000 instr, 1000-instr warm-ups"
 
 ## allocguard: testing.AllocsPerRun proofs that (a) the observability hot
 ## path pays zero allocations with sinks disabled, (b) a disabled
@@ -55,7 +59,10 @@ allocguard:
 ## more than 10% against the committed BENCH_campaign.json. A second,
 ## ledger-on quick campaign is then compared against the fresh ledger-off
 ## record with -warnonly: the swap-provenance ledger's overhead (5%
-## target) is reported but never gates, since the sink is opt-in.
+## target) is reported but never gates, since the sink is opt-in. A
+## final sampled-mode campaign (-sample) is compared on wall-clock with
+## -wall -warnonly: the per-run speedup sampling buys is reported, never
+## gated (the accuracy gate lives in sample-smoke).
 benchguard:
 	$(GO) run ./cmd/paper-figures -quick -all -quiet -benchjson .benchguard_head.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_campaign.json -head .benchguard_head.json -tolerance 0.10
@@ -63,7 +70,10 @@ benchguard:
 	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_ledger.json -tolerance 0.05 -warnonly -label "ledger-on overhead"
 	$(GO) run ./cmd/paper-figures -quick -all -cpistack -quiet -benchjson .benchguard_cpi.json
 	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_cpi.json -tolerance 0.05 -warnonly -label "cpi-on overhead"
-	@rm -f .benchguard_head.json .benchguard_ledger.json .benchguard_cpi.json
+	$(GO) run ./cmd/paper-figures -quick -all -quiet -sample 16 -sample-window 1000 -sample-warmup 1000 \
+		-benchjson .benchguard_sampled.json -benchnote "sampled: 16 windows x 1000 instr, 1000-instr warm-ups"
+	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_sampled.json -wall -warnonly -label "sampled-mode speedup"
+	@rm -f .benchguard_head.json .benchguard_ledger.json .benchguard_cpi.json .benchguard_sampled.json
 
 ## parallel-smoke: the epoch-barrier executor's correctness gate — the
 ## full-system differential (all five schemes plus the ablation, Results
@@ -99,6 +109,16 @@ effectiveness-smoke:
 ## stays byte-identical.
 cpi-smoke:
 	$(GO) test -run 'TestCPISmoke|TestCPIConservation|TestCPIMutationFailsAudit' -count=1 ./internal/sim
+
+## sample-smoke: the sampled-execution acceptance gate — on the quick
+## GemsFDTD run the committed geometry (16 windows of 1000 instructions,
+## 1000-instruction warm-ups) must reproduce the detailed reference's IPC
+## within 2% and swap count within 5%, hold every conservation audit
+## inside the windows, and (with the env var set, which this target does)
+## finish at least 5x faster wall-clock. Run without -race: the speedup
+## bar is a timing assertion.
+sample-smoke:
+	PAGESEER_SAMPLE_SPEEDUP=1 $(GO) test -run TestSampleSmoke -count=1 ./internal/sim
 
 ## invariants: the quick campaign's workloads with end-of-run audits and
 ## the liveness watchdog armed, asserting Results stay byte-identical to

@@ -17,6 +17,19 @@
 // track the swap-provenance ledger's overhead (ledger-on vs ledger-off
 // quick campaign, 5% target) without making an optional sink a hard gate.
 //
+// With -wall the per-run metric switches to wall_seconds and the ratio is
+// baseline/head — head's wall-clock speedup. Use it when head's event
+// counts are incomparable to the baseline's, e.g. a sampled-execution
+// campaign (detailed events fire only inside the sample windows). In this
+// mode head runs are matched against the baseline's detailed entries only,
+// so the speedup is always relative to full-detail execution.
+//
+// Sampled-mode entries (sample_windows > 0 in the JSON) never match
+// detailed entries in the default events_per_sec mode: the matching key
+// includes the sampling geometry, so a mixed record like
+// BENCH_campaign.json gates detailed-vs-detailed and sampled-vs-sampled
+// separately.
+//
 // Records carry the campaign's intra-run parallelism (jrun). When baseline
 // and head widths differ the comparison still runs — it measures the epoch
 // executor's scaling then, not engine drift — and the report says so.
@@ -32,12 +45,15 @@ import (
 )
 
 type runMetric struct {
-	Workload     string  `json:"workload"`
-	Scheme       string  `json:"scheme"`
-	Jrun         int     `json:"jrun"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	EventsFired  uint64  `json:"events_fired"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	Workload      string  `json:"workload"`
+	Scheme        string  `json:"scheme"`
+	Jrun          int     `json:"jrun"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	EventsFired   uint64  `json:"events_fired"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	SampleWindows uint64  `json:"sample_windows"`
+	SampleWindow  uint64  `json:"sample_window"`
+	SampleWarmup  uint64  `json:"sample_warmup"`
 }
 
 type campaignBench struct {
@@ -74,7 +90,18 @@ func load(path string) (campaignBench, error) {
 	return b, nil
 }
 
-func key(m runMetric) string { return m.Workload + "/" + m.Scheme }
+// key identifies a run for matching. Sampled runs carry their window
+// geometry in the key: a sampled run and a detailed run of the same
+// (workload, scheme) measure different things, and the events_per_sec gate
+// must never compare one against the other by accident when a record (like
+// BENCH_campaign.json) holds both kinds of entries.
+func key(m runMetric) string {
+	k := m.Workload + "/" + m.Scheme
+	if m.SampleWindows > 0 {
+		k += fmt.Sprintf("@sampled-%dx%d-w%d", m.SampleWindows, m.SampleWindow, m.SampleWarmup)
+	}
+	return k
+}
 
 func main() {
 	var (
@@ -84,6 +111,7 @@ func main() {
 		verbose      = flag.Bool("v", false, "print every matched run, not just regressions")
 		warnOnly     = flag.Bool("warnonly", false, "report a regression past the tolerance as a warning but exit 0 (overhead tracking, not gating)")
 		label        = flag.String("label", "", "comparison label for the report (e.g. \"ledger-on overhead\")")
+		wall         = flag.Bool("wall", false, "compare per-run wall_seconds instead of events_per_sec (ratio = baseline/head, i.e. head's speedup); for modes like sampled execution whose event counts are incomparable")
 	)
 	flag.Parse()
 	if *headPath == "" {
@@ -102,8 +130,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// In -wall mode the point is cross-mode: head (e.g. a sampled campaign)
+	// is measured against the baseline's *detailed* runs, so sampled
+	// baseline entries are dropped and matching falls back to plain
+	// (workload, scheme). In the default events_per_sec mode the full key —
+	// including sampling geometry — keeps the modes strictly apart.
 	base := make(map[string]runMetric, len(baseline.Runs))
 	for _, m := range baseline.Runs {
+		if *wall {
+			if m.SampleWindows > 0 {
+				continue
+			}
+			base[m.Workload+"/"+m.Scheme] = m
+			continue
+		}
 		base[key(m)] = m
 	}
 
@@ -114,14 +154,30 @@ func main() {
 	var rows []row
 	logSum, matched := 0.0, 0
 	for _, h := range head.Runs {
-		b, ok := base[key(h)]
-		if !ok || b.EventsPerSec <= 0 || h.EventsPerSec <= 0 {
+		k := key(h)
+		lookup := k
+		if *wall {
+			lookup = h.Workload + "/" + h.Scheme
+		}
+		b, ok := base[lookup]
+		if !ok {
 			continue
 		}
-		r := h.EventsPerSec / b.EventsPerSec
+		var r float64
+		if *wall {
+			if b.WallSeconds <= 0 || h.WallSeconds <= 0 {
+				continue
+			}
+			r = b.WallSeconds / h.WallSeconds
+		} else {
+			if b.EventsPerSec <= 0 || h.EventsPerSec <= 0 {
+				continue
+			}
+			r = h.EventsPerSec / b.EventsPerSec
+		}
 		logSum += math.Log(r)
 		matched++
-		rows = append(rows, row{key(h), r})
+		rows = append(rows, row{k, r})
 	}
 	if matched == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: no (workload, scheme) runs in common between baseline and head")
@@ -147,9 +203,13 @@ func main() {
 			fmt.Printf("  %-28s %6.2fx\n", r.key, r.ratio)
 		}
 	}
-	fmt.Printf("%s: %d runs matched, geomean events_per_sec ratio %.3fx (floor %.3fx)\n",
-		name, matched, geomean, floor)
-	if baseline.EventsPerSec > 0 && head.EventsPerSec > 0 {
+	metric := "events_per_sec ratio"
+	if *wall {
+		metric = "wall-clock speedup"
+	}
+	fmt.Printf("%s: %d runs matched, geomean %s %.3fx (floor %.3fx)\n",
+		name, matched, metric, geomean, floor)
+	if !*wall && baseline.EventsPerSec > 0 && head.EventsPerSec > 0 {
 		fmt.Printf("%s: aggregate campaign throughput %.0f -> %.0f events/sec (%.2fx, informational)\n",
 			name, baseline.EventsPerSec, head.EventsPerSec, head.EventsPerSec/baseline.EventsPerSec)
 	}

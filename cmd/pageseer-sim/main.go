@@ -9,6 +9,15 @@
 // lanes under the engine's epoch barrier; results are bit-identical to
 // -jrun 1, so it is purely a wall-clock lever on multi-core hosts.
 //
+// -sample N switches a run to SMARTS-style sampled execution: the measured
+// region is split into N strides, each fast-forwarded functionally (caches,
+// TLBs, hot-page tables, and the page remap stay warm; no events, no
+// timing) up to a -sample-warmup-instruction detailed warm-up (discarded)
+// and a -sample-window-instruction detailed measurement window. Results are
+// extrapolated from the windows and the report gains a "sampling:" line
+// with the geometry and the per-window IPC dispersion. Sampling trades
+// accuracy for wall-clock: see EXPERIMENTS.md for a speedup-vs-error sweep.
+//
 // Observability: -effectiveness attaches the swap-provenance ledger and
 // prints the per-trigger swap mix, accuracy/coverage, wasted transfer
 // bytes, and MMU-hint lead times; -cpi attaches the cycle-attribution layer
@@ -28,6 +37,7 @@
 //	pageseer-sim -workload lbm -scheme pageseer
 //	pageseer-sim -workload mix3 -scheme pom -scale 64 -instr 4000000
 //	pageseer-sim -workload GemsFDTD -scheme pageseer -nobw
+//	pageseer-sim -workload GemsFDTD -sample 16 -sample-window 1000 -sample-warmup 1000
 //	pageseer-sim -workload all -j 8
 //	pageseer-sim -workload lbm -trace trace.json -timeline tl.csv
 //	pageseer-sim -workload GemsFDTD -cpi -cpi-csv cpi.csv
@@ -54,17 +64,20 @@ import (
 
 func main() {
 	var (
-		wl     = flag.String("workload", "lbm", `Table III workload name(s), comma-separated, or "all"`)
-		scheme = flag.String("scheme", "pageseer", "pageseer | pageseer-nocorr | pom | mempod | static")
-		scale  = flag.Int("scale", 0, "memory scale denominator (0 = default)")
-		instr  = flag.Uint64("instr", 0, "measured instructions per core (0 = default)")
-		warmup = flag.Uint64("warmup", 0, "warm-up instructions per core (0 = default)")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		cores  = flag.Int("maxcores", 0, "cap on core count (0 = paper counts)")
-		nobw   = flag.Bool("nobw", false, "disable the Swap Driver bandwidth heuristic")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel runs when multiple workloads are given")
-		jrun   = flag.Int("jrun", 1, "intra-run event parallelism (epoch-barrier executor; 1 = serial reference engine, results identical at any width)")
-		list   = flag.Bool("list", false, "list workloads and exit")
+		wl           = flag.String("workload", "lbm", `Table III workload name(s), comma-separated, or "all"`)
+		scheme       = flag.String("scheme", "pageseer", "pageseer | pageseer-nocorr | pom | mempod | static")
+		scale        = flag.Int("scale", 0, "memory scale denominator (0 = default)")
+		instr        = flag.Uint64("instr", 0, "measured instructions per core (0 = default)")
+		warmup       = flag.Uint64("warmup", 0, "warm-up instructions per core (0 = default)")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		cores        = flag.Int("maxcores", 0, "cap on core count (0 = paper counts)")
+		nobw         = flag.Bool("nobw", false, "disable the Swap Driver bandwidth heuristic")
+		sample       = flag.Uint64("sample", 0, "SMARTS-style sampled execution: number of detailed windows (0 = full detailed run)")
+		sampleWindow = flag.Uint64("sample-window", 0, "instructions per core measured in each sample window (requires -sample)")
+		sampleWarmup = flag.Uint64("sample-warmup", 0, "detailed-but-discarded warm-up instructions per core before each window")
+		jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "parallel runs when multiple workloads are given")
+		jrun         = flag.Int("jrun", 1, "intra-run event parallelism (epoch-barrier executor; 1 = serial reference engine, results identical at any width)")
+		list         = flag.Bool("list", false, "list workloads and exit")
 
 		audit     = flag.Bool("audit", false, "run end-of-run invariant audits and the liveness watchdog")
 		fault     = flag.String("fault", "none", "deterministic fault injection: none | swap-exhaustion | meta-thrash | queue-saturation | demand-storm")
@@ -84,6 +97,20 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Flag-combination validation up front, before any run (or server) starts:
+	// -serve routes runs through the campaign runner, which owns no per-run
+	// file sinks, so the per-run observers cannot combine with it.
+	if *serveAddr != "" && (*tracePath != "" || *tlPath != "") {
+		conflicting := "-trace"
+		if *tracePath == "" {
+			conflicting = "-timeline"
+		} else if *tlPath != "" {
+			conflicting = "-trace/-timeline"
+		}
+		fmt.Fprintf(os.Stderr, "error: -serve cannot be combined with %s: the campaign runner behind -serve owns no per-run file sinks\n", conflicting)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -126,6 +153,9 @@ func main() {
 	cfg.MaxCores = *cores
 	cfg.Jrun = *jrun
 	cfg.DisableBWOpt = *nobw
+	cfg.Sample = *sample
+	cfg.SampleWindow = *sampleWindow
+	cfg.SampleWarmup = *sampleWarmup
 	cfg.Audit = *audit
 	fk, err := pageseer.ParseFault(*fault)
 	if err != nil {
@@ -150,10 +180,6 @@ func main() {
 	// so the file-writing observers cannot combine with it.
 	var fr *pageseer.FigureRunner
 	if *serveAddr != "" {
-		if *tracePath != "" || *tlPath != "" {
-			fmt.Fprintln(os.Stderr, "error: -serve routes runs through the campaign runner; -trace/-timeline are per-run file sinks and cannot be combined with it")
-			os.Exit(2)
-		}
 		fr = pageseer.NewFigureRunner(pageseer.FigureOptions{
 			Scale:        cfg.Scale,
 			InstrPerCore: cfg.InstrPerCore,
@@ -165,6 +191,9 @@ func main() {
 			Jrun:         cfg.Jrun,
 			Audit:        cfg.Audit,
 			Faults:       cfg.Faults,
+			Sample:       cfg.Sample,
+			SampleWindow: cfg.SampleWindow,
+			SampleWarmup: cfg.SampleWarmup,
 			Ledger:       cfg.Obs.Ledger,
 			CPI:          cfg.Obs.CPI,
 		})
@@ -371,6 +400,10 @@ func report(cfg pageseer.Config, res pageseer.Results) string {
 	fmt.Fprintf(&b, "workload %s  scheme %s  cores %d  scale 1/%d\n", res.Workload, res.Scheme, res.Cores, cfg.Scale)
 	fmt.Fprintf(&b, "performance:   IPC %.3f   AMMAT %.1f cycles   (%d instructions, %d cycles)\n",
 		res.IPC, res.AMMAT, res.Instructions, res.Cycles)
+	if sp := res.Sampling; sp.Windows > 0 {
+		fmt.Fprintf(&b, "sampling:      %d windows x %d instr (warm-up %d), fast-forwarded %d instr, extrapolation x%.1f, window IPC cv %.3f\n",
+			sp.Windows, sp.WindowInstr, sp.WarmupInstr, sp.FastForwarded, sp.Extrapolation, sp.IPCCV)
+	}
 	fmt.Fprintf(&b, "service:       DRAM %.1f%%  NVM %.1f%%  swap buffers %.1f%%\n", d*100, n*100, bf*100)
 	fmt.Fprintf(&b, "latency:       %s  %s  %s  %s\n",
 		latencyCell("DRAM", res.Latency.DRAM), latencyCell("NVM", res.Latency.NVM),

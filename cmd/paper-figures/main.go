@@ -7,6 +7,7 @@
 //	paper-figures -all -j 8           # same, 8 simulations in flight at once
 //	paper-figures -quick -all         # reduced campaign for a fast look
 //	paper-figures -quick -all -benchjson BENCH_campaign.json
+//	paper-figures -quick -fig14 -sample 16 -sample-window 1000 -sample-warmup 1000
 //	paper-figures -fig14              # just the headline IPC/AMMAT figure
 //	paper-figures -fig7 -fig8 -scale 64 -instr 4000000 -warmup 2000000
 //	paper-figures -workloads lbm,miniFE,mix6 -fig14
@@ -59,17 +60,21 @@ func main() {
 		cpistackJSON = flag.String("cpistack-json", "", "write the CPI-stack table (with per-trigger-class splits) to this JSON file (implies -cpistack)")
 		serveAddr    = flag.String("serve", "", "serve live campaign introspection on this address (e.g. :8090): progress on /, per-run JSON on /runs, Prometheus on /metrics, pprof under /debug/pprof/")
 
-		scale     = flag.Int("scale", 0, "memory scale denominator (default from profile)")
-		instr     = flag.Uint64("instr", 0, "measured instructions per core")
-		warmup    = flag.Uint64("warmup", 0, "warm-up instructions per core")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		maxCores  = flag.Int("maxcores", 0, "cap on cores per workload (0 = paper counts)")
-		workloads = flag.String("workloads", "", "comma-separated workload subset")
-		quiet     = flag.Bool("quiet", false, "suppress per-run progress")
-		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation runs (campaign-level; each run stays single-threaded unless -jrun asks otherwise)")
-		jrun      = flag.Int("jrun", 1, "intra-run event parallelism per simulation (epoch-barrier executor; 1 = serial reference engine, results identical at any width)")
-		benchJSON = flag.String("benchjson", "", "write per-run wall-clock/throughput records to this JSON file")
-		benchNote = flag.String("benchnote", "", "free-form note recorded in the -benchjson output (e.g. serial-vs-parallel comparison)")
+		scale        = flag.Int("scale", 0, "memory scale denominator (default from profile)")
+		instr        = flag.Uint64("instr", 0, "measured instructions per core")
+		warmup       = flag.Uint64("warmup", 0, "warm-up instructions per core")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		maxCores     = flag.Int("maxcores", 0, "cap on cores per workload (0 = paper counts)")
+		workloads    = flag.String("workloads", "", "comma-separated workload subset")
+		quiet        = flag.Bool("quiet", false, "suppress per-run progress")
+		jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation runs (campaign-level; each run stays single-threaded unless -jrun asks otherwise)")
+		jrun         = flag.Int("jrun", 1, "intra-run event parallelism per simulation (epoch-barrier executor; 1 = serial reference engine, results identical at any width)")
+		sample       = flag.Uint64("sample", 0, "SMARTS-style sampled execution for every campaign run: number of detailed windows (0 = full detailed runs)")
+		sampleWindow = flag.Uint64("sample-window", 0, "instructions per core measured in each sample window (requires -sample)")
+		sampleWarmup = flag.Uint64("sample-warmup", 0, "detailed-but-discarded warm-up instructions per core before each window")
+		benchJSON    = flag.String("benchjson", "", "write per-run wall-clock/throughput records to this JSON file")
+		benchNote    = flag.String("benchnote", "", "free-form note recorded in the -benchjson output (e.g. serial-vs-parallel comparison)")
+		benchSampled = flag.String("bench-sampled", "", "additionally rerun the campaign in sampled mode \"N,W,K\" (windows, window instr, warm-up instr) and append its records to -benchjson, so the trajectory captures sampled-vs-detailed wall-clock")
 
 		audit     = flag.Bool("audit", false, "run end-of-run invariant audits and the liveness watchdog on every run")
 		fault     = flag.String("fault", "none", "deterministic fault injection: none | swap-exhaustion | meta-thrash | queue-saturation | demand-storm")
@@ -82,6 +87,11 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *benchSampled != "" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "error: -bench-sampled requires -benchjson (it only adds records to the bench output)")
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -122,6 +132,9 @@ func main() {
 	}
 	opts.Parallelism = *jobs
 	opts.Jrun = *jrun
+	opts.Sample = *sample
+	opts.SampleWindow = *sampleWindow
+	opts.SampleWarmup = *sampleWarmup
 	opts.Audit = *audit
 	opts.Retry = *retry
 	fk, err := check.ParseFault(*fault)
@@ -322,7 +335,37 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, r, opts, *jobs, *quick, campaignWall, *benchNote); err != nil {
+		runs := r.Metrics()
+		benchWall := campaignWall
+		// -bench-sampled reruns the same campaign grid in sampled mode and
+		// appends its per-run records. The records carry their window
+		// geometry (sample_windows etc.), so consumers like benchguard can
+		// keep sampled and detailed entries apart.
+		if *benchSampled != "" {
+			var n, w, k uint64
+			if _, err := fmt.Sscanf(*benchSampled, "%d,%d,%d", &n, &w, &k); err != nil || n == 0 || w == 0 {
+				fail(fmt.Errorf("-bench-sampled wants \"N,W,K\" with N, W > 0 (windows, window instr, warm-up instr): %q", *benchSampled))
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "bench-sampled: rerunning campaign with %d windows x %d instr (warm-up %d)\n", n, w, k)
+			}
+			sopts := opts
+			sopts.Sample, sopts.SampleWindow, sopts.SampleWarmup = n, w, k
+			sr := figures.NewRunner(sopts)
+			start := time.Now()
+			if err := sr.Prefetch(needs); err != nil {
+				fail(err)
+			}
+			benchWall += time.Since(start)
+			if fails := sr.Failures(); len(fails) > 0 {
+				for _, f := range fails {
+					fmt.Fprintf(os.Stderr, "bench-sampled: %s/%s failed: %v\n", f.Workload, f.Scheme, f.Err.Cause)
+				}
+				os.Exit(1)
+			}
+			runs = append(runs, sr.Metrics()...)
+		}
+		if err := writeBenchJSON(*benchJSON, runs, opts, *jobs, *quick, benchWall, *benchNote); err != nil {
 			fail(err)
 		}
 	}
@@ -399,7 +442,7 @@ func writeMemProfile(path string) {
 	}
 }
 
-func writeBenchJSON(path string, r *figures.Runner, opts figures.Options, jobs int, quick bool, wall time.Duration, note string) error {
+func writeBenchJSON(path string, runs []figures.RunMetric, opts figures.Options, jobs int, quick bool, wall time.Duration, note string) error {
 	jrun := opts.Jrun
 	if jrun < 1 {
 		jrun = 1
@@ -413,7 +456,7 @@ func writeBenchJSON(path string, r *figures.Runner, opts figures.Options, jobs i
 		Jrun:             jrun,
 		Quick:            quick,
 		Workloads:        opts.Workloads,
-		Runs:             r.Metrics(),
+		Runs:             runs,
 		TotalWallSeconds: wall.Seconds(),
 	}
 	for _, m := range b.Runs {

@@ -2,15 +2,22 @@
 // benchmark as CSV (virtual address, read/write, instruction gap), for
 // inspecting the generators or feeding other tools.
 //
+// The emitted stream is exactly what a simulated core consumes: replaying
+// the CSV row by row visits the same accesses, in the same order, as a
+// simulation run with the same benchmark, footprint, and seed (the replay
+// smoke test pins this).
+//
 // Usage:
 //
 //	tracegen -benchmark lbm -n 10000 -footprint 8388608 > lbm.csv
+//	tracegen -list
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pageseer/internal/workload"
@@ -18,23 +25,48 @@ import (
 
 func main() {
 	var (
-		bench = flag.String("benchmark", "lbm", "benchmark name (see Table III)")
+		bench = flag.String("benchmark", "lbm", "benchmark name (see Table III, or -list)")
 		n     = flag.Int("n", 10000, "number of accesses to emit")
 		foot  = flag.Uint64("footprint", 8<<20, "footprint in bytes")
 		seed  = flag.Uint64("seed", 1, "trace seed")
+		list  = flag.Bool("list", false, "list benchmark names and exit")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"tracegen writes a deterministic synthetic memory trace for one Table III\n"+
+				"benchmark to stdout as CSV with header \"va,write,gap\": hex virtual\n"+
+				"address, 1 for writes, and the non-memory instruction gap preceding the\n"+
+				"access. Same benchmark+footprint+seed always yields the same trace.\n\n"+
+				"usage: tracegen [flags] > trace.csv\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
-	p, err := workload.ProfileByName(*bench)
-	if err != nil {
+	if *list {
+		// Single benchmarks only: the mixes combine four of these per core
+		// and have no single-generator trace for tracegen to emit.
+		for _, p := range workload.Profiles() {
+			fmt.Println(p.Name)
+		}
+		return
+	}
+	if err := emit(os.Stdout, *bench, *n, *foot, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	g := workload.NewGenerator(p, *foot, *seed)
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
+}
+
+// emit writes the n-access CSV trace for one benchmark. Split from main so
+// the replay smoke test can drive it against an in-memory buffer.
+func emit(out io.Writer, bench string, n int, foot, seed uint64) error {
+	p, err := workload.ProfileByName(bench)
+	if err != nil {
+		return err
+	}
+	g := workload.NewGenerator(p, foot, seed)
+	w := bufio.NewWriter(out)
 	fmt.Fprintln(w, "va,write,gap")
-	for i := 0; i < *n; i++ {
+	for i := 0; i < n; i++ {
 		a := g.Next()
 		wr := 0
 		if a.Write {
@@ -42,4 +74,5 @@ func main() {
 		}
 		fmt.Fprintf(w, "%#x,%d,%d\n", uint64(a.VA), wr, a.Gap)
 	}
+	return w.Flush()
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pageseer/internal/workload"
+)
+
+// TestEmitReplaysGeneratorExactly is the replay smoke test: parse the CSV
+// back and replay it against a fresh generator with the same parameters —
+// every row must reproduce the generator's access verbatim, so a trace file
+// is a faithful stand-in for the live stream a simulated core consumes.
+func TestEmitReplaysGeneratorExactly(t *testing.T) {
+	const (
+		bench = "GemsFDTD"
+		n     = 5_000
+		foot  = uint64(8 << 20)
+		seed  = uint64(7)
+	)
+	var buf bytes.Buffer
+	if err := emit(&buf, bench, n, foot, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := workload.ProfileByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(p, foot, seed)
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() || sc.Text() != "va,write,gap" {
+		t.Fatalf("bad header: %q", sc.Text())
+	}
+	rows := 0
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != 3 {
+			t.Fatalf("row %d: %d fields: %q", rows, len(fields), sc.Text())
+		}
+		va, err := strconv.ParseUint(fields[0], 0, 64)
+		if err != nil {
+			t.Fatalf("row %d: bad va %q: %v", rows, fields[0], err)
+		}
+		wr, err := strconv.Atoi(fields[1])
+		if err != nil || (wr != 0 && wr != 1) {
+			t.Fatalf("row %d: bad write flag %q", rows, fields[1])
+		}
+		gap, err := strconv.Atoi(fields[2])
+		if err != nil || gap < 0 {
+			t.Fatalf("row %d: bad gap %q", rows, fields[2])
+		}
+		want := g.Next()
+		if va != uint64(want.VA) || (wr == 1) != want.Write || gap != int(want.Gap) {
+			t.Fatalf("row %d diverges from the generator: csv (va=%#x write=%d gap=%d) vs %+v",
+				rows, va, wr, gap, want)
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != n {
+		t.Fatalf("emitted %d rows, want %d", rows, n)
+	}
+}
+
+func TestEmitUnknownBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(&buf, "no-such-benchmark", 1, 8<<20, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pageseer/internal/check"
 	"pageseer/internal/engine"
@@ -163,9 +164,20 @@ type Cache struct {
 
 	sets    [][]line
 	nSets   uint64
+	setBits uint // log2(nSets); Validate guarantees nSets is a power of two
 	lruTick uint64
 	mshrs   map[mem.Addr]*mshr
 	stats   Stats
+
+	// nextFunc caches the next-level FunctionalBackend assertion for the
+	// sampled fast-forward path; nil until first functional use.
+	nextFunc FunctionalBackend
+	// mru shortcuts the set scan for the common same-line streak in the
+	// functional path (the detailed path never reads it). It may go stale
+	// when the line is replaced; the tag/set re-check below makes staleness
+	// harmless, so it never needs invalidation.
+	mru    *line
+	mruSet uint64
 
 	freeTxn  *cacheTxn
 	freeMSHR *mshr
@@ -185,12 +197,13 @@ func New(sim *engine.Lane, cfg Config, next Backend) *Cache {
 	}
 	nSets := cfg.SizeBytes / mem.LineSize / cfg.Ways
 	c := &Cache{
-		sim:   sim,
-		cfg:   cfg,
-		next:  next,
-		comp:  blameFor(cfg.Name),
-		nSets: uint64(nSets),
-		mshrs: make(map[mem.Addr]*mshr),
+		sim:     sim,
+		cfg:     cfg,
+		next:    next,
+		comp:    blameFor(cfg.Name),
+		nSets:   uint64(nSets),
+		setBits: uint(bits.TrailingZeros64(uint64(nSets))),
+		mshrs:   make(map[mem.Addr]*mshr),
 	}
 	c.sets = make([][]line, nSets)
 	for i := range c.sets {
@@ -221,7 +234,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 func (c *Cache) index(l mem.Addr) (set uint64, tag uint64) {
 	n := uint64(l) >> mem.LineShift
-	return n % c.nSets, n / c.nSets
+	return n & (c.nSets - 1), n >> c.setBits
 }
 
 func (c *Cache) lookup(l mem.Addr) *line {
@@ -389,6 +402,91 @@ func (c *Cache) install(l mem.Addr, dirty bool, meta Meta) {
 	}
 	c.lruTick++
 	*victim = line{tag: tag, valid: true, dirty: dirty, lru: c.lruTick}
+}
+
+// FunctionalBackend is the no-event counterpart of Backend: service a line
+// request immediately, mutating architectural state (tags, LRU, dirty bits,
+// remap tables, hot-page counters) but scheduling no events, advancing no
+// clocks, and bumping no statistics. Sampled runs use it to keep long-lived
+// state warm across fast-forward gaps; see sim.Config.Sample.
+type FunctionalBackend interface {
+	AccessFunctional(line mem.Addr, write bool, meta Meta)
+}
+
+// AccessFunctional services one access synchronously: hit updates LRU and
+// dirty state, miss recurses into the next level functionally and installs
+// the line (evicting — and functionally writing back — a victim if needed).
+// Stats-silent: fast-forward traffic must not pollute window measurements.
+func (c *Cache) AccessFunctional(addr mem.Addr, write bool, meta Meta) {
+	l := mem.LineOf(addr)
+	if meta.IsPTE && !c.cfg.AllowPTE {
+		panic(fmt.Sprintf("cache %s: PTE request reached a level that does not cache PTEs", c.cfg.Name))
+	}
+	set, tag := c.index(l)
+	ln := c.mru
+	if ln == nil || c.mruSet != set || !ln.valid || ln.tag != tag {
+		ln = nil
+		for i := range c.sets[set] {
+			w := &c.sets[set][i]
+			if w.valid && w.tag == tag {
+				ln = w
+				break
+			}
+		}
+	}
+	if ln != nil {
+		c.mru, c.mruSet = ln, set
+		c.lruTick++
+		ln.lru = c.lruTick
+		if write {
+			ln.dirty = true
+		}
+		return
+	}
+	fetchMeta := meta
+	fetchMeta.Writeback = false
+	fetchMeta.V = nil
+	c.functionalNext().AccessFunctional(l, false, fetchMeta)
+	c.installFunctional(l, write, meta)
+}
+
+// functionalNext asserts the backend's functional interface, caching the
+// result so the fast-forward loop pays the assertion once per cache.
+func (c *Cache) functionalNext() FunctionalBackend {
+	if c.nextFunc == nil {
+		fb, ok := c.next.(FunctionalBackend)
+		if !ok {
+			panic(fmt.Sprintf("cache %s: backend %T does not support functional access", c.cfg.Name, c.next))
+		}
+		c.nextFunc = fb
+	}
+	return c.nextFunc
+}
+
+// installFunctional mirrors install minus statistics and event scheduling:
+// the same victim choice, with dirty victims written back functionally so
+// lower-level dirty state matches what a detailed run would have produced.
+func (c *Cache) installFunctional(l mem.Addr, dirty bool, meta Meta) {
+	set, tag := c.index(l)
+	victim := &c.sets[set][0]
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	if victim.valid && victim.dirty {
+		victimAddr := mem.Addr((victim.tag*c.nSets + set) << mem.LineShift)
+		wb := Meta{Core: meta.Core, PID: meta.PID, Writeback: true}
+		c.functionalNext().AccessFunctional(victimAddr, true, wb)
+	}
+	c.lruTick++
+	*victim = line{tag: tag, valid: true, dirty: dirty, lru: c.lruTick}
+	c.mru, c.mruSet = victim, set
 }
 
 // Contains reports whether the line is currently resident (for tests).

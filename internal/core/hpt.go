@@ -68,6 +68,23 @@ func (h *HPT) maybeDecay() {
 	}
 }
 
+// DecayOnce applies one counter-halving pass immediately, without consulting
+// the lane clock or advancing the lazy-decay cursor. The sampled scheduler's
+// fast-forward path uses it to model the decay intervals that elapse across
+// frozen-clock gaps; the lazy clock-keyed schedule resumes untouched when
+// detailed execution restarts.
+func (h *HPT) DecayOnce() {
+	for p, c := range h.entries {
+		c /= 2
+		if c == 0 {
+			delete(h.entries, p)
+			continue
+		}
+		h.entries[p] = c
+	}
+	h.decays++
+}
+
 // Len returns the number of live entries.
 func (h *HPT) Len() int {
 	h.maybeDecay()

@@ -54,6 +54,21 @@ type Stats struct {
 	PrefetchAccurate uint64
 }
 
+// Add accumulates o into s (sampled-window aggregation).
+func (s *Stats) Add(o Stats) {
+	for k := range s.SwapsStarted {
+		s.SwapsStarted[k] += o.SwapsStarted[k]
+		s.SwapsCompleted[k] += o.SwapsCompleted[k]
+	}
+	s.DeclinedBW += o.DeclinedBW
+	s.DeclinedNoVictim += o.DeclinedNoVictim
+	s.DeclinedQueue += o.DeclinedQueue
+	s.OptimizedSlow += o.OptimizedSlow
+	s.HintsReceived += o.HintsReceived
+	s.PrefetchTracked += o.PrefetchTracked
+	s.PrefetchAccurate += o.PrefetchAccurate
+}
+
 // TotalSwaps returns completed swaps across kinds.
 func (s Stats) TotalSwaps() uint64 {
 	var t uint64
@@ -129,6 +144,14 @@ type PageSeer struct {
 	utilRecent    float64
 
 	prefTracks map[mem.PPN]*prefTrack
+
+	// ffBudget caps how many swaps the functional fast-forward path may
+	// commit before the next detailed phase (see SetFFSwapBudget);
+	// ffCommits counts the commits it has made over the whole run, and
+	// ffVirtual accumulates virtual cycles toward HPT decay (FFAdvance).
+	ffBudget  uint64
+	ffCommits uint64
+	ffVirtual uint64
 
 	// freeCorr heads the pool of correlation-evaluation records (one live
 	// per in-flight PCTc lookup), keeping the per-invocation PCT check off

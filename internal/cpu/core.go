@@ -183,6 +183,26 @@ func (c *Core) MarkEpoch() {
 	c.budget = 0
 }
 
+// StepFunctional advances the core by one memory access in functional
+// fast-forward mode (sampled simulation): it draws the next access from the
+// generator — advancing the generator state exactly as pump would — retires
+// it instantly, and walks it through the functional MMU and cache paths so
+// TLBs, page tables, cache tags, and controller state stay warm. The engine
+// clock and the frontend clock are untouched; only the Instructions/MemOps
+// counters advance (they are the fast-forward progress meter, and the next
+// MarkEpoch resets them before any measurement). Returns the instructions
+// consumed (the access plus its preceding non-memory gap).
+func (c *Core) StepFunctional() uint64 {
+	a := c.gen.Next()
+	n := uint64(a.Gap) + 1
+	c.stats.Instructions += n
+	c.stats.MemOps++
+	ppn := c.mmu.TranslateFunctional(a.VA)
+	pa := ppn.Addr() + mem.Addr(mem.PageOffset(a.VA))
+	c.l1.AccessFunctional(pa, a.Write, cache.Meta{Core: c.id, PID: c.pid})
+	return n
+}
+
 // pump keeps the window full: it generates accesses and schedules their
 // issue at the frontend clock until the window or the budget is exhausted.
 func (c *Core) pump() {

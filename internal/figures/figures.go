@@ -67,6 +67,15 @@ type Options struct {
 	// Faults mirrors sim.Config.Faults: every campaign run executes under
 	// the given deterministic fault-injection plan.
 	Faults check.FaultPlan
+	// Sample, SampleWindow, SampleWarmup mirror the sim.Config sampling
+	// geometry: when Sample > 0 every campaign run executes the SMARTS-style
+	// sampled schedule (functional fast-forward between detailed windows)
+	// instead of the full detailed reference. Results carry the geometry in
+	// Results.Sampling, and bench records flag it so sampled campaign
+	// numbers are never mistaken for detailed ones.
+	Sample       uint64
+	SampleWindow uint64
+	SampleWarmup uint64
 	// Retry re-executes a run once when it fails with a *sim.RunError
 	// before recording it as a campaign gap (for flaky-host triage; a
 	// deterministic failure fails both attempts identically).
@@ -220,6 +229,9 @@ func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
 		DisableBWOpt: k.disableBW,
 		Audit:        r.opts.Audit,
 		Faults:       r.opts.Faults,
+		Sample:       r.opts.Sample,
+		SampleWindow: r.opts.SampleWindow,
+		SampleWarmup: r.opts.SampleWarmup,
 		Obs:          sim.ObsOptions{Ledger: r.opts.Ledger, CPI: r.opts.CPI},
 	}
 	defer func() {
@@ -447,6 +459,13 @@ type RunMetric struct {
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsFired  uint64  `json:"events_fired"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Sampling geometry (zero/absent on detailed runs): a sampled record's
+	// wall-clock and event counts cover only the detailed windows, so they
+	// must never be compared against detailed records without this context.
+	SampleWindows uint64  `json:"sample_windows,omitempty"`
+	SampleWindow  uint64  `json:"sample_window,omitempty"`
+	SampleWarmup  uint64  `json:"sample_warmup,omitempty"`
+	SampleIPCCV   float64 `json:"sample_ipc_cv,omitempty"`
 }
 
 // effectiveJrun is the intra-run worker count runs actually use: Options
@@ -486,6 +505,12 @@ func (r *Runner) Metrics() []RunMetric {
 		}
 		if m.WallSeconds > 0 {
 			m.EventsPerSec = float64(m.EventsFired) / m.WallSeconds
+		}
+		if sp := e.res.Sampling; sp.Windows > 0 {
+			m.SampleWindows = sp.Windows
+			m.SampleWindow = sp.WindowInstr
+			m.SampleWarmup = sp.WarmupInstr
+			m.SampleIPCCV = sp.IPCCV
 		}
 		ms = append(ms, m)
 	}

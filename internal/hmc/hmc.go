@@ -53,7 +53,8 @@ type Request struct {
 	done    func()
 	ctl     *Controller
 	served  bool
-	pteSrc  bool // served by the MMU Driver's PTE cache (latency split)
+	pteSrc  bool   // served by the MMU Driver's PTE cache (latency split)
+	epoch   uint64 // controller epoch at checkout; stale => stats-silent completion
 
 	// Completion plumbing for the pooled record: src and issued are filled
 	// by ServeMemory/ServeDirect; memDoneFn and directFn are bound once
@@ -123,6 +124,23 @@ type Stats struct {
 	PTEServedByHMC uint64 // of those, served by the MMU Driver cache
 }
 
+// Add accumulates o into s (sampled-window aggregation).
+func (s *Stats) Add(o Stats) {
+	s.Demand += o.Demand
+	s.DataDemand += o.DataDemand
+	s.Writebacks += o.Writebacks
+	s.ServedDRAM += o.ServedDRAM
+	s.ServedNVM += o.ServedNVM
+	s.ServedBuf += o.ServedBuf
+	s.Positive += o.Positive
+	s.Negative += o.Negative
+	s.Neutral += o.Neutral
+	s.LatencyTotal += o.LatencyTotal
+	s.MemLatencyTotal += o.MemLatencyTotal
+	s.PTEReachedHMC += o.PTEReachedHMC
+	s.PTEServedByHMC += o.PTEServedByHMC
+}
+
 // Controller is the hybrid memory controller shell.
 type Controller struct {
 	Lane   *engine.Lane // shared back-end shard (lane 0; pass-through in serial mode)
@@ -134,9 +152,21 @@ type Controller struct {
 	Oracle *Oracle
 
 	mgr     Manager
+	ffMgr   FunctionalManager    // mgr's functional path, nil if unsupported
+	ffHint  mmu.FunctionalHinter // mgr's functional hint path, nil if unsupported
 	stats   Stats
 	freeReq *Request
 	liveReq int // pooled request records currently checked out
+
+	// epoch advances on every ResetStats. A request checked out under an
+	// older epoch had its arrival counted in statistics that were since
+	// zeroed, so its completion must be stats-silent — otherwise the
+	// service/effectiveness conservation laws (Audit) break by exactly the
+	// number of requests in flight across the reset. The sampled scheduler
+	// resets mid-flight on purpose (between an undrained per-window warm-up
+	// and its measurement window); on a drained machine the epoch guard is
+	// inert and completions are byte-identical to the unguarded path.
+	epoch uint64
 
 	// inj (nil when no fault plan is active) forces rare conditions at the
 	// controller's decision points; see check.Injector.
@@ -170,7 +200,11 @@ func NewController(lane *engine.Lane, osm *mem.OS, dramCfg, nvmCfg memsim.Config
 }
 
 // SetManager installs the management scheme. Must be called before traffic.
-func (c *Controller) SetManager(m Manager) { c.mgr = m }
+func (c *Controller) SetManager(m Manager) {
+	c.mgr = m
+	c.ffMgr, _ = m.(FunctionalManager)
+	c.ffHint, _ = m.(mmu.FunctionalHinter)
+}
 
 // Manager returns the installed scheme.
 func (c *Controller) Manager() Manager { return c.mgr }
@@ -258,7 +292,9 @@ func (c *Controller) getRequest() *Request {
 	if r == nil {
 		r = &Request{ctl: c}
 		r.memDoneFn = func() {
-			r.ctl.stats.MemLatencyTotal += r.ctl.Lane.Now() - r.issued
+			if r.epoch == r.ctl.epoch {
+				r.ctl.stats.MemLatencyTotal += r.ctl.Lane.Now() - r.issued
+			}
 			r.ctl.complete(r, r.src)
 		}
 		r.directFn = func() { r.ctl.complete(r, r.src) }
@@ -270,6 +306,7 @@ func (c *Controller) getRequest() *Request {
 	}
 	r.served = false
 	r.pteSrc = false
+	r.epoch = c.epoch
 	r.src, r.issued = 0, 0
 	return r
 }
@@ -309,6 +346,37 @@ func (c *Controller) Access(line mem.Addr, write bool, meta cache.Meta, done fun
 
 // MMUHint implements mmu.Hinter.
 func (c *Controller) MMUHint(h mmu.Hint) { c.mgr.MMUHint(h) }
+
+// FunctionalManager is the optional no-event counterpart of
+// Manager.HandleRequest: apply one request's architectural side effects
+// (translation-table updates, hot-page counters, metadata-cache residency,
+// instant-commit swaps) immediately, with no events, no timing, and no
+// statistics. Schemes that do not implement it fall back to plain
+// translation in AccessFunctional — their architectural state does not
+// evolve with traffic outside detailed windows, which sampled runs accept
+// as the functional-warming approximation for those baselines.
+type FunctionalManager interface {
+	HandleRequestFunctional(line mem.Addr, write bool, meta cache.Meta)
+}
+
+// AccessFunctional implements cache.FunctionalBackend: the sampled
+// fast-forward path's LLC-miss sink. Stats-silent by contract.
+func (c *Controller) AccessFunctional(line mem.Addr, write bool, meta cache.Meta) {
+	l := mem.LineOf(line)
+	if c.ffMgr != nil {
+		c.ffMgr.HandleRequestFunctional(l, write, meta)
+		return
+	}
+	c.mgr.TranslateLine(l)
+}
+
+// MMUHintFunctional implements mmu.FunctionalHinter, forwarding fast-forward
+// page-walk hints to managers that act on them functionally.
+func (c *Controller) MMUHintFunctional(h mmu.Hint) {
+	if c.ffHint != nil {
+		c.ffHint.MMUHintFunctional(h)
+	}
+}
 
 // IssueLine routes one line access to the owning memory module, adapting
 // priorities. It is the only path to the timing models, so swap traffic,
@@ -457,44 +525,52 @@ func (c *Controller) complete(r *Request, src Source) {
 			v.SetClass(attrib.ClassOf(tr, ok))
 		}
 	}
-	lat := now - r.Arrival
-	c.stats.LatencyTotal += lat
-	if c.lat != nil {
-		idx := obs.LatDRAM
-		switch {
-		case r.pteSrc:
-			idx = obs.LatPTE
-		case src == SrcNVM:
-			idx = obs.LatNVM
-		case src == SrcSwapBuffer:
-			idx = obs.LatBuf
+	if r.epoch == c.epoch {
+		// Stale-epoch requests (in flight across a ResetStats) skip every
+		// counter here: their arrival was counted in the zeroed statistics,
+		// so counting their service would break the conservation laws the
+		// Audit enforces. The blame-vector stamps above still run — the
+		// attribution layer closes intervals per request and handles reset
+		// boundaries itself.
+		lat := now - r.Arrival
+		c.stats.LatencyTotal += lat
+		if c.lat != nil {
+			idx := obs.LatDRAM
+			switch {
+			case r.pteSrc:
+				idx = obs.LatPTE
+			case src == SrcNVM:
+				idx = obs.LatNVM
+			case src == SrcSwapBuffer:
+				idx = obs.LatBuf
+			}
+			c.lat.Record(idx, lat)
 		}
-		c.lat.Record(idx, lat)
-	}
-	if !r.Meta.PageWalk {
-		switch src {
-		case SrcDRAM:
-			c.stats.ServedDRAM++
-		case SrcNVM:
-			c.stats.ServedNVM++
-		case SrcSwapBuffer:
-			c.stats.ServedBuf++
-		}
-		origDRAM := c.Layout.IsDRAM(r.Line)
-		servedFast := src != SrcNVM
-		switch {
-		case !origDRAM && servedFast:
-			c.stats.Positive++
-		case origDRAM && !servedFast:
-			c.stats.Negative++
-		default:
-			c.stats.Neutral++
-		}
-		if c.led != nil {
-			// The ledger keys on the OS-visible line: a demand landing on
-			// a swapped-in unit is that swap's payoff; one landing on an
-			// in-flight victim marks the swap late.
-			c.led.Demand(uint64(r.Line), c.Lane.Now())
+		if !r.Meta.PageWalk {
+			switch src {
+			case SrcDRAM:
+				c.stats.ServedDRAM++
+			case SrcNVM:
+				c.stats.ServedNVM++
+			case SrcSwapBuffer:
+				c.stats.ServedBuf++
+			}
+			origDRAM := c.Layout.IsDRAM(r.Line)
+			servedFast := src != SrcNVM
+			switch {
+			case !origDRAM && servedFast:
+				c.stats.Positive++
+			case origDRAM && !servedFast:
+				c.stats.Negative++
+			default:
+				c.stats.Neutral++
+			}
+			if c.led != nil {
+				// The ledger keys on the OS-visible line: a demand landing
+				// on a swapped-in unit is that swap's payoff; one landing
+				// on an in-flight victim marks the swap late.
+				c.led.Demand(uint64(r.Line), c.Lane.Now())
+			}
 		}
 	}
 	// Release before the callback: done may re-enter Access and is then
@@ -576,9 +652,12 @@ func (c *Controller) Audit(a *check.Audit) {
 }
 
 // ResetStats zeroes the controller counters and the attached latency
-// histograms (e.g. after warm-up).
+// histograms (e.g. after warm-up), and advances the request epoch so that
+// requests in flight across the reset complete without touching the new
+// counters (see Controller.epoch). Safe to call mid-flight.
 func (c *Controller) ResetStats() {
 	c.stats = Stats{}
+	c.epoch++
 	c.lat.Reset()
 	c.led.Reset()
 }

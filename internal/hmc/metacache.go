@@ -80,6 +80,15 @@ type MetaCacheStats struct {
 	WaitCycles uint64
 }
 
+// Add accumulates o into s (sampled-window aggregation).
+func (s *MetaCacheStats) Add(o MetaCacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Prefetches += o.Prefetches
+	s.Writebacks += o.Writebacks
+	s.WaitCycles += o.WaitCycles
+}
+
 type metaLine struct {
 	key   uint64
 	valid bool
@@ -413,6 +422,44 @@ func (c *MetaCache) install(key uint64) {
 		// behaviour: only dirty entries go back, Section III-C2).
 		c.stats.Writebacks++
 		c.issue(c.region.EntryAddr(victim.key), true, PrioSwap, nil)
+	}
+	c.tick++
+	*victim = metaLine{key: key, valid: true, lru: c.tick}
+}
+
+// AccessFunctional warms residency for key with no timing, no events, and
+// no statistics (the sampled fast-forward path): a hit refreshes LRU and
+// dirty state; a miss installs every entry of the backing DRAM line, as
+// fetchDone would, with dirty-victim writebacks dropped silently — there is
+// no bandwidth model to charge them to during fast-forward.
+func (c *MetaCache) AccessFunctional(key uint64, dirty bool) {
+	if l := c.find(key); l != nil {
+		c.touch(l, dirty)
+		return
+	}
+	lk := c.lineKey(key)
+	for k := lk * c.epl; k < (lk+1)*c.epl; k++ {
+		c.installFunctional(k)
+	}
+	if l := c.find(key); l != nil {
+		c.touch(l, dirty)
+	}
+}
+
+func (c *MetaCache) installFunctional(key uint64) {
+	if c.find(key) != nil {
+		return
+	}
+	set := c.sets[c.SetOf(key)]
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
 	}
 	c.tick++
 	*victim = metaLine{key: key, valid: true, lru: c.tick}

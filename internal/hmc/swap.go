@@ -127,6 +127,19 @@ type SwapEngineStats struct {
 	OpCycles uint64
 }
 
+// Add accumulates o into s (sampled-window aggregation).
+func (s *SwapEngineStats) Add(o SwapEngineStats) {
+	s.OpsStarted += o.OpsStarted
+	s.OpsCompleted += o.OpsCompleted
+	s.OpsRejected += o.OpsRejected
+	s.LinesRead += o.LinesRead
+	s.LinesWritten += o.LinesWritten
+	s.BufHits += o.BufHits
+	s.BufWaits += o.BufWaits
+	s.EscalatedRead += o.EscalatedRead
+	s.OpCycles += o.OpCycles
+}
+
 type lineStatus uint8
 
 const (

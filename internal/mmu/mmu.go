@@ -103,6 +103,10 @@ type MMU struct {
 	liveTxn  int // pooled translation records checked out
 	freeHint *hintTxn
 
+	// ffPort caches the walkPort FunctionalBackend assertion for the sampled
+	// fast-forward path; nil until first functional use.
+	ffPort cache.FunctionalBackend
+
 	// Single-walker state: the paper's cores have one page walker, so walks
 	// serialise and one reusable record suffices.
 	walking   bool
@@ -146,6 +150,71 @@ func (m *MMU) putHint(t *hintTxn) {
 	t.h = Hint{}
 	t.next = m.freeHint
 	m.freeHint = t
+}
+
+// FunctionalHinter is the optional no-event counterpart of Hinter: a hinter
+// that also implements it receives fast-forward hints immediately, mutating
+// architectural state (PTE cache, prefetch-swap decisions) without events.
+type FunctionalHinter interface {
+	MMUHintFunctional(Hint)
+}
+
+// TranslateFunctional resolves va immediately, warming the TLBs, the PWC,
+// and the page-table lines in the cache hierarchy exactly as a detailed
+// walk would — same lookup order, same inserts — but scheduling no events
+// and bumping no statistics. Sampled fast-forward uses it between detailed
+// windows; walkPort must implement cache.FunctionalBackend.
+func (m *MMU) TranslateFunctional(va mem.VAddr) mem.PPN {
+	vpn := mem.VPageOf(va)
+	if ppn, ok := m.l1.Lookup(m.pid, vpn); ok {
+		return ppn
+	}
+	if ppn, ok := m.l2.Lookup(m.pid, vpn); ok {
+		m.l1.Insert(m.pid, vpn, ppn)
+		return ppn
+	}
+	walk := m.os.WalkVA(m.pid, va)
+	start := mem.PGD
+	if lvl, _, ok := m.pwc.Lookup(m.pid, va); ok {
+		start = lvl + 1
+	}
+	port := m.functionalWalkPort()
+	for l := start; l <= mem.PTE; l++ {
+		if l == mem.PTE {
+			if fh, ok := m.hinter.(FunctionalHinter); ok {
+				fh.MMUHintFunctional(Hint{
+					Core:    m.core,
+					PID:     m.pid,
+					VPN:     vpn,
+					PTELine: mem.LineOf(walk.Steps[mem.PTE].EntryAddr),
+					LeafPPN: walk.Leaf,
+					Cycle:   m.sim.Now(),
+				})
+			}
+		}
+		meta := cache.Meta{Core: m.core, PID: m.pid, PageWalk: true, IsPTE: l == mem.PTE}
+		port.AccessFunctional(walk.Steps[l].EntryAddr, false, meta)
+		if l < mem.PTE {
+			m.pwc.Insert(m.pid, va, l, mem.PageOf(walk.Steps[l+1].EntryAddr))
+		}
+	}
+	leaf := walk.Leaf
+	m.l1.Insert(m.pid, vpn, leaf)
+	m.l2.Insert(m.pid, vpn, leaf)
+	return leaf
+}
+
+// functionalWalkPort asserts the walk port's functional interface, caching
+// the result so fast-forward pays the assertion once per MMU.
+func (m *MMU) functionalWalkPort() cache.FunctionalBackend {
+	if m.ffPort == nil {
+		fb, ok := m.walkPort.(cache.FunctionalBackend)
+		if !ok {
+			panic("mmu: walk port does not support functional access")
+		}
+		m.ffPort = fb
+	}
+	return m.ffPort
 }
 
 // transTxn is one in-flight translation: the lookup payload plus the two

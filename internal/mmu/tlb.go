@@ -35,9 +35,10 @@ type tlbEntry struct {
 
 // TLB is a set-associative, PID-tagged translation cache.
 type TLB struct {
-	cfg  TLBConfig
-	sets [][]tlbEntry
-	tick uint64
+	cfg     TLBConfig
+	sets    [][]tlbEntry
+	setMask uint64 // len(sets)-1 when a power of two, else 0 (use modulo)
+	tick    uint64
 
 	hits   uint64
 	misses uint64
@@ -50,6 +51,9 @@ func NewTLB(cfg TLBConfig) *TLB {
 		nSets = 1
 	}
 	t := &TLB{cfg: cfg}
+	if nSets&(nSets-1) == 0 {
+		t.setMask = uint64(nSets - 1)
+	}
 	t.sets = make([][]tlbEntry, nSets)
 	for i := range t.sets {
 		t.sets[i] = make([]tlbEntry, cfg.Ways)
@@ -68,6 +72,9 @@ func (t *TLB) Hits() uint64   { return t.hits }
 func (t *TLB) Misses() uint64 { return t.misses }
 
 func (t *TLB) set(vpn mem.VPN) []tlbEntry {
+	if m := t.setMask; m != 0 {
+		return t.sets[uint64(vpn)&m]
+	}
 	return t.sets[uint64(vpn)%uint64(len(t.sets))]
 }
 

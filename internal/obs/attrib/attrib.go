@@ -355,6 +355,17 @@ type Summary struct {
 	CorrEvals      uint64
 }
 
+// Add accumulates o into s (sampled-window aggregation). All fields are
+// plain sums, so adding per-window summaries equals summarising the union.
+func (s *Summary) Add(o Summary) {
+	for c := range s.Class {
+		s.Class[c].add(o.Class[c])
+	}
+	s.Unattributed += o.Unattributed
+	s.CorrEvalCycles += o.CorrEvalCycles
+	s.CorrEvals += o.CorrEvals
+}
+
 // Total sums the per-class stacks.
 func (s Summary) Total() Stack {
 	var t Stack

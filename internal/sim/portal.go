@@ -23,9 +23,10 @@ import (
 
 // backendPortal defers cache.Backend calls across the shard boundary.
 type backendPortal struct {
-	lane *engine.Lane
-	next cache.Backend
-	free *backendCall
+	lane     *engine.Lane
+	next     cache.Backend
+	nextFunc cache.FunctionalBackend // cached assertion for the fast-forward path
+	free     *backendCall
 }
 
 type backendCall struct {
@@ -73,11 +74,26 @@ func (p *backendPortal) Access(line mem.Addr, write bool, meta cache.Meta, done 
 	p.lane.Defer(c.fn)
 }
 
+// AccessFunctional implements cache.FunctionalBackend by forwarding
+// synchronously: fast-forward runs single-threaded on a quiesced machine, so
+// no shard boundary exists to defer across.
+func (p *backendPortal) AccessFunctional(line mem.Addr, write bool, meta cache.Meta) {
+	if p.nextFunc == nil {
+		fb, ok := p.next.(cache.FunctionalBackend)
+		if !ok {
+			panic("sim: portal backend does not support functional access")
+		}
+		p.nextFunc = fb
+	}
+	p.nextFunc.AccessFunctional(line, write, meta)
+}
+
 // hintPortal defers mmu.Hinter calls across the shard boundary.
 type hintPortal struct {
-	lane *engine.Lane
-	next mmu.Hinter
-	free *hintCall
+	lane     *engine.Lane
+	next     mmu.Hinter
+	nextFunc mmu.FunctionalHinter // cached assertion for the fast-forward path
+	free     *hintCall
 }
 
 type hintCall struct {
@@ -118,4 +134,17 @@ func (p *hintPortal) MMUHint(h mmu.Hint) {
 	c := p.get()
 	c.h = h
 	p.lane.Defer(c.fn)
+}
+
+// MMUHintFunctional implements mmu.FunctionalHinter by forwarding
+// synchronously (see backendPortal.AccessFunctional).
+func (p *hintPortal) MMUHintFunctional(h mmu.Hint) {
+	if p.nextFunc == nil {
+		fh, ok := p.next.(mmu.FunctionalHinter)
+		if !ok {
+			return // hinter has no functional side; matches hmc.Controller's nil-safe fallback
+		}
+		p.nextFunc = fh
+	}
+	p.nextFunc.MMUHintFunctional(h)
 }

@@ -83,6 +83,12 @@ type Results struct {
 	// Config.Audit armed one). It describes the audit apparatus, not the
 	// simulated machine, so result-identity tests compare it separately.
 	Watchdog check.WatchdogStats
+
+	// Sampling reports a sampled run's geometry and per-window IPC
+	// dispersion (zero unless Config.Sample is set). Like Watchdog it
+	// describes the measurement apparatus, not the simulated machine, so
+	// result-identity tests compare it separately.
+	Sampling SamplingStats
 }
 
 // ServiceBreakdown returns the Figure 7 fractions (DRAM, NVM, swap buffer)

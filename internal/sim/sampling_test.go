@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sampledConfig returns tinyConfig with a non-degenerate sampling geometry:
+// 6 windows tiling the 120k-instruction measured region (20k strides), 10k
+// measured after 5k detailed warm-up per window, the rest fast-forwarded.
+func sampledConfig(scheme Scheme, wl string) Config {
+	cfg := tinyConfig(scheme, wl)
+	cfg.Sample = 6
+	cfg.SampleWindow = 10_000
+	cfg.SampleWarmup = 5_000
+	return cfg
+}
+
+func runOnce(t *testing.T, cfg Config) Results {
+	t.Helper()
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSamplingOffIsIdentity pins the default-off contract: Config zero
+// values leave the detailed path untouched, so Results (including
+// histograms, CPI stacks, and effectiveness digests) are byte-identical to
+// the pre-sampling reference path for every scheme. Sampling off means
+// Results.Sampling is zero too, so the comparison needs no masking.
+func TestSamplingOffIsIdentity(t *testing.T) {
+	for _, scheme := range []Scheme{SchemePageSeer, SchemePoM, SchemeMemPod} {
+		cfg := tinyConfig(scheme, "lbm")
+		cfg.Obs.Ledger = true
+		cfg.Obs.CPI = true
+		base := runOnce(t, cfg)
+		again := runOnce(t, cfg)
+		if !reflect.DeepEqual(base, again) {
+			t.Fatalf("%s: detailed runs not deterministic", scheme)
+		}
+		if base.Sampling != (SamplingStats{}) {
+			t.Fatalf("%s: Sampling populated on a detailed run: %+v", scheme, base.Sampling)
+		}
+	}
+}
+
+// TestSamplingDegenerateIsByteIdentical pins the schedule reduction: with
+// one window spanning the whole run (Sample=1, SampleWarmup=Warmup,
+// SampleWindow=InstrPerCore) the sampled schedule is structurally the
+// detailed one — fast-forward never runs — so every Results field except the
+// Sampling descriptor matches the detailed run byte for byte.
+func TestSamplingDegenerateIsByteIdentical(t *testing.T) {
+	for _, scheme := range []Scheme{SchemePageSeer, SchemeStatic} {
+		cfg := tinyConfig(scheme, "lbm")
+		cfg.Obs.Ledger = true
+		cfg.Obs.CPI = true
+		detailed := runOnce(t, cfg)
+
+		deg := cfg
+		deg.Sample = 1
+		deg.SampleWindow = cfg.InstrPerCore
+		deg.SampleWarmup = cfg.Warmup
+		sampled := runOnce(t, deg)
+
+		if sampled.Sampling.Windows != 1 || sampled.Sampling.FastForwarded != 0 {
+			t.Fatalf("%s: degenerate geometry misreported: %+v", scheme, sampled.Sampling)
+		}
+		sampled.Sampling = SamplingStats{}
+		if !reflect.DeepEqual(detailed, sampled) {
+			t.Fatalf("%s: degenerate sampled run diverged from detailed:\ndetailed: %+v\nsampled:  %+v", scheme, detailed, sampled)
+		}
+	}
+}
+
+// TestSampledRunDeterministic pins repeatability: the sampled schedule is as
+// deterministic as the detailed one.
+func TestSampledRunDeterministic(t *testing.T) {
+	cfg := sampledConfig(SchemePageSeer, "lbm")
+	cfg.Obs.Ledger = true
+	a := runOnce(t, cfg)
+	b := runOnce(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sampled runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSampledRunPopulatesSampling checks the descriptor's arithmetic: window
+// geometry echoes the config, measured instructions land near
+// Sample x SampleWindow x cores, and the extrapolation factor scales them to
+// full-run magnitude.
+func TestSampledRunPopulatesSampling(t *testing.T) {
+	cfg := sampledConfig(SchemePageSeer, "GemsFDTD")
+	res := runOnce(t, cfg)
+	sp := res.Sampling
+	if sp.Windows != cfg.Sample || sp.WindowInstr != cfg.SampleWindow || sp.WarmupInstr != cfg.SampleWarmup {
+		t.Fatalf("geometry not echoed: %+v", sp)
+	}
+	nominal := cfg.Sample * cfg.SampleWindow * uint64(res.Cores)
+	if res.Instructions < nominal || res.Instructions > nominal+nominal/10 {
+		t.Fatalf("measured %d instructions, want ~%d (windows x cores)", res.Instructions, nominal)
+	}
+	if sp.Extrapolation <= 1 {
+		t.Fatalf("extrapolation factor %v, want > 1 for a sub-sampled run", sp.Extrapolation)
+	}
+	if sp.MeanIPC <= 0 || sp.MinIPC <= 0 || sp.MaxIPC < sp.MinIPC {
+		t.Fatalf("window IPC summary inconsistent: %+v", sp)
+	}
+	if sp.IPCCV < 0 || sp.IPCCV > 1 {
+		t.Fatalf("window IPC CV %v outside [0,1]", sp.IPCCV)
+	}
+	if res.SwapsPerKI <= 0 {
+		t.Fatal("sampled PageSeer run completed no swaps")
+	}
+}
+
+// TestSampledRunAuditsHold runs the sampled schedule with the full audit
+// apparatus — watchdog, end-of-run invariants, ledger conservation — armed:
+// functional fast-forward must leave the machine in a state every invariant
+// check accepts.
+func TestSampledRunAuditsHold(t *testing.T) {
+	cfg := sampledConfig(SchemePageSeer, "GemsFDTD")
+	cfg.Audit = true
+	cfg.Obs.Ledger = true
+	cfg.Obs.CPI = true
+	res := runOnce(t, cfg)
+	if res.Instructions == 0 {
+		t.Fatal("audited sampled run measured nothing")
+	}
+	if got := res.Effectiveness.TotalStarted(); got == 0 {
+		t.Fatal("ledger recorded no swaps inside the windows")
+	}
+}
+
+// TestSamplingValidation pins the flag-combination errors.
+func TestSamplingValidation(t *testing.T) {
+	base := tinyConfig(SchemePageSeer, "lbm") // 60k warmup + 120k measured
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"off", func(c *Config) {}, true},
+		{"tiling", func(c *Config) { c.Sample = 6; c.SampleWindow = 10_000; c.SampleWarmup = 5_000 }, true},
+		{"degenerate", func(c *Config) { c.Sample = 1; c.SampleWindow = 120_000; c.SampleWarmup = 60_000 }, true},
+		{"no window", func(c *Config) { c.Sample = 4 }, false},
+		{"does not tile", func(c *Config) { c.Sample = 7; c.SampleWindow = 1_000 }, false},
+		{"window exceeds stride", func(c *Config) { c.Sample = 6; c.SampleWindow = 28_000; c.SampleWarmup = 4_000 }, false},
+		{"warmup exceeds global warmup", func(c *Config) { c.Sample = 6; c.SampleWindow = 10_000; c.SampleWarmup = 70_000 }, false},
+		{"warmup+window exceed stride", func(c *Config) { c.Sample = 6; c.SampleWindow = 15_000; c.SampleWarmup = 10_000 }, false},
+		{"window without sampling", func(c *Config) { c.SampleWindow = 1_000 }, false},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid geometry accepted", tc.name)
+		}
+	}
+}
+
+// TestMergeWindowCoversResults is the aggregation-exhaustiveness audit: a
+// field added to Results but forgotten in mergeWindow would silently report
+// only the first window's value in sampled runs. Every top-level Results
+// field must appear in the handled list; extending Results obliges extending
+// mergeWindow (or justifying a pass-through here).
+func TestMergeWindowCoversResults(t *testing.T) {
+	handled := map[string]bool{
+		// identity (equal across windows, kept from the first)
+		"Scheme": true, "Workload": true, "Cores": true,
+		// summed counters
+		"Cycles": true, "Instructions": true, "EventsFired": true,
+		"Ctl": true, "Swap": true, "DRAM": true, "NVM": true, "MMU": true,
+		"LatencyHist": true, "RemapCache": true, "PS": true, "PCTc": true,
+		"Effectiveness": true, "CPIStack": true,
+		// recomputed ratios / rebuilt digests
+		"IPC": true, "AMMAT": true, "Latency": true,
+		"PrefetchAccuracy": true, "SwapsPerKI": true,
+		// cumulative never-reset sources: last window's snapshot is the total
+		"Faults": true, "Watchdog": true,
+		// written once after the loop by runSampled
+		"Sampling": true,
+	}
+	typ := reflect.TypeOf(Results{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if !handled[name] {
+			t.Errorf("Results.%s is not handled by mergeWindow (extend it and this list)", name)
+		}
+		delete(handled, name)
+	}
+	for name := range handled {
+		t.Errorf("mergeWindow coverage list mentions %s, which Results no longer has", name)
+	}
+}

@@ -88,6 +88,37 @@ type Config struct {
 	// knob on multi-core hosts.
 	Jrun int
 
+	// Sample enables SMARTS-style sampled execution: the measured region
+	// (InstrPerCore per core) is divided into Sample equal strides, each
+	// opening with a SampleWarmup-instruction detailed warm-up (stats
+	// discarded) and a SampleWindow-instruction detailed measurement; the
+	// rest of every stride — and the global Warmup before window 0's
+	// detailed warm-up — executes as functional fast-forward. Fast-forward
+	// retires instructions with no events and no timing while keeping
+	// architectural state warm — TLBs, page-walk caches, cache tags,
+	// hot-page counters, correlation tables, metadata-cache residency, and
+	// the remap itself (swaps commit instantly) — so each window measures a
+	// machine in representative state. Results are the sum of the window
+	// measurements with ratio metrics recomputed over the sums, and the
+	// sampling geometry and per-window IPC dispersion reported in
+	// Results.Sampling. 0 (the default) disables sampling: the untouched
+	// detailed path runs and Results are byte-identical to builds without
+	// this knob. The degenerate geometry (Sample=1, SampleWarmup=Warmup,
+	// SampleWindow=InstrPerCore) reduces structurally to the detailed
+	// schedule and reproduces its Results exactly.
+	Sample uint64
+
+	// SampleWindow is the detailed measured instruction budget per core per
+	// window; SampleWarmup is the detailed warm-up prefix per window whose
+	// statistics are discarded. Sample strides must tile the measured
+	// region: InstrPerCore % Sample == 0, SampleWindow <= the
+	// InstrPerCore/Sample stride, SampleWarmup <= Warmup (window 0's
+	// warm-up is carved from the global warm-up), and for Sample > 1 also
+	// SampleWarmup+SampleWindow <= stride (later warm-ups are carved from
+	// the preceding gap).
+	SampleWindow uint64
+	SampleWarmup uint64
+
 	CoreConfig cpu.CoreConfig
 
 	// Obs enables the optional observability sinks (epoch timeline,
@@ -535,6 +566,14 @@ const maxRunEvents = 5_000_000_000
 // runPhase runs every core to the given *additional* instruction budget and
 // drains the machine.
 func (s *System) runPhase(instr uint64) {
+	s.runPhaseOpt(instr, true)
+}
+
+// runPhaseOpt is runPhase with the final drain optional: the sampled
+// scheduler chains warm-up into window without draining, so a window opens
+// under the queue occupancy and in-flight swap traffic the warm-up built up
+// rather than on an artificially quiesced machine.
+func (s *System) runPhaseOpt(instr uint64, drain bool) {
 	if instr == 0 {
 		return
 	}
@@ -549,8 +588,10 @@ func (s *System) runPhase(instr uint64) {
 			panic("sim: event queue drained before cores finished")
 		}
 	}
-	// Let in-flight swaps and writebacks settle so stats are consistent.
-	s.Sim.Drain(maxRunEvents)
+	if drain {
+		// Let in-flight swaps and writebacks settle so stats are consistent.
+		s.Sim.Drain(maxRunEvents)
+	}
 }
 
 // resetStats zeroes every statistic after warm-up.
@@ -598,6 +639,17 @@ func (s *System) timelineCounters() obs.TimelineCounters {
 		DRAMQueue:      s.Ctl.DRAM.QueueOccupancy(),
 		NVMQueue:       s.Ctl.NVM.QueueOccupancy(),
 	}
+}
+
+// totalInstructions sums the cores' retired-instruction counters; like
+// completedSwaps it resets with the stats epoch, so only deltas taken within
+// a phase are meaningful.
+func (s *System) totalInstructions() uint64 {
+	var n uint64
+	for _, c := range s.Cores {
+		n += c.Stats().Instructions
+	}
+	return n
 }
 
 // completedSwaps returns the scheme's completed swap/migration count since
@@ -662,6 +714,9 @@ func (s *System) Run() (res Results, err error) {
 		s.wd = check.NewWatchdog(watchdogWindow, watchdogStrikes, s.progress, s.Sim.Now)
 		s.Sim.SetWatchdog(s.wd.Window(), s.wd.Tick)
 		defer s.Sim.SetWatchdog(0, nil)
+	}
+	if s.Cfg.Sample > 0 {
+		return s.runSampled()
 	}
 	if s.Cfg.Warmup > 0 {
 		s.runPhase(s.Cfg.Warmup)

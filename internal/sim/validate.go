@@ -39,6 +39,26 @@ func (cfg Config) Validate() error {
 	if cfg.Jrun >= engine.MaxLanes {
 		return fail(fmt.Errorf("jrun %d exceeds the engine's %d-lane limit", cfg.Jrun, engine.MaxLanes))
 	}
+	if cfg.Sample > 0 {
+		if cfg.SampleWindow == 0 {
+			return fail(fmt.Errorf("sampling (sample=%d) requires a sample window", cfg.Sample))
+		}
+		if cfg.InstrPerCore == 0 || cfg.InstrPerCore%cfg.Sample != 0 {
+			return fail(fmt.Errorf("sample count %d does not tile the %d-instruction measured region", cfg.Sample, cfg.InstrPerCore))
+		}
+		stride := cfg.InstrPerCore / cfg.Sample
+		if cfg.SampleWindow > stride {
+			return fail(fmt.Errorf("sample window %d exceeds the %d-instruction stride", cfg.SampleWindow, stride))
+		}
+		if cfg.SampleWarmup > cfg.Warmup {
+			return fail(fmt.Errorf("sample warmup %d exceeds the global %d-instruction warm-up it is carved from", cfg.SampleWarmup, cfg.Warmup))
+		}
+		if cfg.Sample > 1 && cfg.SampleWarmup+cfg.SampleWindow > stride {
+			return fail(fmt.Errorf("sample warmup %d + window %d exceed the %d-instruction stride", cfg.SampleWarmup, cfg.SampleWindow, stride))
+		}
+	} else if cfg.SampleWindow > 0 || cfg.SampleWarmup > 0 {
+		return fail(fmt.Errorf("sample window/warmup set but sampling is off (sample=0)"))
+	}
 
 	scale := cfg.Scale
 	if scale < 1 {

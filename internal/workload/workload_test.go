@@ -249,3 +249,45 @@ func TestGeneratorSanityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGeneratorPhasePathIndependence pins the property the sampled schedule
+// (sim.Config.Sample) relies on when it hands a core back and forth between
+// functional fast-forward and detailed execution: both paths consume the
+// generator through the same Next() call, once per access, so the stream a
+// core sees depends only on how many accesses it has retired — never on
+// which phase retired them or where the handoff fell. Two identical
+// generators are advanced the same total distance, one in a single pass and
+// one in fuzzed phase-sized segments, and must emerge in identical states.
+func TestGeneratorPhasePathIndependence(t *testing.T) {
+	for _, name := range []string{"mcf", "GemsFDTD", "stream", "milc"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := NewGenerator(p, 8<<20, 3)
+		phased := NewGenerator(p, 8<<20, 3)
+
+		// Fuzzed handoff schedule: segment lengths from a fixed-seed LCG so
+		// the boundaries land on arbitrary (but reproducible) offsets,
+		// including zero-length phases (an empty gap or window).
+		lcg := uint64(0x9E3779B97F4A7C15)
+		total := 0
+		for total < 20_000 {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			seg := int(lcg >> 56 % 97) // 0..96 accesses per phase
+			for i := 0; i < seg; i++ {
+				phased.Next()
+			}
+			total += seg
+		}
+		for i := 0; i < total; i++ {
+			single.Next()
+		}
+		for i := 0; i < 1_000; i++ {
+			a, b := single.Next(), phased.Next()
+			if a != b {
+				t.Fatalf("%s: streams diverged %d accesses after handoff: %+v vs %+v", name, i, a, b)
+			}
+		}
+	}
+}

@@ -3,15 +3,16 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke cpi-smoke sample-smoke ledger-overhead invariants chaos-smoke chaos fuzz-validate trace-demo
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke cpi-smoke sample-smoke ledger-overhead invariants chaos-smoke chaos resume-smoke fuzz-validate fuzz-checkpoint trace-demo
 
 ## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
 ## one-shot figure-campaign smoke bench, the alloc-budget guards, the
 ## campaign-throughput regression gate, the parallel-executor differential
 ## under -race, the swap-provenance effectiveness smoke, the
 ## cycle-attribution smoke, the sampled-execution accuracy/speedup gate,
-## the invariant-audit gate, and a fault-injection smoke run.
-tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke cpi-smoke sample-smoke invariants chaos-smoke
+## the invariant-audit gate, a fault-injection smoke run, and the
+## kill-and-resume durability gate.
+tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke cpi-smoke sample-smoke invariants chaos-smoke resume-smoke
 
 vet:
 	$(GO) vet ./...
@@ -136,10 +137,23 @@ chaos-smoke:
 chaos:
 	PAGESEER_CHAOS=1 $(GO) test -race -run 'TestChaosMatrix|TestChaosSmoke' -count=1 ./internal/sim
 
+## resume-smoke: the campaign-durability gate — SIGKILL a journaled quick
+## campaign mid-grid, resume it with -resume (completed runs replay from
+## the journal, only the casualties re-execute), and require the resumed
+## figure output to be byte-identical to an uninterrupted reference.
+resume-smoke:
+	GO="$(GO)" sh scripts/resume_smoke.sh
+
 ## fuzz-validate: fuzz Config.Validate — it must never panic and never
 ## disagree with Build.
 fuzz-validate:
 	$(GO) test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 20s ./internal/sim
+
+## fuzz-checkpoint: fuzz the checkpoint round-trip over (scheme, quiesce
+## point, sampled-mode) — a restored run must always reproduce the
+## uninterrupted run's Results exactly.
+fuzz-checkpoint:
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointQuiesce -fuzztime 20s ./internal/sim
 
 ## trace-demo: produce a sample Perfetto trace + epoch timeline from a
 ## quick run (open trace-demo.json at https://ui.perfetto.dev).

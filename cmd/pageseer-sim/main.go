@@ -45,6 +45,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,15 +53,51 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"pageseer"
 	"pageseer/internal/stats"
 )
+
+// Graceful-shutdown state for direct (non-runner) runs: the first
+// SIGINT/SIGTERM sets stopping so queued runs never start; a second signal
+// aborts the registered in-flight systems at their next event boundary.
+var (
+	stopping atomic.Bool
+	activeMu sync.Mutex
+	active   = map[*pageseer.System]struct{}{}
+)
+
+// errSkipped marks runs that never started because the process was
+// interrupted; they are reported in one summary line, not as failures with
+// crashdumps.
+var errSkipped = errors.New("interrupted before this run started")
+
+func trackActive(sys *pageseer.System, on bool) {
+	activeMu.Lock()
+	defer activeMu.Unlock()
+	if on {
+		active[sys] = struct{}{}
+	} else {
+		delete(active, sys)
+	}
+}
+
+func abortActive(reason string) {
+	activeMu.Lock()
+	defer activeMu.Unlock()
+	for sys := range active {
+		sys.Abort(reason)
+	}
+}
 
 func main() {
 	var (
@@ -78,6 +115,10 @@ func main() {
 		jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "parallel runs when multiple workloads are given")
 		jrun         = flag.Int("jrun", 1, "intra-run event parallelism (epoch-barrier executor; 1 = serial reference engine, results identical at any width)")
 		list         = flag.Bool("list", false, "list workloads and exit")
+
+		journalDir = flag.String("journal", "", "campaign journal directory: completed runs are appended and fsynced there so a killed invocation can resume with -resume (routes runs through the campaign runner; incompatible with -trace/-timeline)")
+		resume     = flag.Bool("resume", false, "resume the invocation journaled in -journal: completed runs replay from the journal, only unfinished runs execute")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock limit (e.g. 10m); a run exceeding it is aborted and fails with a crashdump")
 
 		audit     = flag.Bool("audit", false, "run end-of-run invariant audits and the liveness watchdog")
 		fault     = flag.String("fault", "none", "deterministic fault injection: none | swap-exhaustion | meta-thrash | queue-saturation | demand-storm")
@@ -101,14 +142,22 @@ func main() {
 	// Flag-combination validation up front, before any run (or server) starts:
 	// -serve routes runs through the campaign runner, which owns no per-run
 	// file sinks, so the per-run observers cannot combine with it.
-	if *serveAddr != "" && (*tracePath != "" || *tlPath != "") {
+	if (*serveAddr != "" || *journalDir != "") && (*tracePath != "" || *tlPath != "") {
 		conflicting := "-trace"
 		if *tracePath == "" {
 			conflicting = "-timeline"
 		} else if *tlPath != "" {
 			conflicting = "-trace/-timeline"
 		}
-		fmt.Fprintf(os.Stderr, "error: -serve cannot be combined with %s: the campaign runner behind -serve owns no per-run file sinks\n", conflicting)
+		with := "-serve"
+		if *serveAddr == "" {
+			with = "-journal"
+		}
+		fmt.Fprintf(os.Stderr, "error: %s cannot be combined with %s: the campaign runner behind it owns no per-run file sinks\n", with, conflicting)
+		os.Exit(2)
+	}
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "error: -resume requires -journal (the directory holding the journal to resume)")
 		os.Exit(2)
 	}
 
@@ -175,12 +224,15 @@ func main() {
 		cfg.Obs.TimelineEvery = *tlEvery
 	}
 
-	// With -serve the runs route through a figures.Runner so the campaign
-	// introspection server sees them live; the runner owns no per-run sinks,
-	// so the file-writing observers cannot combine with it.
+	// With -serve or -journal the runs route through a figures.Runner — so
+	// the campaign introspection server sees them live, and completed runs
+	// journal durably; the runner owns no per-run sinks, so the file-writing
+	// observers cannot combine with it.
 	var fr *pageseer.FigureRunner
-	if *serveAddr != "" {
-		fr = pageseer.NewFigureRunner(pageseer.FigureOptions{
+	var journal *pageseer.Journal
+	var srv *http.Server
+	if *serveAddr != "" || *journalDir != "" {
+		fopts := pageseer.FigureOptions{
 			Scale:        cfg.Scale,
 			InstrPerCore: cfg.InstrPerCore,
 			Warmup:       cfg.Warmup,
@@ -196,19 +248,57 @@ func main() {
 			SampleWarmup: cfg.SampleWarmup,
 			Ledger:       cfg.Obs.Ledger,
 			CPI:          cfg.Obs.CPI,
-		})
+			RunTimeout:   *runTimeout,
+		}
+		if *journalDir != "" {
+			j, err := pageseer.OpenJournal(*journalDir, pageseer.CampaignHash(fopts), *resume)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			if *resume {
+				fmt.Fprintf(os.Stderr, "journal: resuming from %s — %d run(s) already complete\n", *journalDir, j.Completed())
+			}
+			journal = j
+			fopts.Journal = j
+		}
+		fr = pageseer.NewFigureRunner(fopts)
+	}
+	if *serveAddr != "" {
 		ln, err := net.Listen("tcp", *serveAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "introspection server on http://%s/ (also /runs, /metrics, /debug/pprof/)\n", ln.Addr())
+		srv = &http.Server{Handler: pageseer.NewIntrospectionHandler(fr)}
 		go func() {
-			if err := http.Serve(ln, pageseer.NewIntrospectionHandler(fr)); err != nil {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "serve:", err)
 			}
 		}()
 	}
+
+	// Graceful shutdown: first SIGINT/SIGTERM lets in-flight runs finish
+	// (and journal) while queued runs never start; a second signal aborts
+	// the in-flight runs at their next event boundary.
+	sigCtx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCtx.Done()
+		stopping.Store(true)
+		if fr != nil {
+			fr.Stop()
+		}
+		fmt.Fprintln(os.Stderr, "\ninterrupted: no new runs will start; in-flight runs finish (signal again to abort them)")
+		second := make(chan os.Signal, 1)
+		signal.Notify(second, os.Interrupt, syscall.SIGTERM)
+		<-second
+		fmt.Fprintln(os.Stderr, "interrupted again: aborting in-flight runs")
+		if fr != nil {
+			fr.AbortActive("run aborted by signal")
+		}
+		abortActive("run aborted by signal")
+	}()
 
 	// Fan runs across -j workers; each worker owns its private system, so
 	// per-run determinism is untouched. Reports buffer per run and print
@@ -230,6 +320,10 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if stopping.Load() {
+					errs[i] = errSkipped
+					continue
+				}
 				c := cfg
 				c.Workload = wls[i]
 				if fr != nil {
@@ -247,7 +341,7 @@ func main() {
 					continue
 				}
 				multi := len(wls) > 1
-				results[i], reports[i], errs[i] = runOne(c, outPath(*tracePath, wls[i], multi), outPath(*tlPath, wls[i], multi))
+				results[i], reports[i], errs[i] = runOne(c, outPath(*tracePath, wls[i], multi), outPath(*tlPath, wls[i], multi), *runTimeout)
 			}
 		}()
 	}
@@ -261,9 +355,14 @@ func main() {
 	// with a crashdump file each — and only then decide the exit code, so
 	// one bad run never hides the others' results.
 	failed := false
+	skipped := 0
 	for i := range wls {
 		if errs[i] != nil {
 			failed = true
+			if errors.Is(errs[i], errSkipped) || errors.Is(errs[i], pageseer.ErrStopped) {
+				skipped++
+				continue
+			}
 			fmt.Fprintln(os.Stderr, "error:", errs[i])
 			var re *pageseer.RunError
 			if errors.As(errs[i], &re) {
@@ -317,21 +416,49 @@ func main() {
 			}
 		}
 	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "interrupted: %d run(s) never started\n", skipped)
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "resume with the same flags plus: -journal %s -resume\n", *journalDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "hint: -journal DIR makes interrupted invocations resumable")
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
 	// With -serve the process keeps the introspection endpoints alive after
-	// the runs so their results stay inspectable; interrupt to exit.
-	if *serveAddr != "" {
+	// the runs so their results stay inspectable. On interrupt the server
+	// drains in-flight HTTP requests under a deadline instead of cutting
+	// connections mid-response.
+	if srv != nil {
 		fmt.Fprintln(os.Stderr, "runs complete; introspection server still running (Ctrl-C to exit)")
-		select {}
+		<-sigCtx.Done()
+		drain, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drain); err != nil {
+			srv.Close()
+		}
 	}
 }
 
-func runOne(cfg pageseer.Config, tracePath, tlPath string) (pageseer.Results, string, error) {
+func runOne(cfg pageseer.Config, tracePath, tlPath string, timeout time.Duration) (pageseer.Results, string, error) {
 	sys, err := pageseer.Build(cfg)
 	if err != nil {
 		return pageseer.Results{}, "", err
+	}
+	trackActive(sys, true)
+	defer trackActive(sys, false)
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			sys.Abort(fmt.Sprintf("wall-clock run timeout %s exceeded", timeout))
+		})
+		defer t.Stop()
 	}
 	res, err := sys.Run()
 	if err != nil {

@@ -16,17 +16,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"pageseer/internal/check"
@@ -80,8 +84,12 @@ func main() {
 		fault     = flag.String("fault", "none", "deterministic fault injection: none | swap-exhaustion | meta-thrash | queue-saturation | demand-storm")
 		faultRate = flag.Float64("fault-rate", 0, "fault trigger probability per decision point (0 = kind default)")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
-		retry     = flag.Bool("retry", false, "retry each failed run once before reporting it as a gap")
+		retry     = flag.Int("retry", 0, "retry each failed run up to N times (capped exponential backoff) before reporting it as a gap")
 		dumpDir   = flag.String("crashdump-dir", ".", "directory for per-run crashdump files on failure")
+
+		journalDir = flag.String("journal", "", "campaign journal directory: every completed run is appended and fsynced there, so a killed campaign can be resumed with -resume")
+		resume     = flag.Bool("resume", false, "resume the campaign journaled in -journal: completed runs replay from the journal, only unfinished runs execute")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock limit (e.g. 10m); a run exceeding it is aborted and reported as a failed run with a crashdump")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -136,7 +144,8 @@ func main() {
 	opts.SampleWindow = *sampleWindow
 	opts.SampleWarmup = *sampleWarmup
 	opts.Audit = *audit
-	opts.Retry = *retry
+	opts.Retries = *retry
+	opts.RunTimeout = *runTimeout
 	fk, err := check.ParseFault(*fault)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -182,22 +191,63 @@ func main() {
 		fmt.Println(figures.Table3())
 	}
 
-	r := figures.NewRunner(opts)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 
+	// The campaign journal makes the grid crash-safe: completed runs are
+	// fsynced to <dir>/journal.psj as they finish, and -resume replays them
+	// instead of re-executing (refusing a journal recorded under different
+	// campaign options).
+	var journal *figures.Journal
+	if *resume && *journalDir == "" {
+		fail(errors.New("-resume requires -journal (the directory holding the journal to resume)"))
+	}
+	if *journalDir != "" {
+		j, err := figures.OpenJournal(*journalDir, figures.CampaignHash(opts), *resume)
+		if err != nil {
+			fail(err)
+		}
+		journal = j
+		opts.Journal = j
+		if *resume {
+			fmt.Fprintf(os.Stderr, "journal: resuming from %s — %d run(s) already complete\n", *journalDir, j.Completed())
+		}
+	}
+
+	r := figures.NewRunner(opts)
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops launching new runs
+	// while in-flight runs finish (and journal); a second signal aborts the
+	// in-flight runs at their next event boundary, so they fail into
+	// crashdump-carrying *sim.RunErrors instead of being lost silently.
+	// (sigStop is never called: the handler stays armed for the whole
+	// process so a signal during late output still stops cleanly.)
+	sigCtx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCtx.Done()
+		r.Stop()
+		fmt.Fprintln(os.Stderr, "\ninterrupted: no new runs will start; in-flight runs finish (signal again to abort them)")
+		second := make(chan os.Signal, 1)
+		signal.Notify(second, os.Interrupt, syscall.SIGTERM)
+		<-second
+		fmt.Fprintln(os.Stderr, "interrupted again: aborting in-flight runs")
+		r.AbortActive("campaign aborted by signal")
+	}()
+
 	// The introspection server watches the campaign live: it reads the
 	// Runner's memoisation cache, so it sees runs the moment they begin.
+	var srv *http.Server
 	if *serveAddr != "" {
 		ln, err := net.Listen("tcp", *serveAddr)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "introspection server on http://%s/ (also /runs, /metrics, /debug/pprof/)\n", ln.Addr())
+		srv = &http.Server{Handler: figures.NewIntrospectionHandler(r)}
 		go func() {
-			if err := http.Serve(ln, figures.NewIntrospectionHandler(r)); err != nil {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "serve:", err)
 			}
 		}()
@@ -215,6 +265,16 @@ func main() {
 	campaignStart := time.Now()
 	if anyFigure || *all {
 		if err := r.Prefetch(needs); err != nil {
+			if errors.Is(err, figures.ErrStopped) {
+				if journal != nil {
+					journal.Close()
+					fmt.Fprintf(os.Stderr, "campaign stopped: %d run(s) journaled; resume with the same flags plus: -journal %s -resume\n",
+						journal.Completed(), *journalDir)
+				} else {
+					fmt.Fprintln(os.Stderr, "campaign stopped; hint: -journal DIR makes interrupted campaigns resumable")
+				}
+				os.Exit(1)
+			}
 			fail(err)
 		}
 	}
@@ -373,10 +433,16 @@ func main() {
 	// Failed runs were absorbed as gaps so the rest of the campaign could
 	// finish; report them — with a crashdump file each — and fail the exit
 	// code only now, after every figure and table has printed.
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+		}
+	}
+
 	if fails := r.Failures(); len(fails) > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d run(s) failed (their figures show gaps):\n", len(fails))
 		for _, f := range fails {
-			fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", f.Workload, f.Scheme, f.Err.Cause)
+			fmt.Fprintf(os.Stderr, "  %s/%s (%d attempt(s)): %v\n", f.Workload, f.Scheme, f.Attempts, f.Err.Cause)
 			path := filepath.Join(*dumpDir, fmt.Sprintf("crashdump-%s-%s.txt", f.Workload, f.Scheme))
 			if err := os.WriteFile(path, []byte(f.Err.Crashdump), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "  crashdump:", err)
@@ -388,10 +454,17 @@ func main() {
 	}
 
 	// With -serve the process keeps the introspection endpoints alive after
-	// the campaign so its results stay inspectable; interrupt to exit.
-	if *serveAddr != "" {
+	// the campaign so its results stay inspectable. On interrupt the server
+	// drains in-flight HTTP requests under a deadline instead of cutting
+	// connections mid-response.
+	if srv != nil {
 		fmt.Fprintln(os.Stderr, "campaign complete; introspection server still running (Ctrl-C to exit)")
-		select {}
+		<-sigCtx.Done()
+		drain, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drain); err != nil {
+			srv.Close()
+		}
 	}
 }
 

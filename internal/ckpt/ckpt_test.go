@@ -1,0 +1,144 @@
+package ckpt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Section("alpha")
+	w.U64(0)
+	w.U64(math.MaxUint64)
+	w.U32(0xdeadbeef)
+	w.I64(-42)
+	w.Int(-7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.141592653589793)
+	w.F64(math.Inf(-1))
+	w.F64(math.Float64frombits(0x7ff8000000000001)) // a specific NaN payload
+	w.Section("beta")
+	w.Bytes([]byte{1, 2, 3})
+	w.Bytes(nil)
+	w.String("hello, checkpoint")
+	data := w.Finish()
+
+	r, err := Open(data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	r.Section("alpha")
+	if got := r.U64(); got != 0 {
+		t.Errorf("u64 zero: got %d", got)
+	}
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Errorf("u64 max: got %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("u32: got %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("i64: got %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("int: got %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("bool pair wrong")
+	}
+	if got := r.F64(); got != 3.141592653589793 {
+		t.Errorf("f64: got %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("f64 -inf: got %v", got)
+	}
+	if got := math.Float64bits(r.F64()); got != 0x7ff8000000000001 {
+		t.Errorf("f64 nan bits: got %#x", got)
+	}
+	r.Section("beta")
+	if got := r.Bytes(); string(got) != "\x01\x02\x03" {
+		t.Errorf("bytes: got %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("nil bytes: got %v", got)
+	}
+	if got := r.String(); got != "hello, checkpoint" {
+		t.Errorf("string: got %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining: %d bytes unread", r.Remaining())
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	w := NewWriter()
+	w.Section("s")
+	w.U64(12345)
+	data := w.Finish()
+
+	// Every single-bit flip anywhere in the payload must be caught by the
+	// magic, version, or integrity-hash check.
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := Open(bad); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	// Truncation likewise.
+	for n := 0; n < len(data); n++ {
+		if _, err := Open(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestSectionMismatch(t *testing.T) {
+	w := NewWriter()
+	w.Section("expected")
+	w.U64(1)
+	data := w.Finish()
+
+	r, err := Open(data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	r.Section("other")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "section mismatch") {
+		t.Fatalf("want section mismatch error, got %v", err)
+	}
+	// Sticky: subsequent reads stay zero without new errors.
+	if got := r.U64(); got != 0 {
+		t.Errorf("post-error read: got %d", got)
+	}
+}
+
+func TestStickyTruncation(t *testing.T) {
+	w := NewWriter()
+	w.Section("s")
+	data := w.Finish()
+	r, err := Open(data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	r.Section("s")
+	_ = r.U64() // past the end of payload
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncated error, got %v", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	w := NewWriter()
+	w.Section("s")
+	data := w.Finish()
+	data[4] ^= 0xff // version low byte
+	if _, err := Open(data); err == nil || !strings.Contains(err.Error(), "format v") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}

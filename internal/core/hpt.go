@@ -145,7 +145,10 @@ func (h *HPT) evictColdest() {
 	var victim mem.PPN
 	var vc uint32 = ^uint32(0)
 	for p, c := range h.entries {
-		if c < vc {
+		// Lowest-PPN tie-break: map iteration order is random, and a
+		// tie-dependent victim would make runs (and checkpoint round trips)
+		// nondeterministic.
+		if c < vc || (c == vc && p < victim) {
 			victim, vc = p, c
 		}
 	}

@@ -1,0 +1,50 @@
+package cpu
+
+import (
+	"fmt"
+
+	"pageseer/internal/ckpt"
+	"pageseer/internal/workload"
+)
+
+// Snapshot serializes the core's mutable state — progress counters, the
+// frontend clock, the cumulative budget — plus its trace generator. It
+// refuses a non-quiesced core: with memory operations in flight the pooled
+// transaction records carry live state a snapshot cannot capture.
+func (c *Core) Snapshot(w *ckpt.Writer) error {
+	if c.outstanding != 0 {
+		return fmt.Errorf("cpu: core %d has %d memory operation(s) in flight; snapshot requires quiescence", c.id, c.outstanding)
+	}
+	w.Section("cpu.core")
+	w.U64(c.stats.Instructions)
+	w.U64(c.stats.MemOps)
+	w.U64(c.stats.StartCycle)
+	w.U64(c.stats.FinishCycle)
+	w.Bool(c.stats.Done)
+	w.U64(c.frontTime)
+	w.U64(c.budget)
+	ck, ok := c.gen.(workload.Checkpointer)
+	if !ok {
+		return fmt.Errorf("cpu: core %d generator %T does not support checkpointing", c.id, c.gen)
+	}
+	ck.Snapshot(w)
+	return nil
+}
+
+// Restore rehydrates the state written by Snapshot into a freshly built core.
+func (c *Core) Restore(r *ckpt.Reader) {
+	r.Section("cpu.core")
+	c.stats.Instructions = r.U64()
+	c.stats.MemOps = r.U64()
+	c.stats.StartCycle = r.U64()
+	c.stats.FinishCycle = r.U64()
+	c.stats.Done = r.Bool()
+	c.frontTime = r.U64()
+	c.budget = r.U64()
+	ck, ok := c.gen.(workload.Checkpointer)
+	if !ok {
+		r.Failf("cpu: core %d generator %T does not support checkpointing", c.id, c.gen)
+		return
+	}
+	ck.Restore(r)
+}

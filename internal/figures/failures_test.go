@@ -1,9 +1,11 @@
 package figures
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"pageseer/internal/sim"
 )
@@ -100,12 +102,12 @@ func TestCampaignSurvivesRunPanic(t *testing.T) {
 	}
 }
 
-// TestRetryRecoversTransientFailure: with Options.Retry, a run that panics
+// TestRetryRecoversTransientFailure: with Options.Retries, a run that panics
 // once and then succeeds must land in the campaign as a success.
 func TestRetryRecoversTransientFailure(t *testing.T) {
 	opts := isolationOptions()
 	opts.Workloads = []string{"lbm"}
-	opts.Retry = true
+	opts.Retries = 1
 
 	armed := true
 	simulateHook = func(cfg sim.Config) {
@@ -123,5 +125,37 @@ func TestRetryRecoversTransientFailure(t *testing.T) {
 	}
 	if fails := r.Failures(); len(fails) != 0 {
 		t.Fatalf("recovered run still reported failed: %+v", fails)
+	}
+}
+
+// TestRunTimeoutAbortsRun: a run exceeding Options.RunTimeout is aborted at
+// an event boundary and absorbed as a campaign gap (a *sim.RunError with
+// the deadline in its cause), never a hang or a campaign abort.
+func TestRunTimeoutAbortsRun(t *testing.T) {
+	opts := isolationOptions()
+	opts.Workloads = []string{"lbm"}
+	opts.RunTimeout = time.Nanosecond // fires before the run's first abort poll
+
+	r := NewRunner(opts)
+	_, err := r.Run("lbm", sim.SchemePageSeer)
+	var re *sim.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("timed-out run returned %v, want a *sim.RunError", err)
+	}
+	if !strings.Contains(re.Cause.Error(), "timeout") {
+		t.Fatalf("abort cause does not name the timeout: %v", re.Cause)
+	}
+	if fails := r.Failures(); len(fails) != 1 {
+		t.Fatalf("Failures() = %d entries, want the timed-out run", len(fails))
+	}
+}
+
+// TestStopSkipsQueuedRuns: after Stop, runs that have not started fail fast
+// with ErrStopped instead of executing.
+func TestStopSkipsQueuedRuns(t *testing.T) {
+	r := NewRunner(isolationOptions())
+	r.Stop()
+	if _, err := r.Run("lbm", sim.SchemePageSeer); !errors.Is(err, ErrStopped) {
+		t.Fatalf("run on a stopped campaign returned %v, want ErrStopped", err)
 	}
 }

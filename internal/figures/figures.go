@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pageseer/internal/check"
@@ -76,10 +77,22 @@ type Options struct {
 	Sample       uint64
 	SampleWindow uint64
 	SampleWarmup uint64
-	// Retry re-executes a run once when it fails with a *sim.RunError
-	// before recording it as a campaign gap (for flaky-host triage; a
-	// deterministic failure fails both attempts identically).
-	Retry bool
+	// Retries re-executes a run up to Retries extra times when it fails
+	// with a *sim.RunError, with deterministic capped backoff
+	// (min(250ms·2ⁿ, 5s)), before recording it as a campaign gap (for
+	// flaky-host triage; a deterministic failure fails every attempt
+	// identically). Failures() reports the attempt count.
+	Retries int
+	// RunTimeout, when > 0, bounds each run's wall-clock time: a run that
+	// exceeds it is aborted at the next event boundary and fails with a
+	// *sim.RunError (a campaign gap, retried like any other), never
+	// hanging the campaign.
+	RunTimeout time.Duration
+	// Journal, when non-nil, makes the campaign crash-safe: every
+	// completed run is appended (and fsynced) to the journal, and runs
+	// already journaled are replayed from it instead of re-executed. See
+	// OpenJournal.
+	Journal *Journal
 }
 
 // DefaultOptions runs the full 26-workload campaign at the default scale.
@@ -119,6 +132,12 @@ type runEntry struct {
 	res  sim.Results
 	err  error
 	wall time.Duration
+	// attempts counts simulation executions (1 + retries taken); replayed
+	// journal entries carry the count recorded when the run first completed.
+	attempts int
+	// fromJournal marks entries replayed from the campaign journal rather
+	// than simulated in this process.
+	fromJournal bool
 }
 
 // Runner executes and memoises simulation runs so every figure sharing a
@@ -141,6 +160,52 @@ type Runner struct {
 	order      []runKey
 	pending    map[runKey]string
 	next       int
+
+	// Graceful shutdown: Stop flips stopped, after which no new run starts
+	// (they fail fast with ErrStopped) while in-flight runs finish and
+	// journal normally. AbortActive additionally interrupts the in-flight
+	// runs at their next event boundary.
+	stopped  atomic.Bool
+	activeMu sync.Mutex
+	active   map[*sim.System]struct{}
+}
+
+// ErrStopped is the error runs fail with when they were not yet started at
+// the moment the campaign was stopped (Stop). It is a campaign-level error,
+// not a run gap: Prefetch returns it so CLIs can exit non-zero with a
+// resume hint.
+var ErrStopped = errors.New("figures: campaign stopped before this run started")
+
+// Stop prevents any not-yet-started run from launching. In-flight runs
+// finish normally (and are journaled); runs that have not begun fail fast
+// with ErrStopped. Safe to call from a signal handler goroutine.
+func (r *Runner) Stop() { r.stopped.Store(true) }
+
+// Stopping reports whether Stop has been called.
+func (r *Runner) Stopping() bool { return r.stopped.Load() }
+
+// AbortActive interrupts every in-flight run at its next event boundary;
+// each aborted run fails with a *sim.RunError carrying reason. Callers
+// normally Stop() first so the aborted runs are not retried into a stopped
+// campaign.
+func (r *Runner) AbortActive(reason string) {
+	r.activeMu.Lock()
+	defer r.activeMu.Unlock()
+	for sys := range r.active {
+		sys.Abort(reason)
+	}
+}
+
+// trackActive registers (or unregisters) an in-flight system so
+// AbortActive can reach it.
+func (r *Runner) trackActive(sys *sim.System, on bool) {
+	r.activeMu.Lock()
+	defer r.activeMu.Unlock()
+	if on {
+		r.active[sys] = struct{}{}
+	} else {
+		delete(r.active, sys)
+	}
 }
 
 // NewRunner builds a runner for the given options.
@@ -148,7 +213,11 @@ func NewRunner(opts Options) *Runner {
 	if len(opts.Workloads) == 0 {
 		opts.Workloads = workload.AllWorkloadNames()
 	}
-	return &Runner{opts: opts, cache: make(map[runKey]*runEntry)}
+	return &Runner{
+		opts:   opts,
+		cache:  make(map[runKey]*runEntry),
+		active: make(map[*sim.System]struct{}),
+	}
 }
 
 // Workloads returns the campaign's workload list.
@@ -186,15 +255,68 @@ func (r *Runner) run(wl string, scheme sim.Scheme, disableBW bool) (sim.Results,
 	r.began = append(r.began, k)
 	r.mu.Unlock()
 
+	defer func() {
+		close(e.done)
+		r.emitProgress(k, e)
+	}()
+
+	// Replay from the journal: a run completed by an earlier (crashed or
+	// interrupted) campaign is not re-executed — unless its recorded
+	// configuration no longer matches, which is refused outright rather
+	// than silently mixing two campaigns' numbers.
+	if j := r.opts.Journal; j != nil {
+		if rec, ok := j.lookup(k); ok {
+			want := configHash(r.configFor(k))
+			if rec.ConfigHash != want {
+				e.err = fmt.Errorf("journal: run %s/%s was recorded under config %s but this campaign resolves it to %s — the journal belongs to a different campaign; use a fresh -journal directory",
+					k.workload, schemeLabel(k.scheme, k.disableBW), rec.ConfigHash, want)
+				return sim.Results{}, e.err
+			}
+			e.res, e.attempts, e.fromJournal = rec.Results, rec.Attempts, true
+			return e.res, nil
+		}
+	}
+
+	// Graceful shutdown: once stopped, no new run starts. (In-flight runs
+	// are past this check and finish normally.)
+	if r.stopped.Load() {
+		e.err = ErrStopped
+		return sim.Results{}, e.err
+	}
+
 	start := time.Now()
 	e.res, e.err = r.simulate(k)
-	if e.err != nil && r.opts.Retry && isGap(e.err) {
+	e.attempts = 1
+	for e.err != nil && isGap(e.err) && e.attempts <= r.opts.Retries && !r.stopped.Load() {
+		time.Sleep(retryBackoff(e.attempts))
+		e.attempts++
 		e.res, e.err = r.simulate(k)
 	}
 	e.wall = time.Since(start)
-	close(e.done)
-	r.emitProgress(k, e)
+	if e.err == nil {
+		if j := r.opts.Journal; j != nil {
+			if jerr := j.record(k, configHash(r.configFor(k)), e.attempts, e.res); jerr != nil {
+				// A journal that cannot persist is a campaign-level
+				// failure: continuing would silently lose durability.
+				e.err = jerr
+				return sim.Results{}, e.err
+			}
+		}
+	}
 	return e.res, e.err
+}
+
+// retryBackoff is the deterministic capped backoff before retry n
+// (1-based): 250ms, 500ms, 1s, ... capped at 5s.
+func retryBackoff(n int) time.Duration {
+	d := 250 * time.Millisecond
+	for i := 1; i < n && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
 }
 
 // simulateHook, when set (tests only), observes every run configuration
@@ -216,8 +338,11 @@ func isGap(err error) bool {
 // already converts in-run panics to *sim.RunError, and the recover here
 // catches anything outside that net (construction, the test hook), so one
 // dying run can never unwind a Prefetch worker and abort the campaign.
-func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
-	cfg := sim.Config{
+// configFor resolves one run key to its full sim.Config — the same
+// resolution simulate executes and the journal hashes, so a journal record
+// can be verified against exactly what would run.
+func (r *Runner) configFor(k runKey) sim.Config {
+	return sim.Config{
 		Scheme:       k.scheme,
 		Workload:     k.workload,
 		Scale:        r.opts.Scale,
@@ -234,6 +359,10 @@ func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
 		SampleWarmup: r.opts.SampleWarmup,
 		Obs:          sim.ObsOptions{Ledger: r.opts.Ledger, CPI: r.opts.CPI},
 	}
+}
+
+func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
+	cfg := r.configFor(k)
 	defer func() {
 		if p := recover(); p != nil {
 			cause, ok := p.(error)
@@ -260,6 +389,14 @@ func (r *Runner) simulate(k runKey) (res sim.Results, err error) {
 	if err != nil {
 		return sim.Results{}, err
 	}
+	r.trackActive(sys, true)
+	defer r.trackActive(sys, false)
+	if d := r.opts.RunTimeout; d > 0 {
+		timer := time.AfterFunc(d, func() {
+			sys.Abort(fmt.Sprintf("wall-clock run timeout %s exceeded", d))
+		})
+		defer timer.Stop()
+	}
 	res, err = sys.Run()
 	if err != nil {
 		return sim.Results{}, fmt.Errorf("figures: %s/%s: %w", k.workload, k.scheme, err)
@@ -275,11 +412,18 @@ func (r *Runner) emitProgress(k runKey, e *runEntry) {
 		return
 	}
 	var line string
-	if e.err == nil {
+	switch {
+	case e.err == nil && e.fromJournal:
+		line = fmt.Sprintf("jrnl %-12s %-16s ipc=%.3f (replayed from journal)\n",
+			k.workload, schemeLabel(k.scheme, k.disableBW), e.res.IPC)
+	case e.err == nil:
 		d, n, b := e.res.ServiceBreakdown()
 		line = fmt.Sprintf("ran %-12s %-16s ipc=%.3f ammat=%.0f dram/nvm/buf=%.2f/%.2f/%.3f\n",
 			k.workload, schemeLabel(k.scheme, k.disableBW), e.res.IPC, e.res.AMMAT, d, n, b)
-	} else {
+	case errors.Is(e.err, ErrStopped):
+		// A stopped campaign skips its remaining runs silently; the CLI
+		// prints one resume hint instead of a FAIL line per skipped run.
+	default:
 		line = fmt.Sprintf("FAIL %-12s %-16s %v\n",
 			k.workload, schemeLabel(k.scheme, k.disableBW), e.err)
 	}
@@ -402,6 +546,13 @@ func (r *Runner) Prefetch(n Needs) error {
 		}()
 	}
 	for i := range keys {
+		if r.stopped.Load() {
+			// Stopped mid-campaign: the rest of the grid never starts.
+			for j := i; j < len(keys); j++ {
+				errs[j] = ErrStopped
+			}
+			break
+		}
 		jobs <- i
 	}
 	close(jobs)
@@ -418,6 +569,7 @@ func (r *Runner) Prefetch(n Needs) error {
 type RunFailure struct {
 	Workload string
 	Scheme   string // display label (includes the -nobw variant)
+	Attempts int    // simulation attempts made (1 + retries taken)
 	Err      *sim.RunError
 }
 
@@ -443,6 +595,7 @@ func (r *Runner) Failures() []RunFailure {
 			fs = append(fs, RunFailure{
 				Workload: k.workload,
 				Scheme:   schemeLabel(k.scheme, k.disableBW),
+				Attempts: e.attempts,
 				Err:      re,
 			})
 		}
@@ -493,7 +646,9 @@ func (r *Runner) Metrics() []RunMetric {
 		default:
 			continue // still in flight
 		}
-		if e.err != nil {
+		if e.err != nil || e.fromJournal {
+			// Journal replays did no simulation work in this process, so
+			// they carry no wall-clock record.
 			continue
 		}
 		m := RunMetric{

@@ -1,0 +1,110 @@
+package mempod
+
+import (
+	"fmt"
+	"sort"
+
+	"pageseer/internal/ckpt"
+)
+
+func sortedSegs[V any](m map[seg]V) []seg {
+	keys := make([]seg, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// snapshotState serializes the sketch: its counters (sorted by element) and
+// the increment/decrement totals.
+func (m *MEA) snapshotState(w *ckpt.Writer) {
+	keys := make([]uint64, 0, len(m.counts))
+	for k := range m.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.U64(k)
+		w.U32(m.counts[k])
+	}
+	w.U64(m.Increments)
+	w.U64(m.Decrements)
+}
+
+func (m *MEA) restoreState(r *ckpt.Reader) {
+	m.counts = make(map[uint64]uint32)
+	for n := r.Int(); n > 0 && r.Err() == nil; n-- {
+		k := r.U64()
+		m.counts[k] = r.U32()
+	}
+	m.Increments = r.U64()
+	m.Decrements = r.U64()
+}
+
+// Snapshot serializes MemPod's warm state: the segment remap (both
+// directions), each pod's MEA sketch and victim cursor, the remap-cache
+// residency, the interval clock, and the statistics. It refuses a
+// non-quiesced manager (in-flight migrations or queued interval work).
+func (m *MemPod) Snapshot(w *ckpt.Writer) error {
+	if len(m.inflight) != 0 || len(m.pending) != 0 {
+		return fmt.Errorf("mempod: %d migration(s) in flight, %d queued; snapshot requires quiescence",
+			len(m.inflight), len(m.pending))
+	}
+	w.Section("mempod")
+	if err := m.remapCache.Snapshot(w); err != nil {
+		return err
+	}
+	loc := sortedSegs(m.location)
+	w.Int(len(loc))
+	for _, s := range loc {
+		w.U64(uint64(s))
+		w.U64(uint64(m.location[s]))
+	}
+	occ := sortedSegs(m.occupant)
+	w.Int(len(occ))
+	for _, s := range occ {
+		w.U64(uint64(s))
+		w.U64(uint64(m.occupant[s]))
+	}
+	w.Int(len(m.pods))
+	for i := range m.pods {
+		m.pods[i].mea.snapshotState(w)
+		w.U64(uint64(m.pods[i].nextVictim))
+	}
+	w.U64(m.lastTick)
+	w.U64(m.stats.Migrations)
+	w.U64(m.stats.MigrationsDropped)
+	w.U64(m.stats.Intervals)
+	return nil
+}
+
+// Restore rehydrates the state written by Snapshot into a freshly built
+// manager.
+func (m *MemPod) Restore(r *ckpt.Reader) {
+	r.Section("mempod")
+	m.remapCache.Restore(r)
+	m.location = make(map[seg]seg)
+	for n := r.Int(); n > 0 && r.Err() == nil; n-- {
+		s := seg(r.U64())
+		m.location[s] = seg(r.U64())
+	}
+	m.occupant = make(map[seg]seg)
+	for n := r.Int(); n > 0 && r.Err() == nil; n-- {
+		s := seg(r.U64())
+		m.occupant[s] = seg(r.U64())
+	}
+	if n := r.Int(); n != len(m.pods) {
+		r.Failf("mempod: snapshot has %d pod(s), built %d", n, len(m.pods))
+		return
+	}
+	for i := range m.pods {
+		m.pods[i].mea.restoreState(r)
+		m.pods[i].nextVictim = seg(r.U64())
+	}
+	m.lastTick = r.U64()
+	m.stats.Migrations = r.U64()
+	m.stats.MigrationsDropped = r.U64()
+	m.stats.Intervals = r.U64()
+}

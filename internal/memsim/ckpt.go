@@ -1,0 +1,76 @@
+package memsim
+
+import (
+	"fmt"
+
+	"pageseer/internal/ckpt"
+)
+
+// Snapshot serializes the module's timing-relevant state: per-bank row
+// buffer and readiness horizons, per-channel bus commitments and scheduling
+// counters, and the module statistics. It refuses a non-quiesced module
+// (queued requests would be lost). Bus/bank horizons may legitimately lie in
+// the future at a quiesce point — the last burst's write recovery can extend
+// past the final event — so they are captured, not reset.
+func (m *Module) Snapshot(w *ckpt.Writer) error {
+	if n := m.QueueOccupancy(); n != 0 || m.liveReq != 0 {
+		return fmt.Errorf("memsim %s: %d queued request(s), %d live record(s); snapshot requires quiescence",
+			m.cfg.Name, n, m.liveReq)
+	}
+	w.Section("memsim." + m.cfg.Name)
+	w.Int(len(m.chans))
+	w.Int(m.banksPerChannel)
+	for i := range m.chans {
+		c := &m.chans[i]
+		if c.wakeAt != 0 {
+			return fmt.Errorf("memsim %s: channel %d has a pending scheduler wakeup at a quiesce point", m.cfg.Name, i)
+		}
+		w.U64(c.busFree)
+		w.U64(c.commits)
+		w.U64(c.swapBusy)
+		for b := range c.banks {
+			bk := &c.banks[b]
+			w.I64(bk.openRow)
+			w.U64(bk.nextReady)
+			w.U64(bk.earliestPre)
+			w.U64(bk.rowHits)
+			w.U64(bk.rowMisses)
+			w.U64(bk.rowConflicts)
+		}
+	}
+	w.U64(m.stats.Reads)
+	w.U64(m.stats.Writes)
+	w.U64(m.stats.TotalWait)
+	w.U64(m.stats.BusBusy)
+	return nil
+}
+
+// Restore rehydrates the state written by Snapshot into a freshly built
+// module of the same geometry.
+func (m *Module) Restore(r *ckpt.Reader) {
+	r.Section("memsim." + m.cfg.Name)
+	if ch, bk := r.Int(), r.Int(); ch != len(m.chans) || bk != m.banksPerChannel {
+		r.Failf("memsim %s: snapshot geometry %d ch x %d banks, built %d x %d",
+			m.cfg.Name, ch, bk, len(m.chans), m.banksPerChannel)
+		return
+	}
+	for i := range m.chans {
+		c := &m.chans[i]
+		c.busFree = r.U64()
+		c.commits = r.U64()
+		c.swapBusy = r.U64()
+		for b := range c.banks {
+			bk := &c.banks[b]
+			bk.openRow = r.I64()
+			bk.nextReady = r.U64()
+			bk.earliestPre = r.U64()
+			bk.rowHits = r.U64()
+			bk.rowMisses = r.U64()
+			bk.rowConflicts = r.U64()
+		}
+	}
+	m.stats.Reads = r.U64()
+	m.stats.Writes = r.U64()
+	m.stats.TotalWait = r.U64()
+	m.stats.BusBusy = r.U64()
+}

@@ -1,0 +1,134 @@
+package mmu
+
+import (
+	"fmt"
+
+	"pageseer/internal/ckpt"
+	"pageseer/internal/mem"
+)
+
+// Snapshot serializes the TLB's entries, LRU clock, and counters.
+func (t *TLB) Snapshot(w *ckpt.Writer) {
+	w.Section("mmu.tlb")
+	w.U64(t.tick)
+	w.U64(t.hits)
+	w.U64(t.misses)
+	w.Int(len(t.sets))
+	w.Int(t.cfg.Ways)
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			e := &t.sets[i][j]
+			w.Int(e.pid)
+			w.U64(uint64(e.vpn))
+			w.U64(uint64(e.ppn))
+			w.Bool(e.valid)
+			w.U64(e.lru)
+		}
+	}
+}
+
+// Restore rehydrates the state written by Snapshot into a TLB of the same
+// geometry.
+func (t *TLB) Restore(r *ckpt.Reader) {
+	r.Section("mmu.tlb")
+	t.tick = r.U64()
+	t.hits = r.U64()
+	t.misses = r.U64()
+	if n, ways := r.Int(), r.Int(); n != len(t.sets) || ways != t.cfg.Ways {
+		r.Failf("mmu: snapshot TLB geometry %dx%d, built %dx%d", n, ways, len(t.sets), t.cfg.Ways)
+		return
+	}
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			e := &t.sets[i][j]
+			e.pid = r.Int()
+			e.vpn = mem.VPN(r.U64())
+			e.ppn = mem.PPN(r.U64())
+			e.valid = r.Bool()
+			e.lru = r.U64()
+		}
+	}
+}
+
+// Snapshot serializes the PWC's per-level entries, LRU clock, and counters.
+func (p *PWC) Snapshot(w *ckpt.Writer) {
+	w.Section("mmu.pwc")
+	w.U64(p.tick)
+	for _, h := range p.hits {
+		w.U64(h)
+	}
+	w.U64(p.misses)
+	w.Int(p.cfg.EntriesPerLevel)
+	for l := range p.levels {
+		for i := range p.levels[l] {
+			e := &p.levels[l][i]
+			w.Int(e.pid)
+			w.U64(e.prefix)
+			w.U64(uint64(e.table))
+			w.Bool(e.valid)
+			w.U64(e.lru)
+		}
+	}
+}
+
+// Restore rehydrates the state written by Snapshot into a PWC of the same
+// geometry.
+func (p *PWC) Restore(r *ckpt.Reader) {
+	r.Section("mmu.pwc")
+	p.tick = r.U64()
+	for l := range p.hits {
+		p.hits[l] = r.U64()
+	}
+	p.misses = r.U64()
+	if n := r.Int(); n != p.cfg.EntriesPerLevel {
+		r.Failf("mmu: snapshot PWC has %d entries/level, built %d", n, p.cfg.EntriesPerLevel)
+		return
+	}
+	for l := range p.levels {
+		for i := range p.levels[l] {
+			e := &p.levels[l][i]
+			e.pid = r.Int()
+			e.prefix = r.U64()
+			e.table = mem.PPN(r.U64())
+			e.valid = r.Bool()
+			e.lru = r.U64()
+		}
+	}
+}
+
+// Snapshot serializes the MMU's warm structures (both TLBs and the PWC) and
+// its counters. It refuses a non-quiesced MMU: a busy walker or queued
+// translations hold in-flight records a snapshot cannot capture.
+func (m *MMU) Snapshot(w *ckpt.Writer) error {
+	if m.walking || len(m.walkQ) != 0 || m.wkTxn != nil || m.liveTxn != 0 {
+		return fmt.Errorf("mmu core %d: walker busy or %d translation(s) in flight; snapshot requires quiescence",
+			m.core, m.liveTxn)
+	}
+	w.Section("mmu")
+	m.l1.Snapshot(w)
+	m.l2.Snapshot(w)
+	m.pwc.Snapshot(w)
+	w.U64(m.stats.L1Hits)
+	w.U64(m.stats.L1Misses)
+	w.U64(m.stats.L2Hits)
+	w.U64(m.stats.L2Misses)
+	w.U64(m.stats.Walks)
+	w.U64(m.stats.WalkReads)
+	w.U64(m.stats.Hints)
+	return nil
+}
+
+// Restore rehydrates the state written by Snapshot into a freshly built MMU.
+func (m *MMU) Restore(r *ckpt.Reader) {
+	r.Section("mmu")
+	m.l1.Restore(r)
+	m.l2.Restore(r)
+	m.pwc.Restore(r)
+	m.stats.L1Hits = r.U64()
+	m.stats.L1Misses = r.U64()
+	m.stats.L2Hits = r.U64()
+	m.stats.L2Misses = r.U64()
+	m.stats.Walks = r.U64()
+	m.stats.WalkReads = r.U64()
+	m.stats.Hints = r.U64()
+}

@@ -1,0 +1,79 @@
+package pom
+
+import (
+	"fmt"
+	"sort"
+
+	"pageseer/internal/ckpt"
+)
+
+func sortedSegs[V any](m map[seg]V) []seg {
+	keys := make([]seg, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Snapshot serializes PoM's warm state: the segment remap (both directions),
+// the access counters and their decay cursor, the SRC residency, and the
+// statistics. It refuses a non-quiesced manager (in-flight swaps).
+func (p *PoM) Snapshot(w *ckpt.Writer) error {
+	if len(p.inflight) != 0 {
+		return fmt.Errorf("pom: %d swap(s) in flight; snapshot requires quiescence", len(p.inflight))
+	}
+	w.Section("pom")
+	if err := p.src.Snapshot(w); err != nil {
+		return err
+	}
+	loc := sortedSegs(p.location)
+	w.Int(len(loc))
+	for _, s := range loc {
+		w.U64(uint64(s))
+		w.U64(uint64(p.location[s]))
+	}
+	occ := sortedSegs(p.occupant)
+	w.Int(len(occ))
+	for _, s := range occ {
+		w.U64(uint64(s))
+		w.U64(uint64(p.occupant[s]))
+	}
+	cnt := sortedSegs(p.counters)
+	w.Int(len(cnt))
+	for _, s := range cnt {
+		w.U64(uint64(s))
+		w.U32(p.counters[s])
+	}
+	w.U64(p.lastDecay)
+	w.U64(p.stats.Swaps)
+	w.U64(p.stats.SwapsDeclined)
+	w.U64(p.stats.SwapsBlocked)
+	return nil
+}
+
+// Restore rehydrates the state written by Snapshot into a freshly built
+// manager.
+func (p *PoM) Restore(r *ckpt.Reader) {
+	r.Section("pom")
+	p.src.Restore(r)
+	p.location = make(map[seg]seg)
+	for n := r.Int(); n > 0 && r.Err() == nil; n-- {
+		s := seg(r.U64())
+		p.location[s] = seg(r.U64())
+	}
+	p.occupant = make(map[seg]seg)
+	for n := r.Int(); n > 0 && r.Err() == nil; n-- {
+		s := seg(r.U64())
+		p.occupant[s] = seg(r.U64())
+	}
+	p.counters = make(map[seg]uint32)
+	for n := r.Int(); n > 0 && r.Err() == nil; n-- {
+		s := seg(r.U64())
+		p.counters[s] = r.U32()
+	}
+	p.lastDecay = r.U64()
+	p.stats.Swaps = r.U64()
+	p.stats.SwapsDeclined = r.U64()
+	p.stats.SwapsBlocked = r.U64()
+}

@@ -245,7 +245,10 @@ func (p *PoM) evictColdestCounter() {
 	var victim seg
 	var vc uint32 = ^uint32(0)
 	for s, c := range p.counters {
-		if c < vc {
+		// Lowest-segment tie-break: map iteration order is random, and a
+		// tie-dependent victim would make runs (and checkpoint round trips)
+		// nondeterministic.
+		if c < vc || (c == vc && s < victim) {
 			victim, vc = s, c
 		}
 	}

@@ -240,7 +240,49 @@ type System struct {
 	// executor, so the counter is atomic (increments commute; the engine
 	// thread reads it only between epochs).
 	doneCores atomic.Int32
+
+	// phase is the detailed schedule's resume cursor (0 = fresh, 1 = warm-up
+	// done); sc is the sampled schedule's (nil until runSampled starts). Both
+	// advance only at quiesce points, so a paused run resumes — on this
+	// system or one rebuilt by Restore — exactly where it stopped.
+	phase int
+	sc    *sampleCursor
+
+	// abortFlag/abortReason implement cooperative cancellation: Abort may be
+	// called from any goroutine; the event loops poll the flag every few
+	// thousand steps and panic with an *abortError, which the usual recover
+	// path turns into a *RunError.
+	abortFlag   atomic.Bool
+	abortReason atomic.Value // string
 }
+
+// Abort requests that the current (or next) Run stop as soon as the event
+// loop notices — within a few thousand events. Safe to call from any
+// goroutine (a signal handler, a wall-clock deadline timer). The aborted run
+// fails with a *RunError whose cause carries the reason.
+func (s *System) Abort(reason string) {
+	s.abortReason.Store(reason)
+	s.abortFlag.Store(true)
+}
+
+// abortError is the panic payload checkAbort injects into the event loop;
+// Run's recover handler converts it into a *RunError like any other failure.
+type abortError struct{ reason string }
+
+func (e *abortError) Error() string { return "aborted: " + e.reason }
+
+// checkAbort polls the abort flag; called every abortCheckSteps loop
+// iterations so the flag costs one atomic load amortized over thousands of
+// events.
+func (s *System) checkAbort() {
+	if s.abortFlag.Load() {
+		reason, _ := s.abortReason.Load().(string)
+		panic(&abortError{reason: reason})
+	}
+}
+
+// abortCheckMask gates the abort poll to every 8192 loop iterations.
+const abortCheckMask = 8192 - 1
 
 // Ledger returns the run's swap-provenance ledger (nil unless
 // Config.Obs.Ledger was set).
@@ -583,14 +625,31 @@ func (s *System) runPhaseOpt(instr uint64, drain bool) {
 		target := c.Stats().Instructions + instr
 		c.RunTo(target, func(*cpu.Core) { s.doneCores.Add(1) })
 	}
+	var steps uint64
 	for s.doneCores.Load() < n {
+		if steps&abortCheckMask == 0 {
+			s.checkAbort()
+		}
+		steps++
 		if !s.Sim.Step() {
 			panic("sim: event queue drained before cores finished")
 		}
 	}
 	if drain {
 		// Let in-flight swaps and writebacks settle so stats are consistent.
-		s.Sim.Drain(maxRunEvents)
+		// Stepped manually (rather than Sim.Drain) so the abort flag is
+		// polled; the event order and the runaway bound are Drain's exactly.
+		fired0 := s.Sim.Fired()
+		var dsteps uint64
+		for s.Sim.Step() {
+			if dsteps&abortCheckMask == 0 {
+				s.checkAbort()
+			}
+			dsteps++
+			if s.Sim.Fired()-fired0 > maxRunEvents {
+				panic("engine: Drain exceeded maxEvents; runaway event loop?")
+			}
+		}
 	}
 }
 
@@ -700,7 +759,20 @@ func (s *System) progress() uint64 {
 // and keep going. With Cfg.Audit set, a liveness watchdog rides the engine
 // clock during the run and CheckInvariants audits the quiesced system after
 // it; audit violations also surface as a *RunError.
-func (s *System) Run() (res Results, err error) {
+func (s *System) Run() (Results, error) { return s.run(nil) }
+
+// RunToQuiesce executes like Run but consults stop at every quiesce point —
+// a position where the event queue is provably empty and every component is
+// at rest (the warm-up/measurement boundary in detailed mode; fast-forward
+// gap boundaries in sampled mode; point indices count from 0 in schedule
+// order). When stop returns true the run pauses with ErrPaused: the system
+// may then be Snapshot, and the run resumes — on this system or on one
+// rebuilt by Restore — by calling Run or RunToQuiesce again.
+func (s *System) RunToQuiesce(stop func(point int) bool) (Results, error) {
+	return s.run(stop)
+}
+
+func (s *System) run(pause func(int) bool) (res Results, err error) {
 	// Stop the epoch executor's workers when the run ends (no-op when
 	// Cfg.Jrun <= 1 or they never started); the Sim stays armed, so a
 	// second Run restarts them lazily.
@@ -716,11 +788,17 @@ func (s *System) Run() (res Results, err error) {
 		defer s.Sim.SetWatchdog(0, nil)
 	}
 	if s.Cfg.Sample > 0 {
-		return s.runSampled()
+		return s.runSampled(pause)
 	}
-	if s.Cfg.Warmup > 0 {
-		s.runPhase(s.Cfg.Warmup)
-		s.resetStats()
+	if s.phase == 0 {
+		if s.Cfg.Warmup > 0 {
+			s.runPhase(s.Cfg.Warmup)
+			s.resetStats()
+		}
+		s.phase = 1
+		if pause != nil && pause(0) {
+			return Results{}, ErrPaused
+		}
 	}
 	if s.Timeline != nil {
 		// Arm after warm-up so samples cover exactly the measured epoch.

@@ -1,0 +1,75 @@
+package workload
+
+import "pageseer/internal/ckpt"
+
+// Checkpointer is implemented by generators that can serialize their mutable
+// state. All generators NewGenerator returns implement it; the interface
+// exists so callers holding a Generator can snapshot without knowing the
+// concrete type.
+type Checkpointer interface {
+	Snapshot(w *ckpt.Writer)
+	Restore(r *ckpt.Reader)
+}
+
+// Snapshot serializes the generator's mutable state: the trace RNG, the
+// burst cursor, each phase window's position, and the PhaseShift
+// permutation. Everything else (profile, scramble, lane geometry) is derived
+// from the profile at construction and is rebuilt identically by
+// NewGenerator.
+func (g *gen) Snapshot(w *ckpt.Writer) {
+	w.Section("workload.gen")
+	w.U64(g.r.s)
+	w.Int(g.page)
+	w.Int(g.remaining)
+	w.Int(g.lineCur)
+	w.Int(g.lane)
+	w.Int(g.stride)
+	w.Bool(g.usePair)
+	w.Int(g.pairOf)
+	w.Int(g.writes)
+	w.Int(len(g.perm))
+	for _, v := range g.perm {
+		w.U32(uint32(v))
+	}
+	w.Int(len(g.lanes))
+	for _, l := range g.lanes {
+		w.Int(l.activeOff)
+		w.Int(l.start)
+		w.Int(l.pass)
+		w.Int(l.cursor)
+		w.U64(l.phases)
+	}
+}
+
+// Restore rehydrates the state written by Snapshot into a generator freshly
+// built with the same profile/footprint/seed.
+func (g *gen) Restore(r *ckpt.Reader) {
+	r.Section("workload.gen")
+	g.r.s = r.U64()
+	g.page = r.Int()
+	g.remaining = r.Int()
+	g.lineCur = r.Int()
+	g.lane = r.Int()
+	g.stride = r.Int()
+	g.usePair = r.Bool()
+	g.pairOf = r.Int()
+	g.writes = r.Int()
+	if n := r.Int(); n != len(g.perm) {
+		r.Failf("workload: snapshot perm length %d, generator has %d", n, len(g.perm))
+		return
+	}
+	for i := range g.perm {
+		g.perm[i] = int32(r.U32())
+	}
+	if n := r.Int(); n != len(g.lanes) {
+		r.Failf("workload: snapshot lane count %d, generator has %d", n, len(g.lanes))
+		return
+	}
+	for _, l := range g.lanes {
+		l.activeOff = r.Int()
+		l.start = r.Int()
+		l.pass = r.Int()
+		l.cursor = r.Int()
+		l.phases = r.U64()
+	}
+}

@@ -3,16 +3,16 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke cpi-smoke sample-smoke ledger-overhead invariants chaos-smoke chaos resume-smoke fuzz-validate fuzz-checkpoint trace-demo
+.PHONY: tier1 vet build test race benchsmoke bench campaign-bench allocguard benchguard parallel-smoke parallel effectiveness-smoke cpi-smoke pagemap-smoke sample-smoke ledger-overhead invariants chaos-smoke chaos resume-smoke fuzz-validate fuzz-checkpoint trace-demo
 
 ## tier1: the full pre-PR gate — vet, build, race-enabled tests, a
 ## one-shot figure-campaign smoke bench, the alloc-budget guards, the
 ## campaign-throughput regression gate, the parallel-executor differential
 ## under -race, the swap-provenance effectiveness smoke, the
-## cycle-attribution smoke, the sampled-execution accuracy/speedup gate,
-## the invariant-audit gate, a fault-injection smoke run, and the
-## kill-and-resume durability gate.
-tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke cpi-smoke sample-smoke invariants chaos-smoke resume-smoke
+## cycle-attribution smoke, the address-space telemetry smoke, the
+## sampled-execution accuracy/speedup gate, the invariant-audit gate, a
+## fault-injection smoke run, and the kill-and-resume durability gate.
+tier1: vet build race benchsmoke allocguard benchguard parallel-smoke effectiveness-smoke cpi-smoke pagemap-smoke sample-smoke invariants chaos-smoke resume-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,7 +53,7 @@ campaign-bench:
 ## state. Run without -race (race instrumentation allocates and would
 ## false-fail).
 allocguard:
-	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs ./internal/obs/ledger ./internal/obs/attrib ./internal/sim
+	$(GO) test -run TestZeroAlloc -count=1 ./internal/obs ./internal/obs/ledger ./internal/obs/attrib ./internal/obs/pagemap ./internal/sim
 
 ## benchguard: re-run the quick campaign and fail if per-run
 ## events_per_sec (geomean over the workload x scheme grid) regresses
@@ -71,10 +71,12 @@ benchguard:
 	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_ledger.json -tolerance 0.05 -warnonly -label "ledger-on overhead"
 	$(GO) run ./cmd/paper-figures -quick -all -cpistack -quiet -benchjson .benchguard_cpi.json
 	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_cpi.json -tolerance 0.05 -warnonly -label "cpi-on overhead"
+	$(GO) run ./cmd/paper-figures -quick -all -churn -quiet -benchjson .benchguard_pagemap.json
+	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_pagemap.json -tolerance 0.05 -warnonly -label "pagemap-on overhead"
 	$(GO) run ./cmd/paper-figures -quick -all -quiet -sample 16 -sample-window 1000 -sample-warmup 1000 \
 		-benchjson .benchguard_sampled.json -benchnote "sampled: 16 windows x 1000 instr, 1000-instr warm-ups"
 	$(GO) run ./cmd/benchguard -baseline .benchguard_head.json -head .benchguard_sampled.json -wall -warnonly -label "sampled-mode speedup"
-	@rm -f .benchguard_head.json .benchguard_ledger.json .benchguard_cpi.json .benchguard_sampled.json
+	@rm -f .benchguard_head.json .benchguard_ledger.json .benchguard_cpi.json .benchguard_pagemap.json .benchguard_sampled.json
 
 ## parallel-smoke: the epoch-barrier executor's correctness gate — the
 ## full-system differential (all five schemes plus the ablation, Results
@@ -84,7 +86,7 @@ benchguard:
 ## recording in the same run is exactly a data race, and -race is the
 ## detector that owns it.
 parallel-smoke:
-	$(GO) test -race -count=1 -run 'TestParallel|TestMisSharded|TestBarrierResidue|TestLanePanic|TestSerialPathUntouched|TestShardViolation|TestCPIParallelDifferential' ./internal/engine ./internal/sim
+	$(GO) test -race -count=1 -run 'TestParallel|TestMisSharded|TestBarrierResidue|TestLanePanic|TestSerialPathUntouched|TestShardViolation|TestCPIParallelDifferential|TestPageMapParallelDifferential' ./internal/engine ./internal/sim
 
 ## parallel: the PAGESEER_PARALLEL=1 matrix — rerun the invariant and
 ## effectiveness smokes with every run on the epoch executor at jrun 4,
@@ -110,6 +112,17 @@ effectiveness-smoke:
 ## stays byte-identical.
 cpi-smoke:
 	$(GO) test -run 'TestCPISmoke|TestCPIConservation|TestCPIMutationFailsAudit' -count=1 ./internal/sim
+
+## pagemap-smoke: run the quick GemsFDTD workload with the address-space
+## telemetry table armed and assert the acceptance bar: demand heat in all
+## four service sources, a coherent hot-set profile, swap churn and NVM
+## wear recorded, flap detection firing on the scheme that thrashes (PoM),
+## per-scheme conservation audits green (trigger mix, read/write law,
+## residency ground truth — all six schemes), the mutation audit catching
+## a phantom hook, the sampled-mode functional feed, and a pagemap-off run
+## staying byte-identical.
+pagemap-smoke:
+	$(GO) test -run 'TestPageMapSmoke|TestPageMapFlapDetection|TestPageMapConservation|TestPageMapMutationFailsAudit|TestPageMapSampled' -count=1 ./internal/sim
 
 ## sample-smoke: the sampled-execution acceptance gate — on the quick
 ## GemsFDTD run the committed geometry (16 windows of 1000 instructions,

@@ -130,6 +130,12 @@ func main() {
 		cpi        = flag.Bool("cpi", false, "attach cycle attribution and print the CPI-stack table")
 		cpiCSV     = flag.String("cpi-csv", "", "write the CPI stacks to this CSV file (implies -cpi)")
 		cpiJSON    = flag.String("cpi-json", "", "write the CPI stacks (with per-trigger-class splits) to this JSON file (implies -cpi)")
+		pagemapOn  = flag.Bool("pagemap", false, "attach the per-page telemetry table and print its digest (hot sets, churn, flaps, NVM wear)")
+		pmCSV      = flag.String("pagemap-csv", "", "write the full per-page table to this CSV file (implies -pagemap)")
+		pmJSON     = flag.String("pagemap-json", "", "write the full per-page table to this JSON file (implies -pagemap)")
+		pm2MB      = flag.Bool("pagemap-2mb", false, "roll the -pagemap-csv/-json export up into 2MB extents instead of per-page rows")
+		pmFlapK    = flag.Int("pagemap-flap-k", 0, "flap threshold: DRAM<->NVM round trips inside the window that count as one flap (0 = default)")
+		pmFlapWin  = flag.Uint64("pagemap-flap-window", 0, "flap detection sliding window in cycles (0 = default)")
 		serveAddr  = flag.String("serve", "", "serve live run introspection on this address (e.g. :8090); incompatible with -trace/-timeline")
 		tracePath  = flag.String("trace", "", "write a Chrome/Perfetto trace of swap lifecycles and MMU hints to this file")
 		tlPath     = flag.String("timeline", "", "write the epoch timeline to this file (.json = JSON, otherwise CSV)")
@@ -142,19 +148,25 @@ func main() {
 	// Flag-combination validation up front, before any run (or server) starts:
 	// -serve routes runs through the campaign runner, which owns no per-run
 	// file sinks, so the per-run observers cannot combine with it.
-	if (*serveAddr != "" || *journalDir != "") && (*tracePath != "" || *tlPath != "") {
-		conflicting := "-trace"
-		if *tracePath == "" {
-			conflicting = "-timeline"
-		} else if *tlPath != "" {
-			conflicting = "-trace/-timeline"
+	if *serveAddr != "" || *journalDir != "" {
+		var conflicting []string
+		if *tracePath != "" {
+			conflicting = append(conflicting, "-trace")
 		}
-		with := "-serve"
-		if *serveAddr == "" {
-			with = "-journal"
+		if *tlPath != "" {
+			conflicting = append(conflicting, "-timeline")
 		}
-		fmt.Fprintf(os.Stderr, "error: %s cannot be combined with %s: the campaign runner behind it owns no per-run file sinks\n", with, conflicting)
-		os.Exit(2)
+		if *pmCSV != "" || *pmJSON != "" {
+			conflicting = append(conflicting, "-pagemap-csv/-json")
+		}
+		if len(conflicting) > 0 {
+			with := "-serve"
+			if *serveAddr == "" {
+				with = "-journal"
+			}
+			fmt.Fprintf(os.Stderr, "error: %s cannot be combined with %s: the campaign runner behind it owns no per-run file sinks\n", with, strings.Join(conflicting, "/"))
+			os.Exit(2)
+		}
 	}
 	if *resume && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "error: -resume requires -journal (the directory holding the journal to resume)")
@@ -220,6 +232,14 @@ func main() {
 	// attribution digests, so -serve attaches both (mirroring paper-figures).
 	cfg.Obs.Ledger = *effect || *serveAddr != ""
 	cfg.Obs.CPI = *cpi || *serveAddr != ""
+	if *pmCSV != "" || *pmJSON != "" {
+		*pagemapOn = true
+	}
+	cfg.Obs.PageMap = *pagemapOn
+	// The flap knobs pass through unconditionally: Validate rejects them
+	// when the pagemap is off rather than silently ignoring them.
+	cfg.Obs.PageMapFlapK = *pmFlapK
+	cfg.Obs.PageMapFlapWindow = *pmFlapWin
 	if *tlPath != "" {
 		cfg.Obs.TimelineEvery = *tlEvery
 	}
@@ -233,22 +253,25 @@ func main() {
 	var srv *http.Server
 	if *serveAddr != "" || *journalDir != "" {
 		fopts := pageseer.FigureOptions{
-			Scale:        cfg.Scale,
-			InstrPerCore: cfg.InstrPerCore,
-			Warmup:       cfg.Warmup,
-			Seed:         cfg.Seed,
-			Workloads:    wls,
-			MaxCores:     cfg.MaxCores,
-			Parallelism:  *jobs,
-			Jrun:         cfg.Jrun,
-			Audit:        cfg.Audit,
-			Faults:       cfg.Faults,
-			Sample:       cfg.Sample,
-			SampleWindow: cfg.SampleWindow,
-			SampleWarmup: cfg.SampleWarmup,
-			Ledger:       cfg.Obs.Ledger,
-			CPI:          cfg.Obs.CPI,
-			RunTimeout:   *runTimeout,
+			Scale:             cfg.Scale,
+			InstrPerCore:      cfg.InstrPerCore,
+			Warmup:            cfg.Warmup,
+			Seed:              cfg.Seed,
+			Workloads:         wls,
+			MaxCores:          cfg.MaxCores,
+			Parallelism:       *jobs,
+			Jrun:              cfg.Jrun,
+			Audit:             cfg.Audit,
+			Faults:            cfg.Faults,
+			Sample:            cfg.Sample,
+			SampleWindow:      cfg.SampleWindow,
+			SampleWarmup:      cfg.SampleWarmup,
+			Ledger:            cfg.Obs.Ledger,
+			CPI:               cfg.Obs.CPI,
+			PageMap:           cfg.Obs.PageMap,
+			PageMapFlapK:      cfg.Obs.PageMapFlapK,
+			PageMapFlapWindow: cfg.Obs.PageMapFlapWindow,
+			RunTimeout:        *runTimeout,
 		}
 		if *journalDir != "" {
 			j, err := pageseer.OpenJournal(*journalDir, pageseer.CampaignHash(fopts), *resume)
@@ -341,7 +364,14 @@ func main() {
 					continue
 				}
 				multi := len(wls) > 1
-				results[i], reports[i], errs[i] = runOne(c, outPath(*tracePath, wls[i], multi), outPath(*tlPath, wls[i], multi), *runTimeout)
+				sinks := runSinks{
+					trace:    outPath(*tracePath, wls[i], multi),
+					timeline: outPath(*tlPath, wls[i], multi),
+					pmCSV:    outPath(*pmCSV, wls[i], multi),
+					pmJSON:   outPath(*pmJSON, wls[i], multi),
+					pm2MB:    *pm2MB,
+				}
+				results[i], reports[i], errs[i] = runOne(c, sinks, *runTimeout)
 			}
 		}()
 	}
@@ -447,7 +477,15 @@ func main() {
 	}
 }
 
-func runOne(cfg pageseer.Config, tracePath, tlPath string, timeout time.Duration) (pageseer.Results, string, error) {
+// runSinks carries one run's per-run output files (multi-workload
+// invocations get the workload name inserted via outPath).
+type runSinks struct {
+	trace, timeline string
+	pmCSV, pmJSON   string
+	pm2MB           bool
+}
+
+func runOne(cfg pageseer.Config, sinks runSinks, timeout time.Duration) (pageseer.Results, string, error) {
 	sys, err := pageseer.Build(cfg)
 	if err != nil {
 		return pageseer.Results{}, "", err
@@ -464,21 +502,58 @@ func runOne(cfg pageseer.Config, tracePath, tlPath string, timeout time.Duration
 	if err != nil {
 		return pageseer.Results{}, "", err
 	}
-	if tracePath != "" {
-		if err := writeSink(tracePath, sys.Tracer.WriteJSON); err != nil {
+	if sinks.trace != "" {
+		if err := writeSink(sinks.trace, sys.Tracer.WriteJSON); err != nil {
 			return pageseer.Results{}, "", err
 		}
 	}
-	if tlPath != "" {
+	if sinks.timeline != "" {
 		w := sys.Timeline.WriteCSV
-		if strings.HasSuffix(tlPath, ".json") {
+		if strings.HasSuffix(sinks.timeline, ".json") {
 			w = sys.Timeline.WriteJSON
 		}
-		if err := writeSink(tlPath, w); err != nil {
+		if err := writeSink(sinks.timeline, w); err != nil {
+			return pageseer.Results{}, "", err
+		}
+	}
+	if sinks.pmCSV != "" || sinks.pmJSON != "" {
+		if err := writePageMap(sys, sinks); err != nil {
 			return pageseer.Results{}, "", err
 		}
 	}
 	return res, report(cfg, res), nil
+}
+
+// writePageMap exports the run's full per-page table (or, with -pagemap-2mb,
+// its 2MB-extent roll-up) to the requested files.
+func writePageMap(sys *pageseer.System, sinks runSinks) error {
+	pm := sys.PageMap()
+	if sinks.pm2MB {
+		regions := pm.Regions()
+		if sinks.pmCSV != "" {
+			if err := writeSink(sinks.pmCSV, func(w io.Writer) error { return pageseer.WritePageMapRegionsCSV(w, regions) }); err != nil {
+				return err
+			}
+		}
+		if sinks.pmJSON != "" {
+			if err := writeSink(sinks.pmJSON, func(w io.Writer) error { return pageseer.WritePageMapRegionsJSON(w, regions) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rows := pm.Rows()
+	if sinks.pmCSV != "" {
+		if err := writeSink(sinks.pmCSV, func(w io.Writer) error { return pageseer.WritePageMapCSV(w, rows) }); err != nil {
+			return err
+		}
+	}
+	if sinks.pmJSON != "" {
+		if err := writeSink(sinks.pmJSON, func(w io.Writer) error { return pageseer.WritePageMapJSON(w, rows) }); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // outPath returns base with the workload name inserted before the extension
@@ -560,6 +635,17 @@ func report(cfg pageseer.Config, res pageseer.Results) string {
 				eff.LeadTime.P50, eff.LeadTime.P99, eff.LeadTime.Count)
 		}
 		fmt.Fprintln(&b)
+	}
+	if pm := res.PageMap; pm.UniquePages > 0 {
+		fmt.Fprintf(&b, "pagemap:       %d pages  hot50/90/99 %d/%d/%d  swaps in/out %d/%d  flapping %d (%d events)  wasted pages %d  NVM wear %d writes\n",
+			pm.UniquePages, pm.HotSet50, pm.HotSet90, pm.HotSet99,
+			pm.SwapIns, pm.SwapOuts, pm.FlappingPages, pm.FlapEvents,
+			pm.WastedSwapPages, pm.NVMWearWrites)
+		if pm.TopN > 0 {
+			t := pm.Top[0]
+			fmt.Fprintf(&b, "               top churner %#x: %d accesses, %d in/%d out, %d flaps, %d wear writes, resident %s\n",
+				t.Page, t.Accesses, t.SwapIns, t.SwapOuts, t.FlapEvents, t.WearWrites, t.Resident)
+		}
 	}
 	fmt.Fprintf(&b, "memory:        DRAM %d reads %d writes (row hit %.1f%%) | NVM %d reads %d writes (row hit %.1f%%)\n",
 		res.DRAM.Reads, res.DRAM.Writes, rowHitPct(res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts),

@@ -62,6 +62,9 @@ func main() {
 		cpistack     = flag.Bool("cpistack", false, "cycle-attribution CPI-stack table incl. the static baseline (attaches attribution to every run; not part of -all)")
 		cpistackCSV  = flag.String("cpistack-csv", "", "write the CPI-stack table to this CSV file (implies -cpistack)")
 		cpistackJSON = flag.String("cpistack-json", "", "write the CPI-stack table (with per-trigger-class splits) to this JSON file (implies -cpistack)")
+		churn        = flag.Bool("churn", false, "address-space churn table: hot-set sizes, swap churn, flaps, NVM wear (attaches the pagemap to every run; not part of -all)")
+		churnCSV     = flag.String("churn-csv", "", "write the churn table to this CSV file (implies -churn)")
+		churnJSON    = flag.String("churn-json", "", "write the churn table (with reuse histograms and leaderboards) to this JSON file (implies -churn)")
 		serveAddr    = flag.String("serve", "", "serve live campaign introspection on this address (e.g. :8090): progress on /, per-run JSON on /runs, Prometheus on /metrics, pprof under /debug/pprof/")
 
 		scale        = flag.Int("scale", 0, "memory scale denominator (default from profile)")
@@ -169,8 +172,15 @@ func main() {
 	// CPI-stack table or the introspection server (per-component cycle
 	// counters on /metrics) asks for it, and never under plain -all.
 	opts.CPI = *cpistack || *serveAddr != ""
+	if *churnCSV != "" || *churnJSON != "" {
+		*churn = true
+	}
+	// The pagemap is opt-in only (never implied by -serve): unlike the
+	// ledger and attribution digests its table grows with the footprint, so
+	// only the churn table asks for it.
+	opts.PageMap = *churn
 
-	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl || *lat || *effect || *cpistack
+	anyFigure := *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *abl || *lat || *effect || *cpistack || *churn
 	anyTable := *table1 || *table2 || *table3
 	if *all {
 		*table1, *table2, *table3 = true, true, true
@@ -258,7 +268,7 @@ func main() {
 	// builders then drain the cache serially, so their output is
 	// byte-identical to a fully serial campaign.
 	needs := figures.Needs{
-		Baselines: *fig7 || *fig8 || *fig13 || *fig14 || *effect || *cpistack,
+		Baselines: *fig7 || *fig8 || *fig13 || *fig14 || *effect || *cpistack || *churn,
 		NoCorr:    *abl,
 		NoBW:      *fig11,
 	}
@@ -389,6 +399,26 @@ func main() {
 		}
 		if *cpistackJSON != "" {
 			if err := writeFile(*cpistackJSON, rows, figures.WriteCPIStackJSON); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	// Churn prints last among the opt-in tables, keeping every earlier
+	// output's byte position stable.
+	if *churn {
+		rows, err := figures.ChurnTable(r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(figures.RenderChurn(rows))
+		if *churnCSV != "" {
+			if err := writeFile(*churnCSV, rows, figures.WriteChurnCSV); err != nil {
+				fail(err)
+			}
+		}
+		if *churnJSON != "" {
+			if err := writeFile(*churnJSON, rows, figures.WriteChurnJSON); err != nil {
 				fail(err)
 			}
 		}

@@ -79,8 +79,8 @@ type blk uint64 // global block index (addr >> 6)
 // CAMEO is the baseline manager.
 type CAMEO struct {
 	lane *engine.Lane // shared back-end shard (lane 0)
-	ctl *hmc.Controller
-	cfg Config
+	ctl  *hmc.Controller
+	cfg  Config
 
 	remapCache *hmc.MetaCache
 	region     hmc.MetaRegion
@@ -99,6 +99,7 @@ type CAMEO struct {
 type job struct {
 	waiters []func()
 	lid     uint64 // swap-provenance record ID (0 when the ledger is off)
+	pid     uint64 // pagemap pending-swap handle (0 when the pagemap is off)
 }
 
 // New installs a CAMEO manager on the controller.
@@ -216,6 +217,11 @@ func (c *CAMEO) trySwap(b blk) {
 			led.RemapCommitted(j.lid, now)
 			led.Evicted(uint64(displaced.base()), now)
 		}
+		if pm := c.ctl.PageMap(); pm != nil {
+			now := c.lane.Now()
+			pm.Committed(j.pid, now)
+			pm.Evicted(uint64(displaced.base()), now)
+		}
 		c.stats.Swaps++
 		delete(c.inflight, fastSlot)
 		delete(c.inflight, slowSlot)
@@ -231,10 +237,16 @@ func (c *CAMEO) trySwap(b blk) {
 			ledger.TrigRegular, now, now, dramB, nvmB)
 		op.LedgerID = j.lid
 	}
+	if pm := c.ctl.PageMap(); pm != nil {
+		j.pid = pm.SwapStarted(uint64(b.base()), uint64(displaced.base()), true,
+			ledger.TrigRegular, c.lane.Now())
+		op.PageMapID = j.pid
+	}
 	if !c.ctl.Engine.Start(op) {
 		// Swap-on-every-access floods the buffers; CAMEO just retries on
 		// the next access (the block stays slow meanwhile).
 		led.Abort(j.lid)
+		c.ctl.PageMap().Abort(j.pid)
 		c.stats.SwapsDropped++
 		return
 	}

@@ -83,6 +83,7 @@ type swapJob struct {
 	pages   []mem.PPN // every page identity participating
 	waiters []func()  // DMA freeze waiting for completion
 	lid     uint64    // swap-provenance record ID (0 when the ledger is off)
+	pid     uint64    // pagemap pending-swap handle (0 when the pagemap is off)
 }
 
 // swapTrigger maps the paper's SwapKind (plus the follower flag, which the
@@ -109,8 +110,8 @@ type prefTrack struct {
 // PageSeer is the paper's Hybrid Memory Controller manager.
 type PageSeer struct {
 	lane *engine.Lane // shared back-end shard (lane 0)
-	ctl *hmc.Controller
-	cfg Config
+	ctl  *hmc.Controller
+	cfg  Config
 
 	prtc    *hmc.MetaCache
 	pctc    *hmc.MetaCache
@@ -813,9 +814,19 @@ func (p *PageSeer) startSwap(page mem.PPN, kind SwapKind, follower bool, req uin
 			swapTrigger(kind, follower), req, p.lane.Now(), dramB, nvmB)
 		op.LedgerID = job.lid
 	}
+	if pm := p.ctl.PageMap(); pm != nil {
+		victim := frame
+		if hasPartner {
+			victim = partner
+		}
+		job.pid = pm.SwapStarted(uint64(page.Addr()), uint64(victim.Addr()), true,
+			swapTrigger(kind, follower), p.lane.Now())
+		op.PageMapID = job.pid
+	}
 	if !p.ctl.Engine.Start(op) {
 		// Raced with another start; requeue.
 		led.Abort(job.lid)
+		p.ctl.PageMap().Abort(job.pid)
 		p.enqueue(page, kind, follower)
 		return
 	}
@@ -857,6 +868,11 @@ func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind, follower
 				led.RemapCommitted(job.lid, now)
 				led.Evicted(uint64(nPartner.Addr()), now)
 			}
+			if pm := p.ctl.PageMap(); pm != nil {
+				now := p.lane.Now()
+				pm.Committed(job.pid, now)
+				pm.Evicted(uint64(nPartner.Addr()), now)
+			}
 			p.stats.SwapsCompleted[job.kind]++
 			for _, pg := range job.pages {
 				delete(p.inflight, pg)
@@ -875,8 +891,14 @@ func (p *PageSeer) startRestore(dPage, nPartner mem.PPN, kind SwapKind, follower
 			swapTrigger(kind, follower), req, p.lane.Now(), dramB, nvmB)
 		op.LedgerID = job.lid
 	}
+	if pm := p.ctl.PageMap(); pm != nil {
+		job.pid = pm.SwapStarted(uint64(dPage.Addr()), uint64(nPartner.Addr()), true,
+			swapTrigger(kind, follower), p.lane.Now())
+		op.PageMapID = job.pid
+	}
 	if !p.ctl.Engine.Start(op) {
 		led.Abort(job.lid)
+		p.ctl.PageMap().Abort(job.pid)
 		if _, queued := p.pendingKind[dPage]; !queued {
 			p.enqueue(dPage, kind, follower)
 		}
@@ -916,6 +938,15 @@ func (p *PageSeer) completeSwap(page, frame, partner mem.PPN, hasPartner bool, j
 			victim = partner
 		}
 		led.Evicted(uint64(victim.Addr()), now)
+	}
+	if pm := p.ctl.PageMap(); pm != nil {
+		now := p.lane.Now()
+		pm.Committed(job.pid, now)
+		victim := frame
+		if hasPartner {
+			victim = partner
+		}
+		pm.Evicted(uint64(victim.Addr()), now)
 	}
 
 	// Residence changed: restart hot-page tracking on the new tiers.
@@ -1090,4 +1121,3 @@ func (p *PageSeer) ResetStats() {
 		delete(p.prefTracks, page)
 	}
 }
-

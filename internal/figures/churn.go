@@ -1,0 +1,135 @@
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"pageseer/internal/obs"
+	"pageseer/internal/obs/ledger"
+	"pageseer/internal/obs/pagemap"
+)
+
+// ChurnRow is one (workload, scheme) run's address-space telemetry digest:
+// hot-set sizes, swap churn, flap counts, NVM wear, and the top-churn page
+// leaderboard the pagemap produced for that run. Scheme is the display label
+// (the same one progress lines use).
+type ChurnRow struct {
+	Workload string          `json:"workload"`
+	Scheme   string          `json:"scheme"`
+	Summary  pagemap.Summary `json:"summary"`
+}
+
+// ErrNoPageMap rejects churn aggregation over a campaign that ran without
+// the pagemap: every digest would be zero and the table would silently
+// report a churn-free campaign.
+var ErrNoPageMap = errors.New("figures: churn requires Options.PageMap (campaign ran without the pagemap)")
+
+// ChurnTable collects the per-run pagemap digests over the campaign's
+// workloads for the Figure 14 comparison schemes (static never swaps, so its
+// churn row would be all residency and no motion). It draws on the same
+// cached runs the figures use, so adding it to a campaign costs no extra
+// simulation.
+func ChurnTable(r *Runner) ([]ChurnRow, error) {
+	if !r.opts.PageMap {
+		return nil, ErrNoPageMap
+	}
+	var rows []ChurnRow
+	for _, wl := range r.opts.Workloads {
+		for _, sch := range schemes3 {
+			res, err := r.Run(wl, sch)
+			if err != nil {
+				if isGap(err) {
+					continue
+				}
+				return nil, err
+			}
+			rows = append(rows, ChurnRow{
+				Workload: wl,
+				Scheme:   schemeLabel(sch, false),
+				Summary:  res.PageMap,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderChurn renders the address-space churn table: working-set and hot-set
+// sizes, swap traffic, flap and wasted-swap counts, and NVM wear, with the
+// hottest churner called out per row.
+func RenderChurn(rows []ChurnRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Churn: address-space telemetry (pages = swap units)")
+	fmt.Fprintf(&b, "  %-12s %-10s %7s %6s %6s %6s %7s %7s %5s %5s %6s %8s  %s\n",
+		"", "", "pages", "hot50", "hot90", "hot99", "ins", "outs", "flap", "waste", "wear", "dram-res", "top churner")
+	for _, r := range rows {
+		s := r.Summary
+		top := "-"
+		if s.TopN > 0 {
+			t := s.Top[0]
+			top = fmt.Sprintf("%#x (%d in/%d out, %d flaps, %s)",
+				t.Page, t.SwapIns, t.SwapOuts, t.FlapEvents, t.Resident)
+		}
+		fmt.Fprintf(&b, "  %-12s %-10s %7d %6d %6d %6d %7d %7d %5d %5d %6d %8d  %s\n",
+			r.Workload, r.Scheme,
+			s.UniquePages, s.HotSet50, s.HotSet90, s.HotSet99,
+			s.SwapIns, s.SwapOuts, s.FlappingPages, s.WastedSwapPages,
+			s.NVMWearWrites, s.ResidentDRAM, top)
+	}
+	return b.String()
+}
+
+// churnHeader fixes the CSV column set: the scalar digest of
+// pagemap.Summary. The JSON export additionally carries the reuse-distance
+// log2 histogram and the top-churn leaderboard.
+var churnHeader = []string{
+	"workload", "scheme", "unique_pages",
+	"demand_dram", "demand_nvm", "demand_buf", "demand_pte",
+	"reads", "writes", "ff_reads", "ff_writes",
+	"nvm_wear_writes", "swap_ins", "swap_outs",
+	"ins_regular", "ins_pct", "ins_mmu", "ins_follower",
+	"unused_ins", "wasted_swap_pages",
+	"round_trips", "flap_events", "flapping_pages",
+	"hot50", "hot90", "hot99", "resident_dram",
+	"reuse_count", "reuse_mean", "reuse_p50", "reuse_p90", "reuse_p99", "reuse_max",
+}
+
+// WriteChurnCSV writes the rows as canonical CSV (see export.go;
+// TestChurnCSVJSONRoundTrip pins the JSON round trip).
+func WriteChurnCSV(w io.Writer, rows []ChurnRow) error {
+	return writeTableCSV(w, churnHeader, len(rows), func(i int) []string {
+		r := rows[i]
+		s := r.Summary
+		rec := []string{r.Workload, r.Scheme, csvUint(s.UniquePages)}
+		for src := 0; src < int(obs.NumLatSources); src++ {
+			rec = append(rec, csvUint(s.DemandBySource[src]))
+		}
+		rec = append(rec,
+			csvUint(s.Reads), csvUint(s.Writes), csvUint(s.FFReads), csvUint(s.FFWrites),
+			csvUint(s.NVMWearWrites), csvUint(s.SwapIns), csvUint(s.SwapOuts))
+		for t := 0; t < int(ledger.NumTriggers); t++ {
+			rec = append(rec, csvUint(s.InsByTrigger[t]))
+		}
+		return append(rec,
+			csvUint(s.UnusedIns), csvUint(s.WastedSwapPages),
+			csvUint(s.RoundTrips), csvUint(s.FlapEvents), csvUint(s.FlappingPages),
+			csvUint(s.HotSet50), csvUint(s.HotSet90), csvUint(s.HotSet99),
+			csvUint(s.ResidentDRAM),
+			csvUint(s.ReuseDist.Count), csvFloat(s.ReuseDist.Mean),
+			csvUint(s.ReuseDist.P50), csvUint(s.ReuseDist.P90), csvUint(s.ReuseDist.P99), csvUint(s.ReuseDist.Max),
+		)
+	})
+}
+
+// WriteChurnJSON writes the rows as an indented JSON array carrying the
+// complete pagemap.Summary per run (including the reuse-distance log2
+// histogram and leaderboard the CSV digest omits).
+func WriteChurnJSON(w io.Writer, rows []ChurnRow) error {
+	return writeTableJSON(w, rows)
+}
+
+// ReadChurnJSON parses rows written by WriteChurnJSON.
+func ReadChurnJSON(r io.Reader) ([]ChurnRow, error) {
+	return readTableJSON[ChurnRow](r)
+}

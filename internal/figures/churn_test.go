@@ -1,0 +1,225 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pageseer/internal/obs"
+	"pageseer/internal/obs/ledger"
+	"pageseer/internal/obs/pagemap"
+	"pageseer/internal/sim"
+)
+
+// churnRows is a hand-built fixture populating every Summary field class —
+// the source split, trigger mix, float-carrying reuse digest, and the
+// leaderboard — so the CSV/JSON round trip exercises all encoders.
+func churnRows() []ChurnRow {
+	var s pagemap.Summary
+	s.UniquePages = 512
+	s.DemandBySource[obs.LatDRAM] = 40000
+	s.DemandBySource[obs.LatNVM] = 9000
+	s.DemandBySource[obs.LatBuf] = 700
+	s.DemandBySource[obs.LatPTE] = 300
+	s.Reads = 41000
+	s.Writes = 9000
+	s.FFReads = 120
+	s.FFWrites = 30
+	s.NVMWearWrites = 13500
+	s.SwapIns = 130
+	s.SwapOuts = 128
+	s.InsByTrigger[ledger.TrigRegular] = 60
+	s.InsByTrigger[ledger.TrigPCT] = 40
+	s.InsByTrigger[ledger.TrigMMU] = 25
+	s.InsByTrigger[ledger.TrigFollower] = 5
+	s.UnusedIns = 3
+	s.WastedSwapPages = 2
+	s.RoundTrips = 11
+	s.FlapEvents = 4
+	s.FlappingPages = 3
+	s.HotSet50 = 140
+	s.HotSet90 = 300
+	s.HotSet99 = 420
+	s.ResidentDRAM = 350
+	s.ReuseDist = obs.Dist{Count: 50000, Mean: 812.5, P50: 400, P90: 3000, P99: 9000, Max: 120000}
+	s.ReuseDistLog2[4] = 1000
+	s.ReuseDistLog2[10] = 9000
+	s.Top[0] = pagemap.PageDigest{Page: 0x417000, Accesses: 84, SwapIns: 2, SwapOuts: 2, FlapEvents: 1, WearWrites: 64, Resident: pagemap.ResDRAM}
+	s.TopN = 1
+	return []ChurnRow{
+		{Workload: "GemsFDTD", Scheme: "pageseer", Summary: s},
+		{Workload: "lbm", Scheme: "pom", Summary: pagemap.Summary{}},
+	}
+}
+
+// TestChurnCSVJSONRoundTrip pins the acceptance property: exporting rows
+// straight to CSV and exporting the same rows via the JSON file and back
+// must produce byte-identical CSV.
+func TestChurnCSVJSONRoundTrip(t *testing.T) {
+	rows := churnRows()
+	var direct bytes.Buffer
+	if err := WriteChurnCSV(&direct, rows); err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf bytes.Buffer
+	if err := WriteChurnJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadChurnJSON(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaJSON bytes.Buffer
+	if err := WriteChurnCSV(&viaJSON, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), viaJSON.Bytes()) {
+		t.Fatalf("CSV differs after a JSON round trip:\ndirect:\n%s\nvia JSON:\n%s",
+			direct.String(), viaJSON.String())
+	}
+	lines := strings.Split(direct.String(), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CSV too short: %q", direct.String())
+	}
+	if !strings.HasPrefix(lines[0], "workload,scheme,unique_pages,demand_dram,demand_nvm") {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "GemsFDTD,pageseer,512,40000,9000,700,300,41000,9000,") {
+		t.Fatalf("unexpected CSV row: %s", lines[1])
+	}
+}
+
+// TestChurnTableRequiresPageMap: aggregating a campaign that ran without the
+// pagemap is an error, not a silently all-zero table.
+func TestChurnTableRequiresPageMap(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	if _, err := ChurnTable(r); err != ErrNoPageMap {
+		t.Fatalf("err = %v, want ErrNoPageMap", err)
+	}
+}
+
+// TestChurnTableFromCampaign runs a tiny pagemap-on campaign and checks the
+// table carries every swapping scheme with a populated digest, and that the
+// render shows the columns the figure exists for.
+func TestChurnTableFromCampaign(t *testing.T) {
+	opts := tinyOpts()
+	opts.Workloads = []string{"lbm"}
+	opts.PageMap = true
+	r := NewRunner(opts)
+	rows, err := ChurnTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (lbm x pom/mempod/pageseer)", len(rows))
+	}
+	for _, row := range rows {
+		s := row.Summary
+		if s.UniquePages == 0 || s.DemandTotal() == 0 {
+			t.Errorf("%s/%s: empty pagemap digest", row.Workload, row.Scheme)
+		}
+		if s.SwapIns == 0 {
+			t.Errorf("%s/%s: swapping scheme recorded no swap-ins", row.Workload, row.Scheme)
+		}
+	}
+	out := RenderChurn(rows)
+	for _, want := range []string{"pageseer", "pom", "mempod", "lbm", "pages", "flap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsPageMapAndWatchdog checks the /metrics additions: pagemap flap,
+// wear, and hot-set series, plus the watchdog strikes counter — and that two
+// successive scrapes of the counters never go backwards (Prometheus counter
+// discipline over the campaign's cached results).
+func TestMetricsPageMapAndWatchdog(t *testing.T) {
+	opts := tinyOpts()
+	// The watchdog samples every 200k cycles; the tiny geometry finishes
+	// before the first sample, so this test runs the quick GemsFDTD scale.
+	opts.Workloads = []string{"GemsFDTD"}
+	opts.InstrPerCore = 400_000
+	opts.Warmup = 250_000
+	opts.MaxCores = 4
+	opts.PageMap = true
+	opts.Audit = true // arms the watchdog, whose stats feed the strike series
+	r := NewRunner(opts)
+	if _, err := r.Run("GemsFDTD", sim.SchemePageSeer); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewIntrospectionHandler(r))
+	defer srv.Close()
+
+	scrape := func() string {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	body := scrape()
+	for _, want := range []string{
+		"# TYPE pageseer_page_flaps_total counter",
+		"pageseer_page_flaps_total{workload=\"GemsFDTD\",scheme=\"pageseer\"}",
+		"pageseer_nvm_wear_writes_total{workload=\"GemsFDTD\",scheme=\"pageseer\"}",
+		"pageseer_hot_set_pages{workload=\"GemsFDTD\",scheme=\"pageseer\",coverage=\"p50\"}",
+		"pageseer_hot_set_pages{workload=\"GemsFDTD\",scheme=\"pageseer\",coverage=\"p90\"}",
+		"pageseer_hot_set_pages{workload=\"GemsFDTD\",scheme=\"pageseer\",coverage=\"p99\"}",
+		"# TYPE pageseer_watchdog_strikes_total counter",
+		"pageseer_watchdog_strikes_total{workload=\"GemsFDTD\",scheme=\"pageseer\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	counterValue := func(body, series string) (uint64, bool) {
+		for _, line := range strings.Split(body, "\n") {
+			if !strings.HasPrefix(line, series) {
+				continue
+			}
+			var v uint64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+				t.Fatalf("unparseable series line: %s", line)
+			}
+			return v, true
+		}
+		return 0, false
+	}
+	body2 := scrape()
+	for _, series := range []string{
+		"pageseer_page_flaps_total{workload=\"GemsFDTD\",scheme=\"pageseer\"}",
+		"pageseer_nvm_wear_writes_total{workload=\"GemsFDTD\",scheme=\"pageseer\"}",
+		"pageseer_watchdog_checks_total{workload=\"GemsFDTD\",scheme=\"pageseer\"}",
+		"pageseer_watchdog_strikes_total{workload=\"GemsFDTD\",scheme=\"pageseer\"}",
+	} {
+		v1, ok1 := counterValue(body, series)
+		v2, ok2 := counterValue(body2, series)
+		if !ok1 || !ok2 {
+			t.Errorf("series %s missing from a scrape", series)
+			continue
+		}
+		if v2 < v1 {
+			t.Errorf("counter %s went backwards: %d -> %d", series, v1, v2)
+		}
+	}
+	// Strike accounting sanity: the final-check strike count can never
+	// exceed the worst run observed.
+	strikes, _ := counterValue(body, "pageseer_watchdog_strikes_total{workload=\"GemsFDTD\",scheme=\"pageseer\"}")
+	worst, ok := counterValue(body, "pageseer_watchdog_max_strikes{workload=\"GemsFDTD\",scheme=\"pageseer\"}")
+	if !ok {
+		t.Fatal("pageseer_watchdog_max_strikes series missing")
+	}
+	if strikes > worst {
+		t.Errorf("final strikes %d exceed max strikes %d", strikes, worst)
+	}
+}

@@ -1,12 +1,9 @@
 package figures
 
 import (
-	"encoding/csv"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 
 	"pageseer/internal/obs/attrib"
@@ -136,45 +133,28 @@ var cpiStackHeader = func() []string {
 	return append(h, "unattributed", "correval_cycles", "correvals")
 }()
 
-// WriteCPIStackCSV writes the rows as CSV. The encoding is canonical
-// (integers only, base 10), so writing rows that took a trip through the
-// JSON export yields byte-identical output (TestCPIStackCSVJSONRoundTrip
-// pins this).
+// WriteCPIStackCSV writes the rows as canonical CSV (see export.go;
+// TestCPIStackCSVJSONRoundTrip pins the JSON round trip).
 func WriteCPIStackCSV(w io.Writer, rows []CPIStackRow) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(cpiStackHeader); err != nil {
-		return err
-	}
-	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
-	for _, r := range rows {
+	return writeTableCSV(w, cpiStackHeader, len(rows), func(i int) []string {
+		r := rows[i]
 		t := r.Stack.Total()
-		rec := []string{r.Workload, r.Scheme, u(r.Instructions), u(t.Requests), u(t.Latency)}
+		rec := []string{r.Workload, r.Scheme, csvUint(r.Instructions), csvUint(t.Requests), csvUint(t.Latency)}
 		for c := attrib.Component(0); c < attrib.NumComponents; c++ {
-			rec = append(rec, u(t.Comp[c]))
+			rec = append(rec, csvUint(t.Comp[c]))
 		}
-		rec = append(rec, u(r.Stack.Unattributed), u(r.Stack.CorrEvalCycles), u(r.Stack.CorrEvals))
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+		return append(rec, csvUint(r.Stack.Unattributed), csvUint(r.Stack.CorrEvalCycles), csvUint(r.Stack.CorrEvals))
+	})
 }
 
 // WriteCPIStackJSON writes the rows as an indented JSON array carrying the
 // complete attrib.Summary per run (including the per-trigger-class split the
 // CSV digest sums away).
 func WriteCPIStackJSON(w io.Writer, rows []CPIStackRow) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	return writeTableJSON(w, rows)
 }
 
 // ReadCPIStackJSON parses rows written by WriteCPIStackJSON.
 func ReadCPIStackJSON(r io.Reader) ([]CPIStackRow, error) {
-	var rows []CPIStackRow
-	if err := json.NewDecoder(r).Decode(&rows); err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return readTableJSON[CPIStackRow](r)
 }

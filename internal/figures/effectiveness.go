@@ -1,12 +1,9 @@
 package figures
 
 import (
-	"encoding/csv"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 
 	"pageseer/internal/obs/ledger"
@@ -92,54 +89,36 @@ var effectivenessHeader = []string{
 	"lead_count", "lead_mean", "lead_p50", "lead_p90", "lead_p99", "lead_max",
 }
 
-// WriteEffectivenessCSV writes the rows as CSV. The encoding is canonical:
-// floats render in Go's shortest round-trippable form, so writing rows that
-// took a trip through the JSON export yields byte-identical output
-// (TestEffectivenessCSVJSONRoundTrip pins this).
+// WriteEffectivenessCSV writes the rows as canonical CSV (see export.go;
+// TestEffectivenessCSVJSONRoundTrip pins the JSON round trip).
 func WriteEffectivenessCSV(w io.Writer, rows []EffectivenessRow) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(effectivenessHeader); err != nil {
-		return err
-	}
-	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	for _, r := range rows {
+	return writeTableCSV(w, effectivenessHeader, len(rows), func(i int) []string {
+		r := rows[i]
 		s := r.Summary
 		rec := []string{r.Workload, r.Scheme}
 		for _, arr := range [][ledger.NumTriggers]uint64{s.Started, s.Useful, s.Unused, s.Open} {
 			for t := 0; t < int(ledger.NumTriggers); t++ {
-				rec = append(rec, u(arr[t]))
+				rec = append(rec, csvUint(arr[t]))
 			}
 		}
-		rec = append(rec,
-			u(s.Late), f(s.Accuracy), f(s.Coverage),
-			u(s.DemandTotal), u(s.DemandCovered),
-			u(s.WastedDRAMBytes), u(s.WastedNVMBytes),
-			u(s.LeadTime.Count), f(s.LeadTime.Mean),
-			u(s.LeadTime.P50), u(s.LeadTime.P90), u(s.LeadTime.P99), u(s.LeadTime.Max),
+		return append(rec,
+			csvUint(s.Late), csvFloat(s.Accuracy), csvFloat(s.Coverage),
+			csvUint(s.DemandTotal), csvUint(s.DemandCovered),
+			csvUint(s.WastedDRAMBytes), csvUint(s.WastedNVMBytes),
+			csvUint(s.LeadTime.Count), csvFloat(s.LeadTime.Mean),
+			csvUint(s.LeadTime.P50), csvUint(s.LeadTime.P90), csvUint(s.LeadTime.P99), csvUint(s.LeadTime.Max),
 		)
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	})
 }
 
 // WriteEffectivenessJSON writes the rows as an indented JSON array carrying
 // the complete ledger.Summary per run (including the lead-time log2
 // histogram the CSV digest omits).
 func WriteEffectivenessJSON(w io.Writer, rows []EffectivenessRow) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	return writeTableJSON(w, rows)
 }
 
 // ReadEffectivenessJSON parses rows written by WriteEffectivenessJSON.
 func ReadEffectivenessJSON(r io.Reader) ([]EffectivenessRow, error) {
-	var rows []EffectivenessRow
-	if err := json.NewDecoder(r).Decode(&rows); err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return readTableJSON[EffectivenessRow](r)
 }

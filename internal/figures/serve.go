@@ -338,12 +338,46 @@ func metricsPage(r *Runner) string {
 			fmt.Fprintf(&b, "pageseer_faults_injected_total{%s,kind=%q} %d\n", runLabels(s), kv.kind, kv.n)
 		}
 	}
+	// Address-space telemetry (campaigns run with Options.PageMap): churn,
+	// wear, and hot-set size from the per-page table's digest.
+	counter("pageseer_page_flaps_total", "Pagemap flap events: K DRAM<->NVM round trips completed inside the sliding window.")
+	for _, s := range ok {
+		if s.Results.PageMap.UniquePages == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "pageseer_page_flaps_total{%s} %d\n", runLabels(s), s.Results.PageMap.FlapEvents)
+	}
+	counter("pageseer_nvm_wear_writes_total", "NVM line-writes charged by the pagemap wear model (demand, writeback, swap transfer, functional).")
+	for _, s := range ok {
+		if s.Results.PageMap.UniquePages == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "pageseer_nvm_wear_writes_total{%s} %d\n", runLabels(s), s.Results.PageMap.NVMWearWrites)
+	}
+	gauge("pageseer_hot_set_pages", "Smallest page count covering the given fraction of all accesses.")
+	for _, s := range ok {
+		pm := s.Results.PageMap
+		if pm.UniquePages == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "pageseer_hot_set_pages{%s,coverage=\"p50\"} %d\n", runLabels(s), pm.HotSet50)
+		fmt.Fprintf(&b, "pageseer_hot_set_pages{%s,coverage=\"p90\"} %d\n", runLabels(s), pm.HotSet90)
+		fmt.Fprintf(&b, "pageseer_hot_set_pages{%s,coverage=\"p99\"} %d\n", runLabels(s), pm.HotSet99)
+	}
+
 	counter("pageseer_watchdog_checks_total", "Liveness watchdog progress samples taken.")
 	for _, s := range ok {
 		if s.Results.Watchdog.Checks == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "pageseer_watchdog_checks_total{%s} %d\n", runLabels(s), s.Results.Watchdog.Checks)
+	}
+	counter("pageseer_watchdog_strikes_total", "Consecutive no-progress watchdog samples at the final check.")
+	for _, s := range ok {
+		if s.Results.Watchdog.Checks == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "pageseer_watchdog_strikes_total{%s} %d\n", runLabels(s), s.Results.Watchdog.Strikes)
 	}
 	gauge("pageseer_watchdog_max_strikes", "Worst consecutive no-progress watchdog run observed.")
 	for _, s := range ok {

@@ -24,6 +24,7 @@ import (
 	"pageseer/internal/obs"
 	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
+	"pageseer/internal/obs/pagemap"
 )
 
 // Source says which structure serviced a demand request.
@@ -178,6 +179,7 @@ type Controller struct {
 	lat   *obs.LatencySet
 	trace *obs.Tracer
 	led   *ledger.Ledger
+	pm    *pagemap.PageMap
 
 	frozen map[mem.PPN]bool
 }
@@ -243,6 +245,19 @@ func (c *Controller) SetLedger(l *ledger.Ledger) {
 
 // Ledger returns the attached swap-provenance ledger (nil when off).
 func (c *Controller) Ledger() *ledger.Ledger { return c.led }
+
+// SetPageMap attaches the per-page telemetry table to the controller and
+// its swap engine (nil detaches). Must be installed before the manager, so
+// managers can cache it; the controller feeds it every demand access and
+// writeback, and the engine charges swap-transfer NVM writes as wear.
+func (c *Controller) SetPageMap(p *pagemap.PageMap) {
+	c.pm = p
+	c.Engine.pm = p
+	c.Engine.pmIsDRAM = c.Layout.IsDRAM
+}
+
+// PageMap returns the attached per-page telemetry table (nil when off).
+func (c *Controller) PageMap() *pagemap.PageMap { return c.pm }
 
 // OpBytes sums an op's transfer traffic per memory module: each read is
 // charged to the module owning its source line, each write to the module
@@ -365,9 +380,16 @@ func (c *Controller) AccessFunctional(line mem.Addr, write bool, meta cache.Meta
 	l := mem.LineOf(line)
 	if c.ffMgr != nil {
 		c.ffMgr.HandleRequestFunctional(l, write, meta)
-		return
+	} else {
+		c.mgr.TranslateLine(l)
 	}
-	c.mgr.TranslateLine(l)
+	if c.pm != nil && !meta.PageWalk {
+		// Translate after the functional handler so instant-commit swaps are
+		// reflected: the observed residency reconciles the pagemap's tracked
+		// state across fast-forward gaps.
+		actual := c.mgr.TranslateLine(l)
+		c.pm.Functional(uint64(l), write, c.Layout.IsDRAM(actual), c.Lane.Now())
+	}
 }
 
 // MMUHintFunctional implements mmu.FunctionalHinter, forwarding fast-forward
@@ -423,7 +445,11 @@ func (c *Controller) ServeMemory(r *Request, actual mem.Addr) {
 	}
 	if r.Meta.Writeback {
 		// Writebacks contend for bandwidth but complete asynchronously; the
-		// record's job ends once the write is enqueued.
+		// record's job ends once the write is enqueued. A writeback landing
+		// on NVM is one line-write of wear against the OS-visible page.
+		if c.pm != nil {
+			c.pm.Writeback(uint64(r.Line), src == SrcDRAM, c.Lane.Now())
+		}
 		c.putRequest(r)
 		c.IssueLine(actual, true, PrioDemand, nil)
 		return
@@ -571,6 +597,20 @@ func (c *Controller) complete(r *Request, src Source) {
 				// on an in-flight victim marks the swap late.
 				c.led.Demand(uint64(r.Line), c.Lane.Now())
 			}
+			if c.pm != nil {
+				psrc := obs.LatDRAM
+				switch src {
+				case SrcNVM:
+					psrc = obs.LatNVM
+				case SrcSwapBuffer:
+					psrc = obs.LatBuf
+				}
+				c.pm.Demand(uint64(r.Line), r.Write, psrc, now)
+			}
+		} else if r.pteSrc && c.pm != nil {
+			// Leaf-PTE reads the MMU Driver's cache intercepted: the
+			// PTE-cache-bypass class of the per-page source split.
+			c.pm.Demand(uint64(r.Line), r.Write, obs.LatPTE, now)
 		}
 	}
 	// Release before the callback: done may re-enter Access and is then

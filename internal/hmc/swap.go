@@ -10,6 +10,7 @@ import (
 	"pageseer/internal/obs"
 	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
+	"pageseer/internal/obs/pagemap"
 )
 
 // NoAddr marks an absent side of a Transfer (buffer fill or buffer drain).
@@ -51,6 +52,10 @@ type Op struct {
 	// LedgerID, when nonzero, ties the op to its swap-provenance record:
 	// the engine reports per-stage transfer durations against it.
 	LedgerID uint64
+
+	// PageMapID, when nonzero, ties the op to its pagemap pending swap: the
+	// engine charges the op's NVM line-writes against it as transfer wear.
+	PageMapID uint64
 }
 
 // Reads and Writes return the total page-read/page-write volume of the op
@@ -176,8 +181,9 @@ type runningOp struct {
 	order      [][]mem.Addr         // read issue order per stage
 	nextRead   int
 	inflight   int
-	readsLeft  int // current stage
-	writesLeft int // current stage
+	readsLeft  int    // current stage
+	writesLeft int    // current stage
+	nvmWrites  uint64 // line-writes issued to the NVM module (wear, pagemap)
 	waiters    map[mem.Addr][]waiter
 	writeFn    func()
 	next       *runningOp
@@ -223,6 +229,12 @@ type SwapEngine struct {
 	// led (nil when off) receives per-stage transfer durations for ops
 	// carrying a LedgerID; set through Controller.SetLedger.
 	led *ledger.Ledger
+
+	// pm (nil when off) receives per-op NVM transfer-write wear for ops
+	// carrying a PageMapID; pmIsDRAM classifies destinations by module.
+	// Both set through Controller.SetPageMap.
+	pm       *pagemap.PageMap
+	pmIsDRAM func(mem.Addr) bool
 }
 
 // NewSwapEngine builds a swap engine that issues line traffic through
@@ -269,6 +281,7 @@ func (e *SwapEngine) putOp(r *runningOp) {
 	r.began, r.stageBegan = 0, 0
 	r.slot, r.stage = 0, 0
 	r.nextRead, r.inflight, r.readsLeft, r.writesLeft = 0, 0, 0, 0
+	r.nvmWrites = 0
 	r.next = e.freeOp
 	e.freeOp = r
 }
@@ -486,6 +499,9 @@ func (e *SwapEngine) readDone(l *opLine) {
 
 func (e *SwapEngine) issueWrite(r *runningOp, dst mem.Addr) {
 	e.stats.LinesWritten++
+	if e.pm != nil && r.op.PageMapID != 0 && !e.pmIsDRAM(dst) {
+		r.nvmWrites++
+	}
 	e.issue(dst, true, PrioSwap, r.writeFn)
 }
 
@@ -536,6 +552,11 @@ func (e *SwapEngine) finishStage(r *runningOp) {
 		// Every waiter registers on a src line of some stage, and every
 		// stage's reads complete before the op does.
 		panic("hmc: swap op completed with demand waiters still pending")
+	}
+	// Transfer wear lands before OnComplete commits the swap, while the
+	// pagemap's pending entry is still alive to attribute it.
+	if e.pm != nil && r.op.PageMapID != 0 {
+		e.pm.SwapTransferred(r.op.PageMapID, r.nvmWrites)
 	}
 	// Release before OnComplete: the callback may start a new op that
 	// reuses this record.

@@ -94,13 +94,14 @@ type job struct {
 	segs    []seg
 	waiters []func()
 	lid     uint64 // swap-provenance record ID (0 when the ledger is off)
+	pid     uint64 // pagemap pending-swap handle (0 when the pagemap is off)
 }
 
 // MemPod is the baseline manager.
 type MemPod struct {
 	lane *engine.Lane // shared back-end shard (lane 0)
-	ctl *hmc.Controller
-	cfg Config
+	ctl  *hmc.Controller
+	cfg  Config
 
 	remapCache *hmc.MetaCache
 	region     hmc.MetaRegion
@@ -295,6 +296,11 @@ func (m *MemPod) migrate(pi int, s seg, hotSet map[seg]bool) bool {
 			led.RemapCommitted(j.lid, now)
 			led.Evicted(uint64(displaced.base()), now)
 		}
+		if pm := m.ctl.PageMap(); pm != nil {
+			now := m.lane.Now()
+			pm.Committed(j.pid, now)
+			pm.Evicted(uint64(displaced.base()), now)
+		}
 		m.stats.Migrations++
 		for _, sg := range j.segs {
 			delete(m.inflight, sg)
@@ -312,8 +318,14 @@ func (m *MemPod) migrate(pi int, s seg, hotSet map[seg]bool) bool {
 			ledger.TrigRegular, now, now, dramB, nvmB)
 		op.LedgerID = j.lid
 	}
+	if pm := m.ctl.PageMap(); pm != nil {
+		j.pid = pm.SwapStarted(uint64(s.base()), uint64(displaced.base()), true,
+			ledger.TrigRegular, m.lane.Now())
+		op.PageMapID = j.pid
+	}
 	if !m.ctl.Engine.Start(op) {
 		led.Abort(j.lid)
+		m.ctl.PageMap().Abort(j.pid)
 		m.stats.MigrationsDropped++
 		return false
 	}

@@ -91,8 +91,8 @@ type seg uint64 // global segment index (addr >> 11)
 // PoM is the baseline manager.
 type PoM struct {
 	lane *engine.Lane // shared back-end shard (lane 0)
-	ctl *hmc.Controller
-	cfg Config
+	ctl  *hmc.Controller
+	cfg  Config
 
 	src       *hmc.MetaCache
 	srcRegion hmc.MetaRegion
@@ -116,6 +116,7 @@ type job struct {
 	segs    []seg
 	waiters []func()
 	lid     uint64 // swap-provenance record ID (0 when the ledger is off)
+	pid     uint64 // pagemap pending-swap handle (0 when the pagemap is off)
 }
 
 // New installs a PoM manager on the controller.
@@ -293,6 +294,11 @@ func (p *PoM) trySwap(s seg) {
 			led.RemapCommitted(j.lid, now)
 			led.Evicted(uint64(displaced.base()), now)
 		}
+		if pm := p.ctl.PageMap(); pm != nil {
+			now := p.lane.Now()
+			pm.Committed(j.pid, now)
+			pm.Evicted(uint64(displaced.base()), now)
+		}
 		p.stats.Swaps++
 		for _, sg := range j.segs {
 			delete(p.inflight, sg)
@@ -309,8 +315,14 @@ func (p *PoM) trySwap(s seg) {
 			ledger.TrigRegular, now, now, dramB, nvmB)
 		op.LedgerID = j.lid
 	}
+	if pm := p.ctl.PageMap(); pm != nil {
+		j.pid = pm.SwapStarted(uint64(s.base()), uint64(displaced.base()), true,
+			ledger.TrigRegular, p.lane.Now())
+		op.PageMapID = j.pid
+	}
 	if !p.ctl.Engine.Start(op) {
 		led.Abort(j.lid)
+		p.ctl.PageMap().Abort(j.pid)
 		p.stats.SwapsDeclined++
 		return
 	}

@@ -3,6 +3,8 @@ package sim
 import (
 	"pageseer/internal/check"
 	"pageseer/internal/hmc"
+	"pageseer/internal/mem"
+	"pageseer/internal/obs"
 )
 
 // auditable is the shape every component with end-of-run invariants exposes.
@@ -63,7 +65,45 @@ func (s *System) CheckInvariants() error {
 	// Blame conservation: every retired request's component cycles must sum
 	// exactly to its end-to-end latency, per core and per trigger class.
 	s.att.Audit(a) // nil-safe: no-op without cycle attribution
+	s.auditPageMap(a)
 	return a.Err()
+}
+
+// auditPageMap runs the address-space telemetry conservation laws: the
+// pagemap's internal invariants (per-row swap-in/out vs residency delta,
+// trigger-mix totals, read/write split), a cross-check of its per-source
+// demand totals against the controller's served counters, and a row-by-row
+// residency comparison against the manager's remap table (ground truth).
+// The cross-checks need exact detailed accounting, so they are skipped in
+// sampled mode, where fast-forward gaps retire accesses through the
+// functional path (counted separately as FFReads/FFWrites) and swaps commit
+// instantly without transfer traffic.
+func (s *System) auditPageMap(a *check.Audit) {
+	if s.pm == nil {
+		return
+	}
+	s.pm.Audit(a)
+	if s.Cfg.Sample != 0 {
+		return
+	}
+	sum := s.pm.Summary()
+	st := s.Ctl.Stats()
+	a.Checkf(sum.DemandBySource[obs.LatDRAM] == st.ServedDRAM,
+		"pagemap: %d DRAM demand accesses recorded but controller served %d",
+		sum.DemandBySource[obs.LatDRAM], st.ServedDRAM)
+	a.Checkf(sum.DemandBySource[obs.LatNVM] == st.ServedNVM,
+		"pagemap: %d NVM demand accesses recorded but controller served %d",
+		sum.DemandBySource[obs.LatNVM], st.ServedNVM)
+	a.Checkf(sum.DemandBySource[obs.LatBuf] == st.ServedBuf,
+		"pagemap: %d swap-buffer demand accesses recorded but controller served %d",
+		sum.DemandBySource[obs.LatBuf], st.ServedBuf)
+	a.Checkf(sum.DemandBySource[obs.LatPTE] == st.PTEServedByHMC,
+		"pagemap: %d PTE-path accesses recorded but controller served %d",
+		sum.DemandBySource[obs.LatPTE], st.PTEServedByHMC)
+	mgr := s.Ctl.Manager()
+	s.pm.AuditResidency(a, func(addr uint64) bool {
+		return s.Ctl.Layout.IsDRAM(mgr.TranslateLine(mem.Addr(addr)))
+	})
 }
 
 // metaCaches returns the installed scheme's on-controller metadata caches

@@ -159,6 +159,8 @@ func (s *System) snapshotGate() error {
 	switch {
 	case cfg.Obs.Trace || cfg.Obs.TimelineEvery > 0 || cfg.Obs.Ledger || cfg.Obs.CPI:
 		return errors.New("sim: snapshot with observability sinks attached is not supported")
+	case cfg.Obs.PageMap:
+		return errors.New("sim: snapshot with the pagemap attached is not supported (per-page table and pending-swap handles are not serialized)")
 	case cfg.Jrun > 1:
 		return errors.New("sim: snapshot of a parallel (Jrun>1) run is not supported")
 	case cfg.Audit:

@@ -122,6 +122,7 @@ func TestSnapshotGates(t *testing.T) {
 		{"cpi", func(c *Config) { c.Obs.CPI = true }},
 		{"trace", func(c *Config) { c.Obs.Trace = true }},
 		{"timeline", func(c *Config) { c.Obs.TimelineEvery = 1000 }},
+		{"pagemap", func(c *Config) { c.Obs.PageMap = true }},
 	}
 	for _, tc := range cases {
 		cfg := ckptConfig(SchemeStatic, "lbm")

@@ -9,6 +9,7 @@ import (
 	"pageseer/internal/obs"
 	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
+	"pageseer/internal/obs/pagemap"
 )
 
 // Results carries every measurement the paper's figures draw on, for one
@@ -74,6 +75,12 @@ type Results struct {
 	// attribution machinery counters — zero unless Config.Obs.CPI is set.
 	// Fixed-size and deterministic, like Effectiveness.
 	CPIStack attrib.Summary
+
+	// PageMap is the address-space telemetry digest (hot-set sizes, NVM
+	// wear, churn/flap counts, reuse-distance distribution, top-churn
+	// pages) — zero unless Config.Obs.PageMap is set. Fixed-size and
+	// deterministic, like Effectiveness.
+	PageMap pagemap.Summary
 
 	// Faults counts what the fault injector actually injected (zero
 	// without a fault plan).
@@ -191,6 +198,9 @@ func (s *System) collect(epochStart uint64) Results {
 			s.att.AddCore(i, c.Stats().Instructions)
 		}
 		r.CPIStack = s.att.Summary()
+	}
+	if s.Cfg.Obs.PageMap {
+		r.PageMap = s.pm.Summary()
 	}
 	if inj := s.Ctl.Injector(); inj != nil {
 		r.Faults = inj.Stats()

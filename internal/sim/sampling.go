@@ -435,6 +435,10 @@ func mergeWindow(a *Results, b Results) {
 	a.EventsFired += b.EventsFired
 	mergeLedgerSummary(&a.Effectiveness, b.Effectiveness)
 	a.CPIStack.Add(b.CPIStack)
+	// The pagemap accumulates across the whole run (it is reset once, at the
+	// first window's resetStats, never per window), so each window's digest
+	// is already cumulative — the latest snapshot covers the run.
+	a.PageMap = b.PageMap
 	a.Faults = b.Faults
 	a.Watchdog = b.Watchdog
 }

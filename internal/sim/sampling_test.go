@@ -186,7 +186,7 @@ func TestMergeWindowCoversResults(t *testing.T) {
 		"IPC": true, "AMMAT": true, "Latency": true,
 		"PrefetchAccuracy": true, "SwapsPerKI": true,
 		// cumulative never-reset sources: last window's snapshot is the total
-		"Faults": true, "Watchdog": true,
+		"Faults": true, "Watchdog": true, "PageMap": true,
 		// written once after the loop by runSampled
 		"Sampling": true,
 	}

@@ -10,8 +10,8 @@ import (
 	"sync/atomic"
 
 	"pageseer/internal/cache"
-	"pageseer/internal/check"
 	"pageseer/internal/cameo"
+	"pageseer/internal/check"
 	"pageseer/internal/core"
 	"pageseer/internal/cpu"
 	"pageseer/internal/engine"
@@ -23,6 +23,7 @@ import (
 	"pageseer/internal/obs"
 	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
+	"pageseer/internal/obs/pagemap"
 	"pageseer/internal/pom"
 	"pageseer/internal/workload"
 )
@@ -181,6 +182,23 @@ type ObsOptions struct {
 	// default; when off, the hot paths pay one nil check per stamp and
 	// allocate nothing.
 	CPI bool
+
+	// PageMap attaches the address-space telemetry table: per-page demand
+	// heat split by service source, read/write mix, NVM wear, swap churn
+	// with the ledger's trigger taxonomy, residency timelines, and flap
+	// detection, digested into Results.PageMap. The table accumulates over
+	// the whole measured region — including sampled mode's fast-forward gaps
+	// (via the functional access hook) — rather than resetting per window.
+	// Off by default; when off, the hot paths pay one nil check per hook and
+	// allocate nothing.
+	PageMap bool
+
+	// PageMapFlapK and PageMapFlapWindow tune flap detection: a page flaps
+	// when it completes PageMapFlapK DRAM<->NVM round trips inside a sliding
+	// PageMapFlapWindow-cycle window. Zero selects the defaults
+	// (pagemap.DefaultFlapK / pagemap.DefaultFlapWindow).
+	PageMapFlapK      int
+	PageMapFlapWindow uint64
 }
 
 // ManagerFactory builds a user-defined management scheme on a controller.
@@ -235,6 +253,13 @@ type System struct {
 	att *attrib.Attrib
 	wd  *check.Watchdog
 
+	// pm is the optional per-page telemetry table (Config.Obs.PageMap).
+	// pmCleared latches its one-time epoch reset: unlike the per-window
+	// sinks, the pagemap clears exactly once — at the first stats reset —
+	// and then accumulates across every window and fast-forward gap.
+	pm        *pagemap.PageMap
+	pmCleared bool
+
 	// doneCores counts cores that retired the current phase's budget. A
 	// core's completion callback may fire on its own lane under the epoch
 	// executor, so the counter is atomic (increments commute; the engine
@@ -287,6 +312,10 @@ const abortCheckMask = 8192 - 1
 // Ledger returns the run's swap-provenance ledger (nil unless
 // Config.Obs.Ledger was set).
 func (s *System) Ledger() *ledger.Ledger { return s.led }
+
+// PageMap returns the run's per-page telemetry table (nil unless
+// Config.Obs.PageMap was set). The CLIs use it for the full-table export.
+func (s *System) PageMap() *pagemap.PageMap { return s.pm }
 
 // BuildWithManager assembles a system around a user-defined management
 // scheme — the extension point for custom policies (see
@@ -375,6 +404,19 @@ func Build(cfg Config) (*System, error) {
 		// Install before the manager so schemes may cache the ledger.
 		sys.led = ledger.New(swapUnitShift(cfg.Scheme))
 		ctl.SetLedger(sys.led)
+	}
+	if cfg.Obs.PageMap {
+		// Install before the manager so schemes may cache the pagemap.
+		flapK := cfg.Obs.PageMapFlapK
+		if flapK == 0 {
+			flapK = pagemap.DefaultFlapK
+		}
+		flapWindow := cfg.Obs.PageMapFlapWindow
+		if flapWindow == 0 {
+			flapWindow = pagemap.DefaultFlapWindow
+		}
+		sys.pm = pagemap.New(swapUnitShift(cfg.Scheme), flapK, flapWindow)
+		ctl.SetPageMap(sys.pm)
 	}
 	if cfg.Obs.CPI {
 		sys.att = attrib.New(nCores)
@@ -656,6 +698,13 @@ func (s *System) runPhaseOpt(instr uint64, drain bool) {
 // resetStats zeroes every statistic after warm-up.
 func (s *System) resetStats() {
 	s.att.Reset() // nil-safe: no-op without cycle attribution
+	if !s.pmCleared {
+		// The pagemap's measured epoch opens at the FIRST reset and then
+		// accumulates: sampled mode resets the per-window sinks before every
+		// window, but per-page churn/flap history must span the whole run.
+		s.pm.Reset() // nil-safe
+		s.pmCleared = true
+	}
 	s.Ctl.ResetStats()
 	s.Ctl.DRAM.ResetStats()
 	s.Ctl.NVM.ResetStats()

@@ -31,6 +31,7 @@ import (
 	"pageseer/internal/obs"
 	"pageseer/internal/obs/attrib"
 	"pageseer/internal/obs/ledger"
+	"pageseer/internal/obs/pagemap"
 	"pageseer/internal/sim"
 	"pageseer/internal/workload"
 )
@@ -156,6 +157,63 @@ const (
 	ClassFollower     = attrib.ClassFollower
 	NumTriggerClasses = attrib.NumClasses
 )
+
+// PageMapSummary is the address-space telemetry digest in Results.PageMap
+// (hot-set sizes, NVM wear, swap churn, flap counts, reuse distances, the
+// top-churn leaderboard) — zero unless Config.Obs.PageMap is set.
+type PageMapSummary = pagemap.Summary
+
+// PageMapRow is one swap unit's full telemetry record, as exported by
+// pageseer-sim -pagemap-csv/-json (System.PageMap().Rows()).
+type PageMapRow = pagemap.Row
+
+// PageMapRegion is one 2MB extent of the pagemap's roll-up view
+// (pageseer-sim -pagemap-2mb; System.PageMap().Regions()).
+type PageMapRegion = pagemap.Region
+
+// WritePageMapCSV writes per-page rows in the canonical CSV encoding
+// (byte-identical across a JSON round trip).
+func WritePageMapCSV(w io.Writer, rows []PageMapRow) error { return pagemap.WriteRowsCSV(w, rows) }
+
+// WritePageMapJSON writes per-page rows as indented JSON.
+func WritePageMapJSON(w io.Writer, rows []PageMapRow) error { return pagemap.WriteRowsJSON(w, rows) }
+
+// ReadPageMapJSON parses rows written by WritePageMapJSON.
+func ReadPageMapJSON(r io.Reader) ([]PageMapRow, error) { return pagemap.ReadRowsJSON(r) }
+
+// WritePageMapRegionsCSV writes the 2MB-extent roll-up in the canonical CSV
+// encoding.
+func WritePageMapRegionsCSV(w io.Writer, regions []PageMapRegion) error {
+	return pagemap.WriteRegionsCSV(w, regions)
+}
+
+// WritePageMapRegionsJSON writes the 2MB-extent roll-up as indented JSON.
+func WritePageMapRegionsJSON(w io.Writer, regions []PageMapRegion) error {
+	return pagemap.WriteRegionsJSON(w, regions)
+}
+
+// ReadPageMapRegionsJSON parses regions written by WritePageMapRegionsJSON.
+func ReadPageMapRegionsJSON(r io.Reader) ([]PageMapRegion, error) {
+	return pagemap.ReadRegionsJSON(r)
+}
+
+// ChurnRow is one (workload, scheme) run's pagemap digest in the campaign
+// table exported by paper-figures -churn.
+type ChurnRow = figures.ChurnRow
+
+// RenderChurn renders rows as the address-space churn table.
+func RenderChurn(rows []ChurnRow) string { return figures.RenderChurn(rows) }
+
+// WriteChurnCSV writes churn rows in the canonical CSV encoding
+// (byte-identical across a JSON round trip).
+func WriteChurnCSV(w io.Writer, rows []ChurnRow) error { return figures.WriteChurnCSV(w, rows) }
+
+// WriteChurnJSON writes churn rows as indented JSON carrying the full
+// per-run pagemap.Summary.
+func WriteChurnJSON(w io.Writer, rows []ChurnRow) error { return figures.WriteChurnJSON(w, rows) }
+
+// ReadChurnJSON parses rows written by WriteChurnJSON.
+func ReadChurnJSON(r io.Reader) ([]ChurnRow, error) { return figures.ReadChurnJSON(r) }
 
 // CPIStackRow is one (workload, scheme) run's CPI stack in the campaign
 // table exported by paper-figures -cpistack and pageseer-sim -cpi.
